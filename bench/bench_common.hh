@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Shared helpers for the benchmark harnesses. Every bench binary
+ * regenerates one table or figure of the paper (see DESIGN.md's
+ * per-experiment index) and prints it via util/table.hh.
+ */
+
+#ifndef PARENDI_BENCH_COMMON_HH
+#define PARENDI_BENCH_COMMON_HH
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/compiler.hh"
+#include "rtl/opt.hh"
+#include "designs/designs.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+#include "x86/model.hh"
+
+namespace parendi::bench {
+
+/** Benchmarks honor PARENDI_BENCH_FAST=1 to trim sweep sizes. */
+inline bool
+fastMode()
+{
+    const char *v = std::getenv("PARENDI_BENCH_FAST");
+    return v && v[0] == '1';
+}
+
+/** Build a named benchmark design ("pico", "bitcoin", "mc", "vta",
+ *  "srN", "lrN" with N a number, "prngN"). */
+inline rtl::Netlist
+makeDesign(const std::string &name)
+{
+    using namespace designs;
+    if (name == "pico")
+        return makePico(defaultCoreConfig());
+    if (name == "rocket")
+        return makeRocket(defaultCoreConfig());
+    if (name == "bitcoin")
+        return makeBitcoin({4, 16});
+    if (name == "mc")
+        return makeMc(McConfig{});
+    if (name == "vta")
+        return makeVta(VtaConfig{});
+    if (name.rfind("sr", 0) == 0)
+        return makeSr(static_cast<uint32_t>(std::stoul(name.substr(2))));
+    if (name.rfind("lr", 0) == 0)
+        return makeLr(static_cast<uint32_t>(std::stoul(name.substr(2))));
+    if (name.rfind("prng", 0) == 0)
+        return makePrngBank(
+            static_cast<uint32_t>(std::stoul(name.substr(4))));
+    fatal("unknown design %s", name.c_str());
+}
+
+/** The design as the compiler would see it (optimizer applied) —
+ *  used when profiling the x86 baseline so both sides of a
+ *  comparison run the same optimized netlist (Verilator is -O3). */
+inline rtl::Netlist
+makeOptimized(const std::string &name)
+{
+    return rtl::optimize(makeDesign(name));
+}
+
+/** Compile for a given machine shape. */
+inline std::unique_ptr<core::Simulation>
+compileFor(rtl::Netlist nl, uint32_t chips, uint32_t tiles_per_chip,
+           core::CompilerOptions base = core::CompilerOptions{})
+{
+    base.chips = chips;
+    base.tilesPerChip = tiles_per_chip;
+    return core::compile(std::move(nl), base);
+}
+
+/** Best Parendi configuration over 1..4 chips (paper methodology:
+ *  only whole-IPU counts are considered). */
+struct IpuBest
+{
+    uint32_t chips = 1;
+    double kHz = 0;
+    std::unique_ptr<core::Simulation> sim;
+};
+
+inline IpuBest
+bestParendi(const std::string &design,
+            const std::vector<uint32_t> &chip_counts = {1, 2, 3, 4},
+            core::CompilerOptions base = core::CompilerOptions{})
+{
+    IpuBest best;
+    for (uint32_t chips : chip_counts) {
+        auto sim = compileFor(makeDesign(design), chips, 1472, base);
+        double rate = sim->rateKHz();
+        if (rate > best.kHz) {
+            best.kHz = rate;
+            best.chips = chips;
+            best.sim = std::move(sim);
+        }
+    }
+    return best;
+}
+
+/** x86 (Verilator-model) results for one design on one machine. */
+struct X86Result
+{
+    double stKHz = 0;
+    double mtKHz = 0;
+    uint32_t threads = 1;
+};
+
+inline X86Result
+runX86(const x86::X86Arch &arch, const fiber::FiberSet &fs,
+       uint32_t max_threads = 32)
+{
+    x86::DesignProfile prof = x86::profileDesign(fs);
+    X86Result r;
+    r.stKHz = x86::modelVerilator(arch, prof, 1).rateKHz();
+    x86::BestThreads best = x86::bestVerilator(arch, prof, max_threads);
+    r.mtKHz = best.perf.rateKHz();
+    r.threads = best.threads;
+    return r;
+}
+
+/** Geometric mean. */
+inline double
+gmean(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0;
+    double acc = 0;
+    for (double x : v)
+        acc += std::log(x);
+    return std::exp(acc / static_cast<double>(v.size()));
+}
+
+} // namespace parendi::bench
+
+#endif // PARENDI_BENCH_COMMON_HH

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Paper Fig. 5: communication latency heatmaps. m tile pairs exchange
+ * b bytes each way; on-chip the cost grows with b and is nearly
+ * independent of m, off-chip it grows with the total volume m x b.
+ * A third table shows the differential-array-exchange ablation (§5.2):
+ * bytes to propagate one write to a replica vs. shipping the array.
+ */
+
+#include "bench_common.hh"
+
+#include "ipu/exchange.hh"
+
+using namespace parendi;
+using namespace parendi::bench;
+
+int
+main()
+{
+    setQuiet(true);
+    ipu::IpuArch arch;
+    const uint32_t ms[] = {64, 184, 368, 736};
+    const uint32_t bs[] = {4, 16, 64, 256, 1024, 2048};
+
+    for (bool off_chip : {false, true}) {
+        std::vector<std::string> hdr = {"m \\ b"};
+        for (uint32_t b : bs)
+            hdr.push_back(std::to_string(b) + "B");
+        Table t(hdr);
+        for (uint32_t m : ms) {
+            t.row().cell(uint64_t{m});
+            for (uint32_t b : bs)
+                t.cell(ipu::pairwiseExchangeCycles(arch, m, b,
+                                                   off_chip), 0);
+        }
+        t.print(off_chip
+                ? "Fig. 5 (right): off-chip exchange cycles (grows "
+                  "with m x b)"
+                : "Fig. 5 (left): on-chip exchange cycles (grows "
+                  "with b only)");
+    }
+
+    // Ablation rows: modeled bytes per cycle to keep one remote
+    // replica of an array coherent.
+    Table abl({"array", "entries", "width", "diff B/cycle",
+               "full-copy B/cycle"});
+    struct Arr { const char *name; uint32_t depth, width, ports; };
+    for (Arr a : {Arr{"regfile", 32, 64, 1}, Arr{"dcache", 512, 64, 1},
+                  Arr{"sram2p", 1024, 32, 2}}) {
+        uint64_t diff = a.ports *
+            (((32 + 1 + 31) / 32) * 4 + ((a.width + 31) / 32) * 4);
+        uint64_t full =
+            uint64_t{(a.width + 63) / 64} * 8 * a.depth;
+        abl.row().cell(a.name).cell(uint64_t{a.depth})
+            .cell(uint64_t{a.width}).cell(diff).cell(full);
+    }
+    abl.print("§5.2 ablation: differential vs full array exchange");
+
+    std::printf("\nshape: left table columns grow ~16x from 4B to "
+                "2048B while rows stay flat; right table grows along "
+                "both axes.\n");
+    return 0;
+}

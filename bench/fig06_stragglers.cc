@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Paper Fig. 6: straggler fibers. For pico, bitcoin and rocket:
+ *  (b) the distribution of fiber computation cycles, and
+ *  (c) scheduled t_comp as tiles double, against perfect scaling,
+ * plus m_crit — the tile count where t_comp first reaches the
+ * straggler bound max_i t_i.
+ *
+ * Expected shape: pico (most imbalanced) leaves the linear region
+ * almost immediately; bitcoin (balanced fibers) tracks perfect
+ * scaling the longest.
+ */
+
+#include "bench_common.hh"
+
+#include <algorithm>
+
+#include "fiber/fiber.hh"
+#include "partition/merge.hh"
+
+using namespace parendi;
+using namespace parendi::bench;
+
+int
+main()
+{
+    setQuiet(true);
+    const char *names[] = {"pico", "bitcoin", "rocket"};
+
+    Table dist({"design", "fibers", "min", "p50", "p90", "max",
+                "max/p50"});
+    for (const char *name : names) {
+        rtl::Netlist nl = makeDesign(name);
+        fiber::FiberSet fs(nl);
+        std::vector<uint64_t> costs;
+        for (size_t i = 0; i < fs.size(); ++i)
+            costs.push_back(fs[i].totalIpu);
+        std::sort(costs.begin(), costs.end());
+        auto pct = [&](double p) {
+            return costs[static_cast<size_t>(p * (costs.size() - 1))];
+        };
+        dist.row().cell(name).cell(costs.size()).cell(costs.front())
+            .cell(pct(0.5)).cell(pct(0.9)).cell(costs.back())
+            .cell(static_cast<double>(costs.back()) /
+                  static_cast<double>(std::max<uint64_t>(pct(0.5), 1)),
+                  1);
+    }
+    dist.print("Fig. 6b: fiber computation cycles (IPU)");
+
+    Table scale({"design", "tiles", "t_comp", "perfect", "ratio",
+                 "at straggler?"});
+    Table crit({"design", "fibers", "straggler", "m_crit"});
+    for (const char *name : names) {
+        rtl::Netlist nl = makeDesign(name);
+        fiber::FiberSet fs(nl);
+        uint64_t straggler = fs.maxFiberIpu();
+        uint64_t total = fs.sumTotalIpu();
+        uint32_t m_crit = 0;
+        for (uint32_t tiles = 1; tiles <= fs.size(); tiles *= 2) {
+            partition::Partitioning p =
+                partition::bottomUpPartition(fs, 1, tiles);
+            uint64_t t_comp = p.makespanIpu();
+            double perfect =
+                static_cast<double>(total) / tiles;
+            scale.row().cell(name).cell(uint64_t{tiles}).cell(t_comp)
+                .cell(perfect, 0)
+                .cell(static_cast<double>(t_comp) /
+                      std::max(perfect,
+                               static_cast<double>(straggler)), 2)
+                .cell(t_comp <= straggler ? "yes" : "no");
+            if (!m_crit && t_comp <= straggler)
+                m_crit = tiles;
+        }
+        if (!m_crit)
+            m_crit = static_cast<uint32_t>(fs.size());
+        crit.row().cell(name).cell(fs.size()).cell(straggler)
+            .cell(uint64_t{m_crit});
+    }
+    scale.print("Fig. 6c: t_comp vs tiles (perfect = total/tiles)");
+    crit.print("Fig. 6a: m_crit per design (tiles needed to reach the "
+               "straggler bound)");
+
+    std::printf("\nshape: bitcoin stays closest to perfect scaling; "
+                "pico hits its straggler with the fewest tiles.\n");
+    return 0;
+}

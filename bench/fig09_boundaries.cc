@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Paper Fig. 9: non-uniform communication. For large designs the
+ * Verilator model keeps scaling, but the speedup curve kinks at the
+ * ae4 chiplet boundary (8 cores) and drops past the ix3 socket
+ * boundary (28 cores).
+ */
+
+#include "bench_common.hh"
+
+#include "fiber/fiber.hh"
+
+using namespace parendi;
+using namespace parendi::bench;
+
+int
+main()
+{
+    setQuiet(true);
+    const char *designs[] = {"sr8", "lr6"};
+    for (const char *name : designs) {
+        rtl::Netlist nl = makeOptimized(name);
+        fiber::FiberSet fs(nl);
+        x86::DesignProfile prof = x86::profileDesign(fs);
+        x86::X86Arch ix3 = x86::X86Arch::ix3();
+        x86::X86Arch ae4 = x86::X86Arch::ae4();
+        double base_ix = x86::modelVerilator(ix3, prof, 1).totalNs();
+        double base_ae = x86::modelVerilator(ae4, prof, 1).totalNs();
+        Table t({"threads", "ix3 speedup", "ae4 speedup",
+                 "ix3 comm ns", "ae4 comm ns"});
+        for (uint32_t thr : {2u, 4u, 6u, 8u, 10u, 12u, 16u, 20u, 24u,
+                             26u, 28u, 30u, 32u}) {
+            auto pix = x86::modelVerilator(ix3, prof, thr);
+            auto pae = x86::modelVerilator(ae4, prof, thr);
+            t.row().cell(uint64_t{thr})
+                .cell(base_ix / pix.totalNs(), 2)
+                .cell(base_ae / pae.totalNs(), 2)
+                .cell(pix.tCommNs, 1)
+                .cell(pae.tCommNs, 1);
+        }
+        t.print(std::string("Fig. 9: ") + name +
+                " thread sweep (watch 8 on ae4, 28 on ix3)");
+    }
+    std::printf("\nshape: ae4 per-thread efficiency kinks after 8 "
+                "threads (chiplet); ix3 comm cost jumps past 28 "
+                "threads (socket).\n");
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Paper Fig. 12: scaling across IPU chips. Crossing the chip
+ * boundary costs off-chip exchange and a slower global barrier, so
+ * gains are smaller than on-chip scaling and maximum parallelism is
+ * not always fastest.
+ */
+
+#include "bench_common.hh"
+
+using namespace parendi;
+using namespace parendi::bench;
+
+int
+main()
+{
+    setQuiet(true);
+    // Multi-chip gains need designs big enough that one chip's 1472
+    // tiles are oversubscribed (t_comp above the straggler floor).
+    std::vector<std::string> designs = {"sr10", "sr12", "lr8"};
+    if (!fastMode()) {
+        designs.push_back("sr14");
+        designs.push_back("lr10");
+    }
+
+    for (const std::string &name : designs) {
+        Table t({"chips", "tiles used", "kHz", "norm", "t_comp",
+                 "t_comm_on", "t_comm_off", "t_sync"});
+        double base = 0;
+        double best = 0;
+        uint32_t best_chips = 1;
+        for (uint32_t chips : {1u, 2u, 3u, 4u}) {
+            auto sim = compileFor(makeDesign(name), chips, 1472);
+            const ipu::CycleCosts &c = sim->cycleCosts();
+            double khz = sim->rateKHz();
+            if (chips == 1)
+                base = khz;
+            if (khz > best) {
+                best = khz;
+                best_chips = chips;
+            }
+            t.row().cell(uint64_t{chips})
+                .cell(uint64_t{sim->machine().tilesUsed()})
+                .cell(khz, 2).cell(khz / base, 2)
+                .cell(c.tComp, 0).cell(c.tCommOn, 0)
+                .cell(c.tCommOff, 0).cell(c.tSync, 0);
+        }
+        t.print(std::string("Fig. 12: ") + name + " across IPUs");
+        std::printf("  %s: best at %u chip(s), %.2fx over one chip\n",
+                    name.c_str(), best_chips, best / base);
+    }
+    std::printf("\nshape: multi-chip gains are far smaller than "
+                "on-chip gains (off-chip exchange + slower barrier); "
+                "for some designs fewer chips win.\n");
+    return 0;
+}

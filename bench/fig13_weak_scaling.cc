@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Paper Fig. 13: performance resilience (weak scaling). Best
+ * simulation rate as the mesh grows, Parendi vs the Verilator model,
+ * plus the per-size speedup (the dashed gmean lines of the figure).
+ *
+ * Expected shape: both rates fall with design size, but Parendi's
+ * falls more slowly (a long flat segment), so the speedup grows
+ * with N.
+ */
+
+#include "bench_common.hh"
+
+#include "fiber/fiber.hh"
+
+using namespace parendi;
+using namespace parendi::bench;
+
+namespace {
+
+void
+sweep(const std::string &prefix, uint32_t n_max)
+{
+    x86::X86Arch ix3 = x86::X86Arch::ix3();
+    x86::X86Arch ae4 = x86::X86Arch::ae4();
+    Table t({"N", "IPU kHz", "chips", "ix3 kHz", "ae4 kHz",
+             "speedup(gmean)"});
+    double first_ipu = 0, last_ipu = 0;
+    double first_x86 = 0, last_x86 = 0;
+    for (uint32_t n = 2; n <= n_max; ++n) {
+        std::string name = prefix + std::to_string(n);
+        rtl::Netlist nl = makeOptimized(name);
+        fiber::FiberSet fs(nl);
+        X86Result rix = runX86(ix3, fs);
+        X86Result rae = runX86(ae4, fs);
+        IpuBest best = bestParendi(name);
+        double bix = std::max(rix.mtKHz, rix.stKHz);
+        double bae = std::max(rae.mtKHz, rae.stKHz);
+        double sp = std::sqrt((best.kHz / bix) * (best.kHz / bae));
+        t.row().cell(uint64_t{n}).cell(best.kHz, 2)
+            .cell(uint64_t{best.chips}).cell(bix, 2).cell(bae, 2)
+            .cell(sp, 2);
+        if (n == 2) {
+            first_ipu = best.kHz;
+            first_x86 = bix;
+        }
+        last_ipu = best.kHz;
+        last_x86 = bix;
+    }
+    t.print("Fig. 13: " + prefix + "N weak scaling");
+    std::printf("  %sN=2 -> N=%u: IPU keeps %.0f%% of its rate, ix3 "
+                "keeps %.0f%%\n",
+                prefix.c_str(), n_max, 100 * last_ipu / first_ipu,
+                100 * last_x86 / first_x86);
+}
+
+} // namespace
+
+int
+main()
+{
+    setQuiet(true);
+    sweep("sr", fastMode() ? 6 : 14);
+    sweep("lr", fastMode() ? 5 : 10);
+    std::printf("\nshape: Parendi's rate decays far more slowly with "
+                "design size than the x86 baseline, so the speedup "
+                "(last column) rises with N.\n");
+    return 0;
+}

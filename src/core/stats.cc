@@ -1,0 +1,117 @@
+#include "core/stats.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace parendi::core {
+
+std::vector<uint64_t>
+tileLoads(const Simulation &sim)
+{
+    std::vector<uint64_t> loads;
+    loads.reserve(sim.partitioning().processes.size());
+    for (const partition::Process &p : sim.partitioning().processes)
+        loads.push_back(p.ipuCost);
+    return loads;
+}
+
+LoadStats
+computeLoadStats(const Simulation &sim)
+{
+    std::vector<uint64_t> loads = tileLoads(sim);
+    LoadStats s;
+    s.tiles = loads.size();
+    if (loads.empty())
+        return s;
+    std::sort(loads.begin(), loads.end());
+    s.minLoad = loads.front();
+    s.maxLoad = loads.back();
+    s.p50 = loads[loads.size() / 2];
+    s.p90 = loads[static_cast<size_t>(
+        static_cast<double>(loads.size() - 1) * 0.9)];
+    uint64_t total = 0;
+    for (uint64_t l : loads)
+        total += l;
+    s.mean = static_cast<double>(total) /
+        static_cast<double>(loads.size());
+    s.imbalance = s.mean > 0
+        ? static_cast<double>(s.maxLoad) / s.mean : 0.0;
+    return s;
+}
+
+std::string
+describeSimulation(const Simulation &sim)
+{
+    std::ostringstream out;
+    const CompileReport &r = sim.report();
+    const ipu::CycleCosts &c = sim.cycleCosts();
+    const ipu::ExchangeTraffic &t = sim.machine().traffic();
+
+    out << "== design ==\n";
+    out << "  " << rtl::describe(sim.netlist()) << "\n";
+    out << strprintf("  optimizer: %zu -> %zu nodes (%zu folded, "
+                     "%zu identities, %zu CSE, %zu dead)\n",
+                     r.optStats.nodesBefore, r.optStats.nodesAfter,
+                     r.optStats.folded, r.optStats.identities,
+                     r.optStats.csed, r.optStats.dead);
+
+    out << "== partitioning ==\n";
+    out << strprintf("  %zu fibers -> %zu processes on %u chip(s); "
+                     "duplication ratio %.3f\n",
+                     r.fibers, r.processes, r.chips,
+                     r.duplicationRatio);
+    out << strprintf("  compile %.3f s, peak RSS %.1f MiB\n",
+                     r.compileSeconds,
+                     static_cast<double>(r.compileRssBytes) /
+                         1048576.0);
+
+    LoadStats ls = computeLoadStats(sim);
+    out << "== tile loads (IPU cycles per RTL cycle) ==\n";
+    out << strprintf("  min %llu / p50 %llu / p90 %llu / max %llu "
+                     "(straggler), imbalance %.2fx\n",
+                     static_cast<unsigned long long>(ls.minLoad),
+                     static_cast<unsigned long long>(ls.p50),
+                     static_cast<unsigned long long>(ls.p90),
+                     static_cast<unsigned long long>(ls.maxLoad),
+                     ls.imbalance);
+    // A 10-bucket ASCII histogram.
+    std::vector<uint64_t> loads = tileLoads(sim);
+    if (!loads.empty() && ls.maxLoad > 0) {
+        const int buckets = 10;
+        std::vector<size_t> hist(buckets, 0);
+        for (uint64_t l : loads) {
+            size_t b = static_cast<size_t>(
+                static_cast<double>(l) /
+                static_cast<double>(ls.maxLoad + 1) * buckets);
+            ++hist[std::min<size_t>(b, buckets - 1)];
+        }
+        size_t top = *std::max_element(hist.begin(), hist.end());
+        for (int b = 0; b < buckets; ++b) {
+            size_t bar = top ? hist[b] * 40 / top : 0;
+            out << strprintf("  [%3d%%-%3d%%] %-40s %zu\n",
+                             b * 10, (b + 1) * 10,
+                             std::string(bar, '#').c_str(), hist[b]);
+        }
+    }
+
+    out << "== exchange ==\n";
+    out << strprintf("  on-chip %llu B/cycle (max tile %llu B), "
+                     "off-chip %llu B/cycle\n",
+                     static_cast<unsigned long long>(
+                         t.totalOnChipBytes),
+                     static_cast<unsigned long long>(
+                         t.maxTileOnChipBytes),
+                     static_cast<unsigned long long>(
+                         t.totalOffChipBytes));
+
+    out << "== modeled cycle budget ==\n";
+    out << strprintf("  t_comp %.0f + t_comm %.0f + t_sync %.0f = "
+                     "%.0f IPU cycles -> %.2f kHz\n",
+                     c.tComp, c.tComm(), c.tSync, c.total(),
+                     sim.rateKHz());
+    return out.str();
+}
+
+} // namespace parendi::core

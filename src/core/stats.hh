@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Human-readable reporting over a compiled simulation: tile-load
+ * distribution (the straggler picture of paper Fig. 6a/14), exchange
+ * traffic summary, per-chip breakdown, and the compile report — what
+ * a user reads to understand why their design simulates at the rate
+ * it does.
+ */
+
+#ifndef PARENDI_CORE_STATS_HH
+#define PARENDI_CORE_STATS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/compiler.hh"
+
+namespace parendi::core {
+
+/** Distribution summary of per-tile compute loads. */
+struct LoadStats
+{
+    uint64_t minLoad = 0;
+    uint64_t p50 = 0;
+    uint64_t p90 = 0;
+    uint64_t maxLoad = 0;       ///< the straggler tile
+    double mean = 0;
+    double imbalance = 0;       ///< max / mean
+    size_t tiles = 0;
+};
+
+/** Per-tile compute cycles of a partitioning. */
+std::vector<uint64_t> tileLoads(const Simulation &sim);
+
+/** Summarize the tile-load distribution. */
+LoadStats computeLoadStats(const Simulation &sim);
+
+/**
+ * A multi-section plain-text report: design metrics, partitioning,
+ * tile loads (with a small ASCII histogram), exchange traffic, and
+ * the modeled cycle budget.
+ */
+std::string describeSimulation(const Simulation &sim);
+
+} // namespace parendi::core
+
+#endif // PARENDI_CORE_STATS_HH

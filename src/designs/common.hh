@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Small structural helpers shared by the design generators.
+ */
+
+#ifndef PARENDI_DESIGNS_COMMON_HH
+#define PARENDI_DESIGNS_COMMON_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "rtl/dsl.hh"
+#include "util/logging.hh"
+
+namespace parendi::designs {
+
+using rtl::Design;
+using rtl::Wire;
+
+/** sel-indexed mux tree over items (items.size() must be a power of
+ *  two and sel wide enough to index it). */
+inline Wire
+muxTree(Design &d, Wire sel, const std::vector<Wire> &items)
+{
+    if (items.empty())
+        fatal("muxTree: no items");
+    std::vector<Wire> level = items;
+    unsigned bit = 0;
+    while (level.size() > 1) {
+        if (level.size() % 2)
+            level.push_back(level.back());
+        std::vector<Wire> next;
+        Wire s = sel.bit(bit);
+        for (size_t i = 0; i + 1 < level.size(); i += 2)
+            next.push_back(d.mux(s, level[i + 1], level[i]));
+        level = std::move(next);
+        ++bit;
+    }
+    return level[0];
+}
+
+/** w == constant. */
+inline Wire
+eqConst(Design &d, Wire w, uint64_t value)
+{
+    return w == d.lit(w.width(), value);
+}
+
+/** Priority select: first matching (key == case) wins, else dflt. */
+inline Wire
+matchCase(Design &d, Wire key,
+          const std::vector<std::pair<uint64_t, Wire>> &cases, Wire dflt)
+{
+    Wire out = dflt;
+    for (auto it = cases.rbegin(); it != cases.rend(); ++it)
+        out = d.mux(eqConst(d, key, it->first), it->second, out);
+    return out;
+}
+
+/** Binary reduction (e.g. wide adder tree) over a vector of wires. */
+template <typename Fn>
+Wire
+reduceTree(std::vector<Wire> items, Fn &&combine)
+{
+    if (items.empty())
+        fatal("reduceTree: no items");
+    while (items.size() > 1) {
+        std::vector<Wire> next;
+        for (size_t i = 0; i + 1 < items.size(); i += 2)
+            next.push_back(combine(items[i], items[i + 1]));
+        if (items.size() % 2)
+            next.push_back(items.back());
+        items = std::move(next);
+    }
+    return items[0];
+}
+
+/** log2 of a power of two. */
+inline uint32_t
+log2Exact(uint32_t v)
+{
+    if (v == 0 || (v & (v - 1)))
+        fatal("log2Exact: %u is not a power of two", v);
+    uint32_t b = 0;
+    while ((1u << b) != v)
+        ++b;
+    return b;
+}
+
+} // namespace parendi::designs
+
+#endif // PARENDI_DESIGNS_COMMON_HH

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Processor core generators: "pico", a multicycle P16 core standing in
+ * for picorv32 (paper §4.3), and "rocket", a 5-stage pipelined P16
+ * core with forwarding and hazard stalls standing in for the small
+ * Rocket configuration. Both are buildable as standalone netlists or
+ * embedded into larger SoCs (the srN/lrN meshes).
+ */
+
+#ifndef PARENDI_DESIGNS_CORES_HH
+#define PARENDI_DESIGNS_CORES_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rtl/dsl.hh"
+
+namespace parendi::designs {
+
+struct CoreConfig
+{
+    std::string prefix;                 ///< register/memory name prefix
+    uint32_t romDepth = 64;             ///< power of two
+    uint32_t ramDepth = 64;             ///< power of two
+    std::vector<uint32_t> program;      ///< ROM image (P16 encoding)
+};
+
+/** Observable wires of an embedded core. */
+struct CoreIo
+{
+    rtl::Wire halted;   ///< 1 bit, sticky
+    rtl::Wire pc;       ///< 32 bits
+    rtl::Wire probe;    ///< 32 bits: architectural r1 (payload source)
+    rtl::MemId ram;     ///< the data RAM (for test inspection)
+};
+
+/** Build a multicycle core into @p d; returns its observables. */
+CoreIo buildPicoCore(rtl::Design &d, const CoreConfig &cfg);
+
+/** Build a 5-stage pipelined core into @p d. When @p with_mul is true
+ *  a multiplier datapath is added (the "large" core flavour). */
+CoreIo buildRocketCore(rtl::Design &d, const CoreConfig &cfg,
+                       bool with_mul = false);
+
+/** Standalone wrappers: the paper's pico / rocket benchmarks with a
+ *  Verilog-style driver (outputs: halted, pc, probe). */
+rtl::Netlist makePico(const CoreConfig &cfg);
+rtl::Netlist makeRocket(const CoreConfig &cfg, bool with_mul = false);
+
+/** Default benchmark configuration running the endless churn loop. */
+CoreConfig defaultCoreConfig(const std::string &prefix = "");
+
+} // namespace parendi::designs
+
+#endif // PARENDI_DESIGNS_CORES_HH

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The benchmark designs of the paper's evaluation (§4.1, §4.3, §6),
+ * regenerated as functional netlists:
+ *
+ *  - prng    : bank of independent xorshift32 generators (§4.1)
+ *  - pico    : multicycle P16 core (stand-in for picorv32)
+ *  - bitcoin : iterative SHA-256d miner engines
+ *  - rocket  : 5-stage pipelined P16 core
+ *  - mc      : fixed-point Monte Carlo option-price engine
+ *  - vta     : output-stationary GEMM accelerator
+ *  - srN/lrN : N x N mesh-NoC SoCs of small/large cores with three
+ *              uncore (responder) nodes, generated like the paper's
+ *              Constellation/Chipyard meshes
+ */
+
+#ifndef PARENDI_DESIGNS_DESIGNS_HH
+#define PARENDI_DESIGNS_DESIGNS_HH
+
+#include <cstdint>
+
+#include "designs/cores.hh"
+#include "rtl/netlist.hh"
+
+namespace parendi::designs {
+
+/** @{ PRNG bank: @p n independent xorshift32 fibers, no cross-fiber
+ *  communication (the §4.1 synchronization microbenchmark). */
+rtl::Netlist makePrngBank(uint32_t n);
+/** @} */
+
+struct BitcoinConfig
+{
+    uint32_t engines = 4;     ///< parallel miner engines
+    uint32_t zeroBits = 16;   ///< difficulty: leading zero bits target
+};
+
+/** SHA-256d miner: each engine performs one SHA-256 round per cycle. */
+rtl::Netlist makeBitcoin(const BitcoinConfig &cfg = BitcoinConfig{});
+
+struct McConfig
+{
+    uint32_t lanes = 64;       ///< parallel price paths
+    uint32_t stepsPerPath = 64;
+    uint32_t spot = 100 << 16; ///< Q16.16 initial price
+    uint32_t strike = 105 << 16;
+};
+
+/** Monte Carlo option pricer (stand-in for the FPGA mc engine). */
+rtl::Netlist makeMc(const McConfig &cfg = McConfig{});
+
+struct VtaConfig
+{
+    uint32_t rows = 16;        ///< PE grid (BlockIn)
+    uint32_t cols = 16;        ///< PE grid (BlockOut)
+    uint32_t bufDepth = 128;   ///< activation/weight SRAM entries
+};
+
+/** GEMM accelerator core (stand-in for VTA). */
+rtl::Netlist makeVta(const VtaConfig &cfg = VtaConfig{});
+
+enum class MeshCore : uint8_t { Small, Large };
+
+struct MeshConfig
+{
+    uint32_t n = 2;            ///< mesh is n x n
+    MeshCore core = MeshCore::Small;
+    uint32_t injectPeriod = 8; ///< cycles between NI injections
+};
+
+/** srN / lrN: the mesh-NoC SoC. Three corner nodes are uncore
+ *  responders; every other node hosts a core + network interface. */
+rtl::Netlist makeMesh(const MeshConfig &cfg);
+
+/** Convenience: srN. */
+rtl::Netlist makeSr(uint32_t n);
+/** Convenience: lrN. */
+rtl::Netlist makeLr(uint32_t n);
+
+} // namespace parendi::designs
+
+#endif // PARENDI_DESIGNS_DESIGNS_HH

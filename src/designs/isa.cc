@@ -1,0 +1,252 @@
+#include "designs/isa.hh"
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace parendi::designs {
+
+uint32_t
+encode(Isa op, unsigned rd, unsigned rs1, unsigned rs2, int32_t imm16)
+{
+    if (rd > 15 || rs1 > 15 || rs2 > 15)
+        fatal("encode: register out of range");
+    uint32_t imm = static_cast<uint32_t>(imm16) & 0xffff;
+    return (static_cast<uint32_t>(op) & 0xf) | ((rd & 0xf) << 4) |
+        ((rs1 & 0xf) << 8) | ((rs2 & 0xf) << 12) | (imm << 16);
+}
+
+IsaSim::IsaSim(std::vector<uint32_t> rom, uint32_t ram_depth)
+    : rom_(std::move(rom)), ram_(ram_depth, 0)
+{
+    if (ram_depth == 0 || (ram_depth & (ram_depth - 1)))
+        fatal("IsaSim: ram depth must be a nonzero power of two");
+}
+
+void
+IsaSim::step()
+{
+    if (halted_)
+        return;
+    uint32_t ir = rom_.empty() ? 0 : rom_[pc_ % rom_.size()];
+    Isa op = static_cast<Isa>(ir & 0xf);
+    unsigned rd = (ir >> 4) & 0xf;
+    unsigned rs1 = (ir >> 8) & 0xf;
+    unsigned rs2 = (ir >> 12) & 0xf;
+    int32_t imm = static_cast<int16_t>(ir >> 16);
+    uint32_t a = regs_[rs1];
+    uint32_t b = regs_[rs2];
+    uint32_t next_pc = pc_ + 1;
+    switch (op) {
+      case Isa::Nop:
+        break;
+      case Isa::Addi:
+        regs_[rd] = a + static_cast<uint32_t>(imm);
+        break;
+      case Isa::Add:
+        regs_[rd] = a + b;
+        break;
+      case Isa::Sub:
+        regs_[rd] = a - b;
+        break;
+      case Isa::And:
+        regs_[rd] = a & b;
+        break;
+      case Isa::Or:
+        regs_[rd] = a | b;
+        break;
+      case Isa::Xor:
+        regs_[rd] = a ^ b;
+        break;
+      case Isa::Sll:
+        regs_[rd] = a << (b & 31);
+        break;
+      case Isa::Srl:
+        regs_[rd] = a >> (b & 31);
+        break;
+      case Isa::Lw:
+        regs_[rd] =
+            ram_[(a + static_cast<uint32_t>(imm)) % ram_.size()];
+        break;
+      case Isa::Sw:
+        ram_[(a + static_cast<uint32_t>(imm)) % ram_.size()] = b;
+        break;
+      case Isa::Beq:
+        if (a == b)
+            next_pc = pc_ + static_cast<uint32_t>(imm);
+        break;
+      case Isa::Bne:
+        if (a != b)
+            next_pc = pc_ + static_cast<uint32_t>(imm);
+        break;
+      case Isa::Lui:
+        regs_[rd] = static_cast<uint32_t>(imm) << 16;
+        break;
+      case Isa::Jal:
+        regs_[rd] = pc_ + 1;
+        next_pc = pc_ + static_cast<uint32_t>(imm);
+        break;
+      case Isa::Halt:
+        halted_ = true;
+        next_pc = pc_;
+        break;
+    }
+    pc_ = next_pc;
+}
+
+uint64_t
+IsaSim::run(uint64_t max_instrs)
+{
+    uint64_t n = 0;
+    while (!halted_ && n < max_instrs) {
+        step();
+        ++n;
+    }
+    return n;
+}
+
+std::vector<uint32_t>
+programSum(uint32_t n)
+{
+    // r1 = 0; r2 = n; r3 = 0 (i)
+    // loop: r3 += 1; r1 += r3; bne r3, r2, loop; sw ram[0] = r1; halt
+    std::vector<uint32_t> p;
+    p.push_back(asmAddi(1, 0, 0));
+    p.push_back(asmXor(1, 1, 1));                     // r1 = 0
+    p.push_back(asmXor(3, 3, 3));                     // r3 = 0
+    p.push_back(asmXor(2, 2, 2));
+    p.push_back(asmAddi(2, 2, static_cast<int32_t>(n))); // r2 = n
+    p.push_back(asmAddi(3, 3, 1));                    // loop:
+    p.push_back(asmAdd(1, 1, 3));
+    p.push_back(asmBne(3, 2, -2));
+    p.push_back(asmXor(4, 4, 4));
+    p.push_back(asmSw(4, 1, 0));                      // ram[0] = r1
+    p.push_back(asmHalt());
+    return p;
+}
+
+std::vector<uint32_t>
+programChurn()
+{
+    // r1: state, r2: constant multiplier-ish mixer, r4: address.
+    std::vector<uint32_t> p;
+    p.push_back(asmLui(1, 0x1234));
+    p.push_back(asmAddi(1, 1, 0x0567));
+    p.push_back(asmLui(2, 0x0019));
+    p.push_back(asmAddi(2, 2, 0x0660));
+    p.push_back(asmXor(4, 4, 4));
+    p.push_back(asmAddi(5, 0, 5));
+    // loop:
+    p.push_back(asmXor(1, 1, 2));     // mix
+    p.push_back(asmSll(3, 1, 5));     // r3 = r1 << 5
+    p.push_back(asmAdd(1, 1, 3));
+    p.push_back(asmSrl(3, 1, 5));
+    p.push_back(asmXor(1, 1, 3));
+    p.push_back(asmSw(4, 1, 0));      // ram[r4] = r1
+    p.push_back(asmAddi(4, 4, 1));
+    p.push_back(asmLw(6, 4, -1));
+    p.push_back(asmAdd(2, 2, 6));
+    p.push_back(asmJal(7, -9));       // loop forever
+    return p;
+}
+
+std::vector<uint32_t>
+programMemory()
+{
+    // Write i*i+7 to ram[i] for i in 0..15, then read back the sum
+    // into r5, store it at ram[16], halt.
+    std::vector<uint32_t> p;
+    p.push_back(asmXor(1, 1, 1));     // i
+    p.push_back(asmXor(2, 2, 2));     // scratch
+    p.push_back(asmAddi(6, 0, 16));
+    // wloop:
+    p.push_back(asmAdd(2, 1, 0));
+    p.push_back(asmSll(3, 1, 10));    // r10 == 0 -> shift 0; use mul-free i*i
+    p.push_back(asmXor(3, 3, 3));
+    p.push_back(asmXor(7, 7, 7));     // r7 = 0 counter
+    // inner multiply by repeated add: r3 += i, i times
+    p.push_back(asmBeq(7, 1, 4));     // skip past the jal when r7 == i
+    p.push_back(asmAdd(3, 3, 1));
+    p.push_back(asmAddi(7, 7, 1));
+    p.push_back(asmJal(8, -3));
+    p.push_back(asmAddi(3, 3, 7));    // r3 = i*i + 7
+    p.push_back(asmSw(1, 3, 0));      // ram[i] = r3
+    p.push_back(asmAddi(1, 1, 1));
+    p.push_back(asmBne(1, 6, -11));
+    // read back
+    p.push_back(asmXor(5, 5, 5));
+    p.push_back(asmXor(1, 1, 1));
+    // rloop:
+    p.push_back(asmLw(2, 1, 0));
+    p.push_back(asmAdd(5, 5, 2));
+    p.push_back(asmAddi(1, 1, 1));
+    p.push_back(asmBne(1, 6, -3));
+    p.push_back(asmSw(0, 5, 16));     // ram[16] = r5 (r0 assumed 0)
+    p.push_back(asmHalt());
+    return p;
+}
+
+std::vector<uint32_t>
+programRandom(uint64_t seed, uint32_t n)
+{
+    Rng rng(seed ^ 0xabcdef12345ull);
+    std::vector<uint32_t> p;
+    p.reserve(n + 1);
+    for (uint32_t i = 0; i < n; ++i) {
+        unsigned rd = 1 + static_cast<unsigned>(rng.below(15));
+        unsigned rs1 = static_cast<unsigned>(rng.below(16));
+        unsigned rs2 = static_cast<unsigned>(rng.below(16));
+        int32_t imm = static_cast<int32_t>(rng.below(64)) - 16;
+        switch (rng.below(12)) {
+          case 0:
+            p.push_back(asmAddi(rd, rs1, imm));
+            break;
+          case 1:
+            p.push_back(asmAdd(rd, rs1, rs2));
+            break;
+          case 2:
+            p.push_back(asmSub(rd, rs1, rs2));
+            break;
+          case 3:
+            p.push_back(asmAnd(rd, rs1, rs2));
+            break;
+          case 4:
+            p.push_back(asmOr(rd, rs1, rs2));
+            break;
+          case 5:
+            p.push_back(asmXor(rd, rs1, rs2));
+            break;
+          case 6:
+            p.push_back(asmSll(rd, rs1, rs2));
+            break;
+          case 7:
+            p.push_back(asmSrl(rd, rs1, rs2));
+            break;
+          case 8:
+            p.push_back(asmLw(rd, rs1, imm));
+            break;
+          case 9:
+            p.push_back(asmSw(rs1, rs2, imm));
+            break;
+          case 10:
+            p.push_back(asmLui(rd, static_cast<int32_t>(
+                rng.below(0x10000))));
+            break;
+          default: {
+            // Forward-only branches guarantee termination.
+            int32_t fwd = 2 + static_cast<int32_t>(rng.below(4));
+            if (rng.below(2))
+                p.push_back(asmBeq(rs1, rs2, fwd));
+            else
+                p.push_back(asmBne(rs1, rs2, fwd));
+            break;
+          }
+        }
+    }
+    p.push_back(asmHalt());
+    // Pad so forward branches beyond the end land on HALTs.
+    for (int i = 0; i < 8; ++i)
+        p.push_back(asmHalt());
+    return p;
+}
+
+} // namespace parendi::designs

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * The "P16" ISA shared by the pico (multicycle) and rocket (pipelined)
+ * core generators: a compact 16-register RISC ISA standing in for the
+ * RV32I subset the paper's picorv32/rocket benchmarks execute. The
+ * module provides an encoder (assembler helpers), a golden
+ * instruction-level simulator used to property-test the RTL cores, and
+ * a few canned programs.
+ *
+ * Encoding (32-bit):
+ *   [3:0]   opcode      [7:4]   rd
+ *   [11:8]  rs1         [15:12] rs2
+ *   [31:16] imm16 (sign-extended where used)
+ *
+ * Semantics:
+ *   pc is word-granular. Branches/JAL are pc-relative in words:
+ *   pc' = pc + imm. JAL writes rd = pc + 1. HALT spins (pc' = pc).
+ *   LW/SW address = (rs1 + imm) mod ramDepth (word addressed).
+ *   Shifts use rs2[4:0]. LUI writes imm << 16. r0 is a normal register.
+ */
+
+#ifndef PARENDI_DESIGNS_ISA_HH
+#define PARENDI_DESIGNS_ISA_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace parendi::designs {
+
+enum class Isa : uint8_t {
+    Nop = 0,
+    Addi,
+    Add,
+    Sub,
+    And,
+    Or,
+    Xor,
+    Sll,
+    Srl,
+    Lw,
+    Sw,
+    Beq,
+    Bne,
+    Lui,
+    Jal,
+    Halt,
+};
+
+/** Encode one instruction. */
+uint32_t encode(Isa op, unsigned rd, unsigned rs1, unsigned rs2,
+                int32_t imm16);
+
+// Assembler conveniences.
+inline uint32_t asmNop() { return encode(Isa::Nop, 0, 0, 0, 0); }
+inline uint32_t
+asmAddi(unsigned rd, unsigned rs1, int32_t imm)
+{
+    return encode(Isa::Addi, rd, rs1, 0, imm);
+}
+inline uint32_t
+asmAdd(unsigned rd, unsigned rs1, unsigned rs2)
+{
+    return encode(Isa::Add, rd, rs1, rs2, 0);
+}
+inline uint32_t
+asmSub(unsigned rd, unsigned rs1, unsigned rs2)
+{
+    return encode(Isa::Sub, rd, rs1, rs2, 0);
+}
+inline uint32_t
+asmAnd(unsigned rd, unsigned rs1, unsigned rs2)
+{
+    return encode(Isa::And, rd, rs1, rs2, 0);
+}
+inline uint32_t
+asmOr(unsigned rd, unsigned rs1, unsigned rs2)
+{
+    return encode(Isa::Or, rd, rs1, rs2, 0);
+}
+inline uint32_t
+asmXor(unsigned rd, unsigned rs1, unsigned rs2)
+{
+    return encode(Isa::Xor, rd, rs1, rs2, 0);
+}
+inline uint32_t
+asmSll(unsigned rd, unsigned rs1, unsigned rs2)
+{
+    return encode(Isa::Sll, rd, rs1, rs2, 0);
+}
+inline uint32_t
+asmSrl(unsigned rd, unsigned rs1, unsigned rs2)
+{
+    return encode(Isa::Srl, rd, rs1, rs2, 0);
+}
+inline uint32_t
+asmLw(unsigned rd, unsigned rs1, int32_t imm)
+{
+    return encode(Isa::Lw, rd, rs1, 0, imm);
+}
+inline uint32_t
+asmSw(unsigned rs1, unsigned rs2, int32_t imm)
+{
+    return encode(Isa::Sw, 0, rs1, rs2, imm);
+}
+inline uint32_t
+asmBeq(unsigned rs1, unsigned rs2, int32_t imm)
+{
+    return encode(Isa::Beq, 0, rs1, rs2, imm);
+}
+inline uint32_t
+asmBne(unsigned rs1, unsigned rs2, int32_t imm)
+{
+    return encode(Isa::Bne, 0, rs1, rs2, imm);
+}
+inline uint32_t
+asmLui(unsigned rd, int32_t imm)
+{
+    return encode(Isa::Lui, rd, 0, 0, imm);
+}
+inline uint32_t
+asmJal(unsigned rd, int32_t imm)
+{
+    return encode(Isa::Jal, rd, 0, 0, imm);
+}
+inline uint32_t asmHalt() { return encode(Isa::Halt, 0, 0, 0, 0); }
+
+/** Instruction-level golden model. */
+class IsaSim
+{
+  public:
+    IsaSim(std::vector<uint32_t> rom, uint32_t ram_depth);
+
+    /** Execute one instruction (no-op once halted). */
+    void step();
+
+    /** Run until halted or @p max_instrs executed. Returns the number
+     *  of instructions executed. */
+    uint64_t run(uint64_t max_instrs);
+
+    bool halted() const { return halted_; }
+    uint32_t pc() const { return pc_; }
+    uint32_t reg(unsigned i) const { return regs_[i]; }
+    uint32_t ram(uint32_t i) const { return ram_[i % ram_.size()]; }
+    const std::vector<uint32_t> &ramImage() const { return ram_; }
+
+  private:
+    std::vector<uint32_t> rom_;
+    std::vector<uint32_t> ram_;
+    uint32_t regs_[16] = {};
+    uint32_t pc_ = 0;
+    bool halted_ = false;
+};
+
+/** Canned test programs (all expect ramDepth >= 64, romDepth >= 64). */
+
+/** Sum 1..n into r1, store to ram[0], halt. */
+std::vector<uint32_t> programSum(uint32_t n);
+
+/** Endless mixing loop: LCG-ish hash repeatedly stored to ram
+ *  (never halts) — the benchmark workload. */
+std::vector<uint32_t> programChurn();
+
+/** Memory-stride test touching ram[0..15], then halt. */
+std::vector<uint32_t> programMemory();
+
+/** Deterministic random program of @p n instructions (register ops,
+ *  memory ops, and short forward branches), ending in HALT. Always
+ *  terminates within a bounded instruction count. */
+std::vector<uint32_t> programRandom(uint64_t seed, uint32_t n);
+
+} // namespace parendi::designs
+
+#endif // PARENDI_DESIGNS_ISA_HH

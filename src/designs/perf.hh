@@ -1,0 +1,71 @@
+/**
+ * @file
+ * A performance-monitoring unit attached to both processor cores:
+ * 64-bit cycle and instret CSRs, a 16-entry x 2-bit branch history
+ * table with saturating counters (predict at resolve-index, compare
+ * with the actual outcome), predictor hit/miss counters, and one
+ * client-supplied event counter. Real RISC cores carry exactly this
+ * kind of uncore state, and each BHT entry's fiber drags the decode
+ * and branch-resolution cone with it — fattening the core's fiber
+ * population the way picorv32/rocket's control bits do in the paper.
+ */
+
+#ifndef PARENDI_DESIGNS_PERF_HH
+#define PARENDI_DESIGNS_PERF_HH
+
+#include <string>
+
+#include "designs/common.hh"
+
+namespace parendi::designs {
+
+/**
+ * Attach the monitoring unit.
+ * @param retire       1-bit: an instruction retires this cycle
+ * @param resolve      1-bit: a conditional branch resolves this cycle
+ * @param taken        1-bit: its outcome (valid when resolve)
+ * @param index        4-bit: BHT index (e.g. low PC bits)
+ * @param event        1-bit: client event to count (e.g. stall)
+ */
+inline void
+buildPerfUnit(Design &d, const std::string &px, Wire retire,
+              Wire resolve, Wire taken, Wire index, Wire event)
+{
+    using rtl::RegId;
+
+    RegId cyc = d.reg(px + "csr_cycle", 64, 0);
+    d.next(cyc, d.read(cyc) + d.lit(64, 1));
+    RegId ret = d.reg(px + "csr_instret", 64, 0);
+    d.next(ret, d.read(ret) +
+           d.mux(retire, d.lit(64, 1), d.lit(64, 0)));
+    RegId evc = d.reg(px + "csr_event", 32, 0);
+    d.next(evc, d.read(evc) +
+           d.mux(event, d.lit(32, 1), d.lit(32, 0)));
+
+    // 16-entry, 2-bit saturating-counter branch history table.
+    std::vector<Wire> entries;
+    for (unsigned i = 0; i < 16; ++i) {
+        RegId e = d.reg(px + "bht" + std::to_string(i), 2, 1);
+        Wire v = d.read(e);
+        Wire sel = resolve & eqConst(d, index, i);
+        Wire inc = d.mux(eqConst(d, v, 3), v, v + d.lit(2, 1));
+        Wire dec = d.mux(eqConst(d, v, 0), v, v - d.lit(2, 1));
+        d.next(e, d.mux(sel, d.mux(taken, inc, dec), v));
+        entries.push_back(v);
+    }
+
+    // Prediction = counter MSB at the resolving index.
+    Wire pred = muxTree(d, index, entries).bit(1);
+    Wire correct = resolve & (pred == taken);
+    Wire wrong = resolve & (pred != taken);
+    RegId hits = d.reg(px + "bp_hits", 32, 0);
+    d.next(hits, d.read(hits) +
+           d.mux(correct, d.lit(32, 1), d.lit(32, 0)));
+    RegId miss = d.reg(px + "bp_miss", 32, 0);
+    d.next(miss, d.read(miss) +
+           d.mux(wrong, d.lit(32, 1), d.lit(32, 0)));
+}
+
+} // namespace parendi::designs
+
+#endif // PARENDI_DESIGNS_PERF_HH

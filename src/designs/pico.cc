@@ -1,0 +1,185 @@
+/**
+ * @file
+ * The multicycle "pico" core: 4 states per instruction
+ * (FETCH/EXEC/MEM/WB), a flip-flop register file (16 x 32, like
+ * picorv32), asynchronous-read instruction ROM and data RAM. Its fiber
+ * population is deliberately imbalanced: each architectural register's
+ * fiber drags the whole decode+ALU cone with it (paper Fig. 6b).
+ */
+
+#include "designs/cores.hh"
+
+#include "designs/common.hh"
+#include "designs/isa.hh"
+#include "designs/perf.hh"
+
+namespace parendi::designs {
+
+using namespace rtl;
+
+namespace {
+
+/** Convert a program image to BitVec entries, padded with HALT. */
+std::vector<BitVec>
+romImage(const CoreConfig &cfg)
+{
+    if (cfg.program.size() > cfg.romDepth)
+        fatal("core %s: program (%zu words) exceeds ROM depth %u",
+              cfg.prefix.c_str(), cfg.program.size(), cfg.romDepth);
+    std::vector<BitVec> img;
+    img.reserve(cfg.romDepth);
+    for (uint32_t w : cfg.program)
+        img.emplace_back(32, w);
+    while (img.size() < cfg.romDepth)
+        img.emplace_back(32, asmHalt());
+    return img;
+}
+
+} // namespace
+
+CoreIo
+buildPicoCore(Design &d, const CoreConfig &cfg)
+{
+    const std::string &px = cfg.prefix;
+    uint32_t rom_bits = log2Exact(cfg.romDepth);
+    uint32_t ram_bits = log2Exact(cfg.ramDepth);
+
+    MemId rom = d.memory(px + "rom", 32, cfg.romDepth);
+    d.netlist().initMemory(rom, romImage(cfg));
+    MemId ram = d.memory(px + "ram", 32, cfg.ramDepth);
+
+    RegId pc = d.reg(px + "pc", 32);
+    RegId state = d.reg(px + "state", 2);
+    RegId ir = d.reg(px + "ir", 32);
+    RegId alu_out = d.reg(px + "alu_out", 32);
+    RegId mem_data = d.reg(px + "mem_data", 32);
+    RegId halted_r = d.reg(px + "halted", 1);
+    std::vector<RegId> xr;
+    for (int i = 0; i < 16; ++i)
+        xr.push_back(d.reg(px + "x" + std::to_string(i), 32));
+
+    Wire pc_v = d.read(pc);
+    Wire st = d.read(state);
+    Wire ir_v = d.read(ir);
+    Wire alu_v = d.read(alu_out);
+    Wire md_v = d.read(mem_data);
+    Wire halt_v = d.read(halted_r);
+    std::vector<Wire> x;
+    for (int i = 0; i < 16; ++i)
+        x.push_back(d.read(xr[i]));
+
+    // Decode.
+    Wire op = ir_v.slice(0, 4);
+    Wire rd = ir_v.slice(4, 4);
+    Wire rs1 = ir_v.slice(8, 4);
+    Wire rs2 = ir_v.slice(12, 4);
+    Wire imm = ir_v.slice(16, 16).sext(32);
+    auto op_is = [&](Isa k) {
+        return eqConst(d, op, static_cast<uint64_t>(k));
+    };
+
+    Wire a = muxTree(d, rs1, x);
+    Wire b = muxTree(d, rs2, x);
+
+    Wire in_fetch = eqConst(d, st, 0);
+    Wire in_exec = eqConst(d, st, 1);
+    Wire in_mem = eqConst(d, st, 2);
+    Wire in_wb = eqConst(d, st, 3);
+
+    // FETCH: latch the instruction.
+    Wire rom_data = d.memRead(rom, pc_v.slice(0, rom_bits));
+    d.next(ir, d.mux(in_fetch, rom_data, ir_v));
+
+    // EXEC: latch the ALU result (also the memory address / link /
+    // LUI immediate, depending on the op).
+    Wire shamt = b.slice(0, 5);
+    Wire add_ai = a + imm;
+    Wire one = d.lit(32, 1);
+    Wire alu = matchCase(
+        d, op,
+        {
+            {static_cast<uint64_t>(Isa::Addi), add_ai},
+            {static_cast<uint64_t>(Isa::Add), a + b},
+            {static_cast<uint64_t>(Isa::Sub), a - b},
+            {static_cast<uint64_t>(Isa::And), a & b},
+            {static_cast<uint64_t>(Isa::Or), a | b},
+            {static_cast<uint64_t>(Isa::Xor), a ^ b},
+            {static_cast<uint64_t>(Isa::Sll), a << shamt},
+            {static_cast<uint64_t>(Isa::Srl), a >> shamt},
+            {static_cast<uint64_t>(Isa::Lw), add_ai},
+            {static_cast<uint64_t>(Isa::Sw), add_ai},
+            {static_cast<uint64_t>(Isa::Lui), imm.shl(16)},
+            {static_cast<uint64_t>(Isa::Jal), pc_v + one},
+        },
+        d.lit(32, 0));
+    d.next(alu_out, d.mux(in_exec, alu, alu_v));
+
+    // MEM: load data / store.
+    Wire ram_addr = alu_v.slice(0, ram_bits);
+    Wire ram_data = d.memRead(ram, ram_addr);
+    d.next(mem_data, d.mux(in_mem & op_is(Isa::Lw), ram_data, md_v));
+    d.memWrite(ram, ram_addr, b, in_mem & op_is(Isa::Sw));
+
+    // WB: register file write.
+    Wire writes_rd = op_is(Isa::Addi) | op_is(Isa::Add) |
+        op_is(Isa::Sub) | op_is(Isa::And) | op_is(Isa::Or) |
+        op_is(Isa::Xor) | op_is(Isa::Sll) | op_is(Isa::Srl) |
+        op_is(Isa::Lw) | op_is(Isa::Lui) | op_is(Isa::Jal);
+    Wire wb_val = d.mux(op_is(Isa::Lw), md_v, alu_v);
+    for (unsigned i = 0; i < 16; ++i) {
+        Wire en = in_wb & writes_rd & eqConst(d, rd, i);
+        d.next(xr[i], d.mux(en, wb_val, x[i]));
+    }
+
+    // WB: program counter update.
+    Wire taken = (op_is(Isa::Beq) & (a == b)) |
+        (op_is(Isa::Bne) & (a != b)) | op_is(Isa::Jal);
+    Wire pc_next = d.mux(op_is(Isa::Halt), pc_v,
+                         d.mux(taken, pc_v + imm, pc_v + one));
+    d.next(pc, d.mux(in_wb & ~halt_v, pc_next, pc_v));
+    d.next(halted_r, halt_v | (in_wb & op_is(Isa::Halt)));
+
+    // FSM always advances (wraps 3 -> 0).
+    d.next(state, st + d.lit(2, 1));
+
+    // Performance-monitoring unit (CSRs + BHT, see perf.hh).
+    Wire retire = in_wb & ~halt_v;
+    Wire is_branch = op_is(Isa::Beq) | op_is(Isa::Bne);
+    Wire resolve = retire & is_branch;
+    Wire br_taken = (op_is(Isa::Beq) & (a == b)) |
+        (op_is(Isa::Bne) & (a != b));
+    Wire mem_op = retire & (op_is(Isa::Lw) | op_is(Isa::Sw));
+    buildPerfUnit(d, px, retire, resolve, br_taken,
+                  pc_v.slice(0, 4), mem_op);
+
+    CoreIo io;
+    io.halted = halt_v;
+    io.pc = pc_v;
+    io.probe = x[1];
+    io.ram = ram;
+    return io;
+}
+
+Netlist
+makePico(const CoreConfig &cfg)
+{
+    Design d("pico");
+    CoreIo io = buildPicoCore(d, cfg);
+    d.output("halted", io.halted);
+    d.output("pc", io.pc);
+    d.output("probe", io.probe);
+    return d.finish();
+}
+
+CoreConfig
+defaultCoreConfig(const std::string &prefix)
+{
+    CoreConfig cfg;
+    cfg.prefix = prefix;
+    cfg.romDepth = 64;
+    cfg.ramDepth = 64;
+    cfg.program = programChurn();
+    return cfg;
+}
+
+} // namespace parendi::designs

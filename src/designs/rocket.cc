@@ -1,0 +1,254 @@
+/**
+ * @file
+ * The "rocket" core: a 5-stage in-order pipeline (IF/ID/EX/MEM/WB)
+ * over the P16 ISA with ID-time forwarding from EX/MEM and MEM/WB,
+ * hazard stalls (ALU-use: 1 bubble, load-use: up to 2), and EX-resolved
+ * branches with a 2-cycle flush. The optional multiplier datapath
+ * models the "large" core flavour of the lrN meshes.
+ */
+
+#include "designs/cores.hh"
+
+#include "designs/common.hh"
+#include "designs/isa.hh"
+#include "designs/perf.hh"
+
+namespace parendi::designs {
+
+using namespace rtl;
+
+namespace {
+
+std::vector<BitVec>
+romImage(const CoreConfig &cfg)
+{
+    if (cfg.program.size() > cfg.romDepth)
+        fatal("core %s: program (%zu words) exceeds ROM depth %u",
+              cfg.prefix.c_str(), cfg.program.size(), cfg.romDepth);
+    std::vector<BitVec> img;
+    img.reserve(cfg.romDepth);
+    for (uint32_t w : cfg.program)
+        img.emplace_back(32, w);
+    while (img.size() < cfg.romDepth)
+        img.emplace_back(32, asmHalt());
+    return img;
+}
+
+struct Decode
+{
+    Wire op, rd, rs1, rs2, imm;
+    Wire writesRd, isLoad, isStore;
+};
+
+Decode
+decode(Design &d, Wire ir)
+{
+    Decode dec;
+    dec.op = ir.slice(0, 4);
+    dec.rd = ir.slice(4, 4);
+    dec.rs1 = ir.slice(8, 4);
+    dec.rs2 = ir.slice(12, 4);
+    dec.imm = ir.slice(16, 16).sext(32);
+    auto is = [&](Isa k) {
+        return eqConst(d, dec.op, static_cast<uint64_t>(k));
+    };
+    dec.writesRd = is(Isa::Addi) | is(Isa::Add) | is(Isa::Sub) |
+        is(Isa::And) | is(Isa::Or) | is(Isa::Xor) | is(Isa::Sll) |
+        is(Isa::Srl) | is(Isa::Lw) | is(Isa::Lui) | is(Isa::Jal);
+    dec.isLoad = is(Isa::Lw);
+    dec.isStore = is(Isa::Sw);
+    return dec;
+}
+
+} // namespace
+
+CoreIo
+buildRocketCore(Design &d, const CoreConfig &cfg, bool with_mul)
+{
+    const std::string &px = cfg.prefix;
+    uint32_t rom_bits = log2Exact(cfg.romDepth);
+    uint32_t ram_bits = log2Exact(cfg.ramDepth);
+
+    MemId rom = d.memory(px + "rom", 32, cfg.romDepth);
+    d.netlist().initMemory(rom, romImage(cfg));
+    MemId ram = d.memory(px + "ram", 32, cfg.ramDepth);
+
+    // Pipeline state.
+    RegId pc = d.reg(px + "pc", 32);
+    RegId fd_v = d.reg(px + "fd_v", 1);
+    RegId fd_ir = d.reg(px + "fd_ir", 32);
+    RegId fd_pc = d.reg(px + "fd_pc", 32);
+    RegId dx_v = d.reg(px + "dx_v", 1);
+    RegId dx_ir = d.reg(px + "dx_ir", 32);
+    RegId dx_pc = d.reg(px + "dx_pc", 32);
+    RegId dx_a = d.reg(px + "dx_a", 32);
+    RegId dx_b = d.reg(px + "dx_b", 32);
+    RegId xm_v = d.reg(px + "xm_v", 1);
+    RegId xm_ir = d.reg(px + "xm_ir", 32);
+    RegId xm_alu = d.reg(px + "xm_alu", 32);
+    RegId xm_store = d.reg(px + "xm_store", 32);
+    RegId mw_v = d.reg(px + "mw_v", 1);
+    RegId mw_ir = d.reg(px + "mw_ir", 32);
+    RegId mw_val = d.reg(px + "mw_val", 32);
+    RegId halted_r = d.reg(px + "halted", 1);
+    std::vector<RegId> xr;
+    for (int i = 0; i < 16; ++i)
+        xr.push_back(d.reg(px + "x" + std::to_string(i), 32));
+
+    Wire pc_v = d.read(pc);
+    Wire fdv = d.read(fd_v), fdi = d.read(fd_ir), fdp = d.read(fd_pc);
+    Wire dxv = d.read(dx_v), dxi = d.read(dx_ir), dxp = d.read(dx_pc);
+    Wire dxa = d.read(dx_a), dxb = d.read(dx_b);
+    Wire xmv = d.read(xm_v), xmi = d.read(xm_ir), xma = d.read(xm_alu);
+    Wire xms = d.read(xm_store);
+    Wire mwv = d.read(mw_v), mwi = d.read(mw_ir), mwl = d.read(mw_val);
+    Wire halt_v = d.read(halted_r);
+    std::vector<Wire> x;
+    for (int i = 0; i < 16; ++i)
+        x.push_back(d.read(xr[i]));
+
+    Decode id = decode(d, fdi);   // instruction in ID
+    Decode ex = decode(d, dxi);   // instruction in EX
+    Decode mm = decode(d, xmi);   // instruction in MEM
+    Decode wb = decode(d, mwi);   // instruction in WB
+
+    Wire one = d.lit(32, 1);
+    auto ex_is = [&](Isa k) {
+        return eqConst(d, ex.op, static_cast<uint64_t>(k));
+    };
+
+    // ---- ID: register read with forwarding ---------------------------
+    auto forwarded = [&](Wire rs) {
+        Wire raw = muxTree(d, rs, x);
+        Wire from_mw = mwv & wb.writesRd & (wb.rd == rs);
+        Wire v = d.mux(from_mw, mwl, raw);
+        Wire from_xm = xmv & mm.writesRd & ~mm.isLoad & (mm.rd == rs);
+        return d.mux(from_xm, xma, v);
+    };
+    Wire id_a = forwarded(id.rs1);
+    Wire id_b = forwarded(id.rs2);
+
+    // Hazards: producer in EX (any), or load in MEM.
+    Wire dep_dx = dxv & ex.writesRd &
+        ((ex.rd == id.rs1) | (ex.rd == id.rs2));
+    Wire dep_xm_load = xmv & mm.isLoad &
+        ((mm.rd == id.rs1) | (mm.rd == id.rs2));
+    Wire stall = fdv & (dep_dx | dep_xm_load);
+
+    // ---- EX: ALU, branch resolution, halt -----------------------------
+    Wire shamt = dxb.slice(0, 5);
+    Wire add_ai = dxa + ex.imm;
+    Wire alu = matchCase(
+        d, ex.op,
+        {
+            {static_cast<uint64_t>(Isa::Addi), add_ai},
+            {static_cast<uint64_t>(Isa::Add), dxa + dxb},
+            {static_cast<uint64_t>(Isa::Sub), dxa - dxb},
+            {static_cast<uint64_t>(Isa::And), dxa & dxb},
+            {static_cast<uint64_t>(Isa::Or), dxa | dxb},
+            {static_cast<uint64_t>(Isa::Xor), dxa ^ dxb},
+            {static_cast<uint64_t>(Isa::Sll), dxa << shamt},
+            {static_cast<uint64_t>(Isa::Srl), dxa >> shamt},
+            {static_cast<uint64_t>(Isa::Lw), add_ai},
+            {static_cast<uint64_t>(Isa::Sw), add_ai},
+            {static_cast<uint64_t>(Isa::Lui), ex.imm.shl(16)},
+            {static_cast<uint64_t>(Isa::Jal), dxp + one},
+        },
+        d.lit(32, 0));
+
+    Wire taken = dxv &
+        ((ex_is(Isa::Beq) & (dxa == dxb)) |
+         (ex_is(Isa::Bne) & (dxa != dxb)) | ex_is(Isa::Jal));
+    Wire target = dxp + ex.imm;
+    Wire halt_now = dxv & ex_is(Isa::Halt);
+    Wire redirect = taken | halt_now;
+
+    // ---- Next-state: front end ----------------------------------------
+    // Priority: already halted > halting now (snap pc to the halt
+    // instruction, matching the ISA model) > taken branch > stall.
+    Wire frozen = halt_v | halt_now;
+    d.next(pc,
+           d.mux(halt_v, pc_v,
+                 d.mux(halt_now, dxp,
+                       d.mux(taken, target,
+                             d.mux(stall, pc_v, pc_v + one)))));
+
+    Wire rom_data = d.memRead(rom, pc_v.slice(0, rom_bits));
+    Wire fetch_v = ~frozen & ~redirect;
+    d.next(fd_v, d.mux(stall & ~redirect & ~frozen, fdv, fetch_v));
+    d.next(fd_ir, d.mux(stall | redirect | frozen, fdi, rom_data));
+    d.next(fd_pc, d.mux(stall | redirect | frozen, fdp, pc_v));
+
+    // ---- Next-state: ID/EX ---------------------------------------------
+    Wire issue = fdv & ~stall & ~redirect;
+    d.next(dx_v, issue);
+    d.next(dx_ir, d.mux(issue, fdi, dxi));
+    d.next(dx_pc, d.mux(issue, fdp, dxp));
+    d.next(dx_a, d.mux(issue, id_a, dxa));
+    d.next(dx_b, d.mux(issue, id_b, dxb));
+
+    // ---- Next-state: EX/MEM ----------------------------------------------
+    d.next(xm_v, dxv & ~halt_now);
+    d.next(xm_ir, d.mux(dxv, dxi, xmi));
+    d.next(xm_alu, d.mux(dxv, alu, xma));
+    d.next(xm_store, d.mux(dxv, dxb, xms));
+
+    // ---- MEM --------------------------------------------------------------
+    Wire ram_addr = xma.slice(0, ram_bits);
+    Wire ram_data = d.memRead(ram, ram_addr);
+    d.memWrite(ram, ram_addr, xms, xmv & mm.isStore);
+    d.next(mw_v, xmv);
+    d.next(mw_ir, d.mux(xmv, xmi, mwi));
+    d.next(mw_val, d.mux(xmv, d.mux(mm.isLoad, ram_data, xma), mwl));
+
+    // ---- WB -----------------------------------------------------------------
+    for (unsigned i = 0; i < 16; ++i) {
+        Wire en = mwv & wb.writesRd & eqConst(d, wb.rd, i);
+        d.next(xr[i], d.mux(en, mwl, x[i]));
+    }
+
+    d.next(halted_r, halt_v | halt_now);
+
+    // Performance-monitoring unit: retire at WB, branches resolve in
+    // EX, stalls counted as the event.
+    Wire retire = mwv;
+    Wire is_branch = ex_is(Isa::Beq) | ex_is(Isa::Bne);
+    Wire resolve = dxv & is_branch;
+    Wire br_taken = (ex_is(Isa::Beq) & (dxa == dxb)) |
+        (ex_is(Isa::Bne) & (dxa != dxb));
+    buildPerfUnit(d, px, retire, resolve, br_taken, dxp.slice(0, 4),
+                  stall);
+
+    // ---- Optional multiplier datapath (the "large" flavour) -----------
+    if (with_mul) {
+        RegId m1 = d.reg(px + "mul_s1", 64);
+        RegId m2 = d.reg(px + "mul_s2", 64);
+        RegId m3 = d.reg(px + "mul_s3", 64);
+        RegId macc = d.reg(px + "mul_acc", 64);
+        Wire prod = dxa.zext(64) * dxb.zext(64);
+        d.next(m1, prod);
+        d.next(m2, d.read(m1) + d.lit(64, 0x9e3779b9));
+        d.next(m3, d.read(m2) ^ (d.read(m2) >> d.lit(64, 29)));
+        d.next(macc, d.read(macc) + d.read(m3));
+    }
+
+    CoreIo io;
+    io.halted = halt_v;
+    io.pc = pc_v;
+    io.probe = x[1];
+    io.ram = ram;
+    return io;
+}
+
+Netlist
+makeRocket(const CoreConfig &cfg, bool with_mul)
+{
+    Design d(with_mul ? "rocket_mul" : "rocket");
+    CoreIo io = buildRocketCore(d, cfg, with_mul);
+    d.output("halted", io.halted);
+    d.output("pc", io.pc);
+    d.output("probe", io.probe);
+    return d.finish();
+}
+
+} // namespace parendi::designs

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Output-stationary GEMM accelerator (stand-in for the VTA ML
+ * accelerator of paper §6). A rows x cols grid of MAC processing
+ * elements holds a weight tile in registers; activations stream from
+ * an SRAM down each row; every PE accumulates a[r] * w[r][c] per
+ * cycle. A control FSM cycles the activation address and periodically
+ * drains the accumulators into a result SRAM (exercising the
+ * differential array exchange path).
+ */
+
+#include "designs/designs.hh"
+
+#include "designs/common.hh"
+#include "util/rng.hh"
+
+namespace parendi::designs {
+
+using namespace rtl;
+
+Netlist
+makeVta(const VtaConfig &cfg)
+{
+    if (cfg.rows == 0 || cfg.cols == 0 || cfg.bufDepth < 2 ||
+        (cfg.bufDepth & (cfg.bufDepth - 1)))
+        fatal("makeVta: bad configuration");
+    Design d("vta" + std::to_string(cfg.rows) + "x" +
+             std::to_string(cfg.cols));
+    uint32_t abits = log2Exact(cfg.bufDepth);
+    Rng rng(0x7a7a5eed);
+
+    // Activation SRAM, one per row, with a deterministic image.
+    std::vector<MemId> abuf(cfg.rows);
+    for (uint32_t r = 0; r < cfg.rows; ++r) {
+        abuf[r] = d.memory("abuf" + std::to_string(r), 16,
+                           cfg.bufDepth);
+        std::vector<BitVec> img;
+        for (uint32_t i = 0; i < cfg.bufDepth; ++i)
+            img.emplace_back(16, rng.below(1 << 16));
+        d.netlist().initMemory(abuf[r], img);
+    }
+    // Result SRAM: drained accumulator tiles.
+    MemId rbuf = d.memory("rbuf", 32, cfg.bufDepth);
+
+    // Control FSM: address counter + drain column pointer.
+    RegId addr = d.reg("addr", abits, 0);
+    Wire addr_v = d.read(addr);
+    Wire wrap = eqConst(d, addr_v, cfg.bufDepth - 1);
+    d.next(addr, addr_v + d.lit(abits, 1));
+
+    RegId dcol = d.reg("drain_col", 16, 0);
+    Wire dcol_v = d.read(dcol);
+    d.next(dcol, d.mux(wrap,
+                       d.mux(eqConst(d, dcol_v, cfg.cols - 1),
+                             d.lit(16, 0), dcol_v + d.lit(16, 1)),
+                       dcol_v));
+
+    // Row activation registers (streamed from SRAM).
+    std::vector<Wire> act;
+    for (uint32_t r = 0; r < cfg.rows; ++r) {
+        RegId a = d.reg("act" + std::to_string(r), 16, 0);
+        d.next(a, d.memRead(abuf[r], addr_v));
+        act.push_back(d.read(a));
+    }
+
+    // The PE grid.
+    std::vector<std::vector<Wire>> acc(cfg.rows);
+    for (uint32_t r = 0; r < cfg.rows; ++r) {
+        for (uint32_t c = 0; c < cfg.cols; ++c) {
+            std::string px =
+                "pe" + std::to_string(r) + "_" + std::to_string(c);
+            // Weight-stationary register (fixed pseudo-random tile).
+            RegId w = d.reg(px + "_w", 16, rng.below(1 << 16));
+            d.next(w, d.read(w));
+            RegId a = d.reg(px + "_acc", 32, 0);
+            Wire prod = act[r].zext(32) * d.read(w).zext(32);
+            // Clear on tile wrap, else accumulate.
+            Wire summed = d.read(a) + prod;
+            d.next(a, d.mux(wrap, d.lit(32, 0), summed));
+            acc[r].push_back(d.read(a));
+        }
+    }
+
+    // Drain: on wrap, one column's accumulator tree is stored.
+    std::vector<Wire> col_sums;
+    for (uint32_t c = 0; c < cfg.cols; ++c) {
+        std::vector<Wire> col;
+        for (uint32_t r = 0; r < cfg.rows; ++r)
+            col.push_back(acc[r][c]);
+        col_sums.push_back(
+            reduceTree(col, [](Wire a, Wire b) { return a + b; }));
+    }
+    // Select the drain column (pad to a power of two for the tree).
+    std::vector<Wire> padded = col_sums;
+    while (padded.size() & (padded.size() - 1))
+        padded.push_back(padded.back());
+    Wire drain_val = muxTree(d, dcol_v, padded);
+    d.memWrite(rbuf, dcol_v.slice(0, abits), drain_val, wrap);
+
+    d.output("drain", drain_val);
+    d.output("addr", addr_v.zext(32));
+    return d.finish();
+}
+
+} // namespace parendi::designs

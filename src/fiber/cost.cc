@@ -1,0 +1,50 @@
+#include "fiber/cost.hh"
+
+namespace parendi::fiber {
+
+using namespace rtl;
+
+NodeCost
+CostModel::nodeCost(const Netlist &nl, NodeId id) const
+{
+    const Node &n = nl.node(id);
+    uint32_t words = wordsFor(n.width);
+    NodeCost c;
+    switch (n.op) {
+      case Op::Const:
+      case Op::Input:
+      case Op::RegRead:
+        // Pure slots: no evaluation cost.
+        return c;
+      case Op::RegNext:
+      case Op::Output:
+        // A register/output commit: one store per word.
+        c.ipuCycles = 2 * words;
+        c.x86Instrs = words;
+        c.codeBytes = words * bytesPerInstr;
+        return c;
+      case Op::MemRead:
+      case Op::MemWrite:
+        c.ipuCycles = ipuNodeOverhead + ipuMemAccess + ipuPerWord * words;
+        c.x86Instrs = x86NodeBase + 2 + x86PerWord * (words - 1);
+        break;
+      case Op::Mul:
+        c.ipuCycles = ipuNodeOverhead +
+            (ipuPerWord + ipuMulPerWord) * words;
+        c.x86Instrs = x86NodeBase + 1 + (x86PerWord + 2) * (words - 1);
+        break;
+      case Op::Mux:
+      case Op::Concat:
+        c.ipuCycles = ipuNodeOverhead + ipuPerWord * words + 2;
+        c.x86Instrs = x86NodeBase + x86PerWord * (words - 1) + 1;
+        break;
+      default:
+        c.ipuCycles = ipuNodeOverhead + ipuPerWord * words;
+        c.x86Instrs = x86NodeBase + x86PerWord * (words - 1);
+        break;
+    }
+    c.codeBytes = (c.ipuCycles / 2) * bytesPerInstr;
+    return c;
+}
+
+} // namespace parendi::fiber

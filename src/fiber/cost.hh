@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Per-node execution cost model. Every data-dependence-graph node is
+ * assigned a cost in IPU tile cycles and in x86 instructions; fibers and
+ * processes aggregate these (paper §4.3: t_i per fiber, submodular τ for
+ * processes).
+ *
+ * Calibration: an IPU tile is a simple single-issue core whose workers
+ * time-share the pipeline, while a modern x86 core is wide and
+ * superscalar. The constants below are chosen so the modeled
+ * single-core performance gap between one IPU tile and one x86 thread
+ * is in the ~40-90x range the paper measures in §4.3 (84x for pico,
+ * 37x for bitcoin), with the exact value depending on the op mix.
+ */
+
+#ifndef PARENDI_FIBER_COST_HH
+#define PARENDI_FIBER_COST_HH
+
+#include <cstdint>
+
+#include "rtl/netlist.hh"
+
+namespace parendi::fiber {
+
+/** Cost of evaluating one node once. */
+struct NodeCost
+{
+    uint32_t ipuCycles = 0;   ///< IPU tile clock cycles (incl. load/store)
+    uint32_t x86Instrs = 0;   ///< x86 instruction count
+    uint32_t codeBytes = 0;   ///< generated code bytes on a tile
+};
+
+/** Tunable cost-model parameters. Defaults are the calibrated values. */
+struct CostModel
+{
+    /// Fixed per-node overhead on a tile: operand loads + result store
+    /// on a load/store-architecture, single-issue core.
+    uint32_t ipuNodeOverhead = 10;
+    /// Additional tile cycles per 64-bit word of the result.
+    uint32_t ipuPerWord = 4;
+    /// Extra tile cycles per word for multiplies.
+    uint32_t ipuMulPerWord = 12;
+    /// Extra tile cycles for an in-tile array access (address compute).
+    uint32_t ipuMemAccess = 8;
+
+    /// x86 instructions per node (fused compare/branch-free codegen).
+    uint32_t x86NodeBase = 2;
+    /// Additional x86 instructions per extra word.
+    uint32_t x86PerWord = 2;
+
+    /// Code bytes per generated instruction (x86/IPU averaged).
+    uint32_t bytesPerInstr = 8;
+
+    /** Cost of node @p id in netlist @p nl. Sources are free (they are
+     *  slots, not code); sinks cost a store. */
+    NodeCost nodeCost(const rtl::Netlist &nl, rtl::NodeId id) const;
+};
+
+} // namespace parendi::fiber
+
+#endif // PARENDI_FIBER_COST_HH

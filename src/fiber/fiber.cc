@@ -1,0 +1,132 @@
+#include "fiber/fiber.hh"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "rtl/analysis.hh"
+#include "util/logging.hh"
+
+namespace parendi::fiber {
+
+using namespace rtl;
+
+FiberSet::FiberSet(const Netlist &nl, const CostModel &cm)
+    : nl_(&nl), cm_(cm)
+{
+    // One fiber per sink, in sink creation order.
+    const std::vector<NodeId> &sinks = nl.sinks();
+    fibers_.reserve(sinks.size());
+    std::vector<uint32_t> uses(nl.numNodes(), 0);
+    for (NodeId sink : sinks) {
+        Fiber f;
+        f.sink = sink;
+        const Node &n = nl.node(sink);
+        switch (n.op) {
+          case Op::RegNext:
+            f.kind = SinkKind::Register;
+            break;
+          case Op::MemWrite:
+            f.kind = SinkKind::MemoryWrite;
+            break;
+          case Op::Output:
+            f.kind = SinkKind::PortOutput;
+            break;
+          default:
+            panic("sink node %u has non-sink op", sink);
+        }
+        f.target = n.aux;
+        f.cone = backwardCone(nl, sink);
+        for (NodeId id : f.cone)
+            ++uses[id];
+        fibers_.push_back(std::move(f));
+    }
+
+    // Shared universe: nodes with evaluation cost used by >= 2 fibers.
+    std::vector<uint32_t> sharedIndex(nl.numNodes(), UINT32_MAX);
+    for (NodeId id = 0; id < nl.numNodes(); ++id) {
+        if (uses[id] < 2)
+            continue;
+        NodeCost c = cm.nodeCost(nl, id);
+        uint64_t data = uint64_t{wordsFor(nl.widthOf(id))} * 8;
+        if (c.ipuCycles == 0 && data == 0)
+            continue;
+        sharedIndex[id] = static_cast<uint32_t>(sharedNodes_.size());
+        sharedNodes_.push_back(id);
+        sharedIpu_.push_back(c.ipuCycles);
+        sharedX86_.push_back(c.x86Instrs);
+        sharedCode_.push_back(c.codeBytes);
+        sharedData_.push_back(data);
+    }
+
+    // Fill per-fiber summaries.
+    for (Fiber &f : fibers_) {
+        f.shared = DenseBitset(sharedNodes_.size());
+        for (NodeId id : f.cone) {
+            const Node &n = nl.node(id);
+            NodeCost c = cm.nodeCost(nl, id);
+            uint64_t data = uint64_t{wordsFor(n.width)} * 8;
+            f.totalIpu += c.ipuCycles;
+            f.totalX86 += c.x86Instrs;
+            if (sharedIndex[id] != UINT32_MAX) {
+                f.shared.set(sharedIndex[id]);
+            } else {
+                f.exclIpu += c.ipuCycles;
+                f.exclX86 += c.x86Instrs;
+                f.exclCode += c.codeBytes;
+                f.exclData += data;
+            }
+            switch (n.op) {
+              case Op::RegRead:
+                f.regsRead.push_back(n.aux);
+                break;
+              case Op::MemRead:
+              case Op::MemWrite:
+                f.memsUsed.push_back(n.aux);
+                break;
+              default:
+                break;
+            }
+        }
+        std::sort(f.regsRead.begin(), f.regsRead.end());
+        f.regsRead.erase(
+            std::unique(f.regsRead.begin(), f.regsRead.end()),
+            f.regsRead.end());
+        std::sort(f.memsUsed.begin(), f.memsUsed.end());
+        f.memsUsed.erase(
+            std::unique(f.memsUsed.begin(), f.memsUsed.end()),
+            f.memsUsed.end());
+    }
+
+    // Register writer map.
+    regWriter_.assign(nl.numRegisters(), UINT32_MAX);
+    for (uint32_t i = 0; i < fibers_.size(); ++i)
+        if (fibers_[i].kind == SinkKind::Register)
+            regWriter_[fibers_[i].target] = i;
+}
+
+uint32_t
+FiberSet::regBytes(RegId r) const
+{
+    uint32_t width = nl_->reg(r).width;
+    return ((width + 31) / 32) * 4;
+}
+
+uint64_t
+FiberSet::sumTotalIpu() const
+{
+    uint64_t total = 0;
+    for (const Fiber &f : fibers_)
+        total += f.totalIpu;
+    return total;
+}
+
+uint64_t
+FiberSet::maxFiberIpu() const
+{
+    uint64_t best = 0;
+    for (const Fiber &f : fibers_)
+        best = std::max(best, f.totalIpu);
+    return best;
+}
+
+} // namespace parendi::fiber

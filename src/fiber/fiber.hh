@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Fiber extraction. A fiber is "the smallest BSP process that uniquely
+ * computes the new value of a single register" (paper §3.1): the sink
+ * node plus its backward cone of combinational logic. Fibers may overlap
+ * (nodes feeding several sinks); the overlap is represented with a dense
+ * bitset over the universe of *shared* nodes so the submodular process
+ * cost τ(f_i ∪ f_j) = t_i + t_j − τ(f_i ∩ f_j) is cheap to evaluate
+ * during partitioning (paper §5.1).
+ */
+
+#ifndef PARENDI_FIBER_FIBER_HH
+#define PARENDI_FIBER_FIBER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "fiber/cost.hh"
+#include "rtl/netlist.hh"
+#include "util/bitset.hh"
+
+namespace parendi::fiber {
+
+/** What kind of sink a fiber computes. */
+enum class SinkKind : uint8_t { Register, MemoryWrite, PortOutput };
+
+/** One fiber: a sink and its cone, with cost/overlap summaries. */
+struct Fiber
+{
+    rtl::NodeId sink;
+    SinkKind kind;
+    uint32_t target;            ///< RegId / MemId / PortId of the sink
+
+    std::vector<rtl::NodeId> cone;  ///< all cone nodes, ascending
+
+    uint64_t totalIpu = 0;      ///< IPU cycles to execute the whole cone
+    uint64_t totalX86 = 0;      ///< x86 instructions for the whole cone
+
+    uint64_t exclIpu = 0;       ///< cost over nodes used by only this fiber
+    uint64_t exclX86 = 0;
+    uint64_t exclCode = 0;      ///< code bytes of exclusive nodes
+    uint64_t exclData = 0;      ///< slot bytes of exclusive nodes
+
+    DenseBitset shared;         ///< membership in the shared-node universe
+
+    std::vector<rtl::RegId> regsRead;   ///< registers the cone reads
+    std::vector<rtl::MemId> memsUsed;   ///< arrays referenced (read/write)
+};
+
+/**
+ * All fibers of a netlist plus the shared-node universe and its weight
+ * vectors. Weight lookups are by shared-universe index.
+ */
+class FiberSet
+{
+  public:
+    FiberSet(const rtl::Netlist &nl, const CostModel &cm = CostModel{});
+
+    const rtl::Netlist &netlist() const { return *nl_; }
+    const CostModel &costModel() const { return cm_; }
+
+    size_t size() const { return fibers_.size(); }
+    const Fiber &operator[](size_t i) const { return fibers_[i]; }
+    const std::vector<Fiber> &fibers() const { return fibers_; }
+
+    /** Number of nodes appearing in two or more fibers. */
+    size_t numShared() const { return sharedNodes_.size(); }
+    rtl::NodeId sharedNode(size_t i) const { return sharedNodes_[i]; }
+
+    const std::vector<uint64_t> &sharedIpu() const { return sharedIpu_; }
+    const std::vector<uint64_t> &sharedX86() const { return sharedX86_; }
+    const std::vector<uint64_t> &sharedCode() const { return sharedCode_; }
+    const std::vector<uint64_t> &sharedData() const { return sharedData_; }
+
+    /** Fiber index computing register @p r (its RegNext fiber). */
+    uint32_t writerOfReg(rtl::RegId r) const { return regWriter_[r]; }
+
+    /** Exchange payload bytes of one register value (4-byte granules,
+     *  matching the IPU exchange word size). */
+    uint32_t regBytes(rtl::RegId r) const;
+
+    /** Total IPU cycles if every fiber ran once with no dedup. */
+    uint64_t sumTotalIpu() const;
+    /** The straggler bound max_i t_i (paper Fig. 6a). */
+    uint64_t maxFiberIpu() const;
+
+  private:
+    const rtl::Netlist *nl_;
+    CostModel cm_;
+    std::vector<Fiber> fibers_;
+    std::vector<rtl::NodeId> sharedNodes_;
+    std::vector<uint64_t> sharedIpu_;
+    std::vector<uint64_t> sharedX86_;
+    std::vector<uint64_t> sharedCode_;
+    std::vector<uint64_t> sharedData_;
+    std::vector<uint32_t> regWriter_;
+};
+
+} // namespace parendi::fiber
+
+#endif // PARENDI_FIBER_FIBER_HH

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * PNL (Parendi NetList) — a simple textual serialization of the RTL IR,
+ * standing in for the Verilog frontend of the real Parendi (which forks
+ * Verilator's parser). PNL lets users bring their own designs to the
+ * compiler without using the C++ builder API.
+ *
+ * Grammar (line oriented; '#' starts a comment):
+ *
+ *   pnl 1
+ *   design <name>
+ *   reg <name> <width> <init-hex>
+ *   mem <name> <width> <depth>
+ *   meminit <mem> <index> <value-hex>
+ *   %<label> = const <width> <value-hex>
+ *   %<label> = input <name> <width>
+ *   %<label> = regread <reg>
+ *   %<label> = memread <mem> %<addr>
+ *   %<label> = <unop> %<a>                 # not neg redand redor redxor
+ *   %<label> = <binop> %<a> %<b>           # and or xor add sub mul shl
+ *                                          # shr sra eq ne ult ule slt sle
+ *   %<label> = mux %<sel> %<then> %<else>
+ *   %<label> = concat %<hi> %<lo>
+ *   %<label> = slice %<a> <lsb> <width>
+ *   %<label> = zext %<a> <width>
+ *   %<label> = sext %<a> <width>
+ *   regnext <reg> %<value>
+ *   memwrite <mem> %<addr> %<data> %<en>
+ *   output <name> %<value>
+ */
+
+#ifndef PARENDI_FRONTEND_PNL_HH
+#define PARENDI_FRONTEND_PNL_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "rtl/netlist.hh"
+
+namespace parendi::frontend {
+
+/** Parse PNL text into a netlist. Calls fatal() on malformed input. */
+rtl::Netlist parsePnl(const std::string &text);
+
+/** Parse a PNL file from disk. */
+rtl::Netlist parsePnlFile(const std::string &path);
+
+/** Serialize a netlist to canonical PNL text. */
+std::string writePnl(const rtl::Netlist &nl);
+
+/** Serialize a netlist to a file. */
+void writePnlFile(const rtl::Netlist &nl, const std::string &path);
+
+} // namespace parendi::frontend
+
+#endif // PARENDI_FRONTEND_PNL_HH

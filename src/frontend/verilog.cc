@@ -1,0 +1,1448 @@
+#include "frontend/verilog.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "rtl/dsl.hh"
+#include "util/logging.hh"
+
+namespace parendi::frontend {
+
+using namespace rtl;
+
+namespace {
+
+// ---- Lexer ---------------------------------------------------------------
+
+enum class Tok : uint8_t { Id, Number, Punct, End };
+
+struct Token
+{
+    Tok kind = Tok::End;
+    std::string text;       ///< identifier / punctuation spelling
+    uint64_t value = 0;     ///< numeric value
+    uint16_t width = 32;    ///< literal width
+    int line = 0;
+};
+
+class Lexer
+{
+  public:
+    explicit Lexer(const std::string &text)
+    {
+        tokenize(text);
+    }
+
+    const Token &peek(size_t ahead = 0) const
+    {
+        size_t i = pos + ahead;
+        return i < toks.size() ? toks[i] : toks.back();
+    }
+
+    Token
+    next()
+    {
+        Token t = peek();
+        if (pos < toks.size())
+            ++pos;
+        return t;
+    }
+
+    [[noreturn]] void
+    err(const std::string &msg) const
+    {
+        fatal("verilog line %d: %s (near '%s')", peek().line,
+              msg.c_str(), peek().text.c_str());
+    }
+
+    bool
+    eat(const std::string &punct_or_kw)
+    {
+        const Token &t = peek();
+        if ((t.kind == Tok::Punct || t.kind == Tok::Id) &&
+            t.text == punct_or_kw) {
+            next();
+            return true;
+        }
+        return false;
+    }
+
+    void
+    expect(const std::string &s)
+    {
+        if (!eat(s))
+            err("expected '" + s + "'");
+    }
+
+    std::string
+    expectId()
+    {
+        if (peek().kind != Tok::Id)
+            err("expected identifier");
+        return next().text;
+    }
+
+  private:
+    void
+    tokenize(const std::string &text)
+    {
+        int line = 1;
+        size_t i = 0;
+        auto push = [&](Tok k, std::string s, uint64_t v = 0,
+                        uint16_t w = 32) {
+            toks.push_back({k, std::move(s), v, w, line});
+        };
+        while (i < text.size()) {
+            char c = text[i];
+            if (c == '\n') {
+                ++line;
+                ++i;
+                continue;
+            }
+            if (isspace(static_cast<unsigned char>(c))) {
+                ++i;
+                continue;
+            }
+            if (c == '/' && i + 1 < text.size() &&
+                text[i + 1] == '/') {
+                while (i < text.size() && text[i] != '\n')
+                    ++i;
+                continue;
+            }
+            if (c == '/' && i + 1 < text.size() &&
+                text[i + 1] == '*') {
+                i += 2;
+                while (i + 1 < text.size() &&
+                       !(text[i] == '*' && text[i + 1] == '/')) {
+                    if (text[i] == '\n')
+                        ++line;
+                    ++i;
+                }
+                i += 2;
+                continue;
+            }
+            if (isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+                c == '$') {
+                size_t start = i;
+                while (i < text.size() &&
+                       (isalnum(static_cast<unsigned char>(text[i])) ||
+                        text[i] == '_' || text[i] == '$'))
+                    ++i;
+                push(Tok::Id, text.substr(start, i - start));
+                continue;
+            }
+            if (isdigit(static_cast<unsigned char>(c)) || c == '\'') {
+                // [width] ' base digits   |   plain decimal
+                uint64_t width = 32;
+                bool sized = false;
+                if (isdigit(static_cast<unsigned char>(c))) {
+                    size_t start = i;
+                    while (i < text.size() &&
+                           (isdigit(static_cast<unsigned char>(
+                                text[i])) ||
+                            text[i] == '_'))
+                        ++i;
+                    std::string digits =
+                        text.substr(start, i - start);
+                    digits.erase(
+                        std::remove(digits.begin(), digits.end(), '_'),
+                        digits.end());
+                    uint64_t v = std::stoull(digits);
+                    if (i < text.size() && text[i] == '\'') {
+                        width = v;
+                        sized = true;
+                    } else {
+                        push(Tok::Number, digits, v, 32);
+                        continue;
+                    }
+                }
+                if (i >= text.size() || text[i] != '\'')
+                    fatal("verilog line %d: malformed literal", line);
+                ++i; // consume '
+                if (i >= text.size())
+                    fatal("verilog line %d: malformed literal", line);
+                char base = static_cast<char>(
+                    tolower(static_cast<unsigned char>(text[i++])));
+                size_t start = i;
+                while (i < text.size() &&
+                       (isalnum(static_cast<unsigned char>(text[i])) ||
+                        text[i] == '_'))
+                    ++i;
+                std::string digits = text.substr(start, i - start);
+                digits.erase(
+                    std::remove(digits.begin(), digits.end(), '_'),
+                    digits.end());
+                if (digits.empty())
+                    fatal("verilog line %d: empty literal", line);
+                int radix = base == 'h' ? 16 : base == 'b' ? 2
+                    : base == 'd' ? 10 : base == 'o' ? 8 : 0;
+                if (!radix)
+                    fatal("verilog line %d: bad literal base '%c'",
+                          line, base);
+                uint64_t v = std::stoull(digits, nullptr, radix);
+                if (!sized)
+                    width = 32;
+                if (width == 0 || width > 64)
+                    fatal("verilog line %d: literal width %llu "
+                          "unsupported (1-64)", line,
+                          static_cast<unsigned long long>(width));
+                push(Tok::Number, digits, v,
+                     static_cast<uint16_t>(width));
+                continue;
+            }
+            // Punctuation (longest first).
+            static const char *multi[] = {">>>", "<<", ">>", "<=",
+                                          ">=", "==", "!=", "&&",
+                                          "||"};
+            bool matched = false;
+            for (const char *m : multi) {
+                size_t len = strlen(m);
+                if (text.compare(i, len, m) == 0) {
+                    push(Tok::Punct, m);
+                    i += len;
+                    matched = true;
+                    break;
+                }
+            }
+            if (matched)
+                continue;
+            push(Tok::Punct, std::string(1, c));
+            ++i;
+        }
+        push(Tok::End, "<eof>");
+    }
+
+    std::vector<Token> toks;
+    size_t pos = 0;
+};
+
+// ---- AST -------------------------------------------------------------------
+
+struct Expr;
+using ExprP = std::unique_ptr<Expr>;
+
+struct Expr
+{
+    enum Kind : uint8_t {
+        Num,
+        Ref,
+        Index,      ///< name[expr]: bit select or memory read
+        Range,      ///< name[msb:lsb] (constants)
+        Unary,      ///< op in text
+        Binary,
+        Ternary,
+        Concat,
+        Repl,
+    } kind;
+    int line = 0;
+    std::string op;              ///< operator spelling / ref name
+    uint64_t value = 0;          ///< Num value
+    uint16_t width = 32;         ///< Num width
+    uint32_t msb = 0, lsb = 0;   ///< Range bounds
+    std::vector<ExprP> args;
+};
+
+struct Stmt;
+using StmtP = std::unique_ptr<Stmt>;
+
+struct Stmt
+{
+    enum Kind : uint8_t { NonBlocking, If, Case, Block } kind;
+    int line = 0;
+    // NonBlocking
+    std::string target;
+    ExprP index;        ///< non-null for memory writes
+    ExprP rhs;
+    // If
+    ExprP cond;
+    StmtP thenS, elseS;
+    // Case
+    ExprP subject;
+    struct CaseItem
+    {
+        std::vector<std::pair<uint64_t, uint16_t>> labels;
+        StmtP body;
+    };
+    std::vector<CaseItem> items;
+    StmtP defaultS;
+    // Block
+    std::vector<StmtP> stmts;
+};
+
+struct Decl
+{
+    enum Kind : uint8_t { Input, Output, OutputReg, Wire, Reg, Mem }
+        kind;
+    std::string name;
+    uint16_t width = 1;
+    uint32_t depth = 0;     ///< memories only
+    uint64_t init = 0;      ///< reg initializer
+    bool hasInit = false;
+    ExprP wireExpr;         ///< wire w = expr;
+    int line = 0;
+};
+
+struct AlwaysBlock
+{
+    std::string clock;
+    StmtP body;
+};
+
+/** One `child inst(.port(expr), ...);` instantiation. */
+struct Instance
+{
+    std::string moduleName;
+    std::string instName;
+    std::vector<std::pair<std::string, ExprP>> bindings;
+    int line = 0;
+};
+
+struct Module
+{
+    std::string name;
+    std::vector<Decl> decls;
+    std::vector<std::pair<std::string, ExprP>> assigns;
+    std::vector<AlwaysBlock> always;
+    std::vector<Instance> instances;
+};
+
+// ---- AST cloning (used by the hierarchy flattener) -------------------------
+
+ExprP
+cloneExpr(const Expr &e)
+{
+    auto c = std::make_unique<Expr>();
+    c->kind = e.kind;
+    c->line = e.line;
+    c->op = e.op;
+    c->value = e.value;
+    c->width = e.width;
+    c->msb = e.msb;
+    c->lsb = e.lsb;
+    for (const ExprP &a : e.args)
+        c->args.push_back(cloneExpr(*a));
+    return c;
+}
+
+StmtP
+cloneStmt(const Stmt &s)
+{
+    auto c = std::make_unique<Stmt>();
+    c->kind = s.kind;
+    c->line = s.line;
+    c->target = s.target;
+    if (s.index)
+        c->index = cloneExpr(*s.index);
+    if (s.rhs)
+        c->rhs = cloneExpr(*s.rhs);
+    if (s.cond)
+        c->cond = cloneExpr(*s.cond);
+    if (s.thenS)
+        c->thenS = cloneStmt(*s.thenS);
+    if (s.elseS)
+        c->elseS = cloneStmt(*s.elseS);
+    if (s.subject)
+        c->subject = cloneExpr(*s.subject);
+    for (const Stmt::CaseItem &item : s.items) {
+        Stmt::CaseItem ci;
+        ci.labels = item.labels;
+        ci.body = cloneStmt(*item.body);
+        c->items.push_back(std::move(ci));
+    }
+    if (s.defaultS)
+        c->defaultS = cloneStmt(*s.defaultS);
+    for (const StmtP &sub : s.stmts)
+        c->stmts.push_back(cloneStmt(*sub));
+    return c;
+}
+
+// ---- Parser ----------------------------------------------------------------
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : lx(text) {}
+
+    /** Parse every module in the file (the last one is the top). */
+    std::vector<Module>
+    parseFile()
+    {
+        std::vector<Module> mods;
+        while (lx.peek().kind != Tok::End)
+            mods.push_back(parseModule());
+        if (mods.empty())
+            lx.err("no module found");
+        return mods;
+    }
+
+  private:
+    Module
+    parseModule()
+    {
+        Module m;
+        lx.expect("module");
+        m.name = lx.expectId();
+        lx.expect("(");
+        if (!lx.eat(")")) {
+            do {
+                parsePortDecl(m);
+            } while (lx.eat(","));
+            lx.expect(")");
+        }
+        lx.expect(";");
+        while (!lx.eat("endmodule")) {
+            if (lx.peek().kind == Tok::End)
+                lx.err("missing endmodule");
+            parseItem(m);
+        }
+        return m;
+    }
+
+  private:
+    uint16_t
+    parseRangeOpt()
+    {
+        if (!lx.eat("["))
+            return 1;
+        if (lx.peek().kind != Tok::Number)
+            lx.err("expected constant msb");
+        uint64_t msb = lx.next().value;
+        lx.expect(":");
+        if (lx.peek().kind != Tok::Number)
+            lx.err("expected constant lsb");
+        uint64_t lsb = lx.next().value;
+        lx.expect("]");
+        if (lsb != 0)
+            lx.err("only [msb:0] ranges are supported");
+        if (msb >= kMaxWidth)
+            lx.err("range too wide");
+        return static_cast<uint16_t>(msb + 1);
+    }
+
+    void
+    parsePortDecl(Module &m)
+    {
+        Decl d;
+        d.line = lx.peek().line;
+        if (lx.eat("input")) {
+            d.kind = Decl::Input;
+        } else if (lx.eat("output")) {
+            d.kind = lx.eat("reg") ? Decl::OutputReg : Decl::Output;
+        } else {
+            lx.err("expected input/output in port list");
+        }
+        d.width = parseRangeOpt();
+        d.name = lx.expectId();
+        m.decls.push_back(std::move(d));
+    }
+
+    void
+    parseItem(Module &m)
+    {
+        int line = lx.peek().line;
+        if (lx.eat("wire")) {
+            Decl d;
+            d.kind = Decl::Wire;
+            d.line = line;
+            d.width = parseRangeOpt();
+            d.name = lx.expectId();
+            if (lx.eat("="))
+                d.wireExpr = parseExpr();
+            lx.expect(";");
+            m.decls.push_back(std::move(d));
+        } else if (lx.eat("reg")) {
+            Decl d;
+            d.line = line;
+            d.width = parseRangeOpt();
+            d.name = lx.expectId();
+            if (lx.eat("[")) {
+                // Memory: reg [w-1:0] name [0:depth-1];
+                d.kind = Decl::Mem;
+                if (lx.peek().kind != Tok::Number)
+                    lx.err("expected constant memory bound");
+                uint64_t lo = lx.next().value;
+                lx.expect(":");
+                if (lx.peek().kind != Tok::Number)
+                    lx.err("expected constant memory bound");
+                uint64_t hi = lx.next().value;
+                lx.expect("]");
+                if (lo != 0)
+                    lx.err("memory ranges must start at 0");
+                d.depth = static_cast<uint32_t>(hi + 1);
+            } else {
+                d.kind = Decl::Reg;
+                if (lx.eat("=")) {
+                    if (lx.peek().kind != Tok::Number)
+                        lx.err("reg initializer must be a literal");
+                    d.init = lx.next().value;
+                    d.hasInit = true;
+                }
+            }
+            lx.expect(";");
+            m.decls.push_back(std::move(d));
+        } else if (lx.eat("assign")) {
+            std::string name = lx.expectId();
+            lx.expect("=");
+            ExprP e = parseExpr();
+            lx.expect(";");
+            m.assigns.emplace_back(std::move(name), std::move(e));
+        } else if (lx.eat("always")) {
+            lx.expect("@");
+            lx.expect("(");
+            lx.expect("posedge");
+            AlwaysBlock blk;
+            blk.clock = lx.expectId();
+            lx.expect(")");
+            blk.body = parseStmt();
+            m.always.push_back(std::move(blk));
+        } else if (lx.peek().kind == Tok::Id &&
+                   lx.peek(1).kind == Tok::Id) {
+            // Instantiation: <module> <inst> ( .port(expr), ... ) ;
+            Instance inst;
+            inst.line = line;
+            inst.moduleName = lx.expectId();
+            inst.instName = lx.expectId();
+            lx.expect("(");
+            if (!lx.eat(")")) {
+                do {
+                    lx.expect(".");
+                    std::string port = lx.expectId();
+                    lx.expect("(");
+                    ExprP e = lx.eat(")") ? nullptr : parseExpr();
+                    if (e)
+                        lx.expect(")");
+                    inst.bindings.emplace_back(std::move(port),
+                                               std::move(e));
+                } while (lx.eat(","));
+                lx.expect(")");
+            }
+            lx.expect(";");
+            m.instances.push_back(std::move(inst));
+        } else {
+            lx.err("unexpected module item");
+        }
+    }
+
+    StmtP
+    parseStmt()
+    {
+        auto s = std::make_unique<Stmt>();
+        s->line = lx.peek().line;
+        if (lx.eat("begin")) {
+            s->kind = Stmt::Block;
+            while (!lx.eat("end"))
+                s->stmts.push_back(parseStmt());
+            return s;
+        }
+        if (lx.eat("if")) {
+            s->kind = Stmt::If;
+            lx.expect("(");
+            s->cond = parseExpr();
+            lx.expect(")");
+            s->thenS = parseStmt();
+            if (lx.eat("else"))
+                s->elseS = parseStmt();
+            return s;
+        }
+        if (lx.eat("case")) {
+            s->kind = Stmt::Case;
+            lx.expect("(");
+            s->subject = parseExpr();
+            lx.expect(")");
+            while (!lx.eat("endcase")) {
+                if (lx.eat("default")) {
+                    lx.eat(":");
+                    s->defaultS = parseStmt();
+                    continue;
+                }
+                Stmt::CaseItem item;
+                do {
+                    if (lx.peek().kind != Tok::Number)
+                        lx.err("case labels must be literals");
+                    Token t = lx.next();
+                    item.labels.emplace_back(t.value, t.width);
+                } while (lx.eat(","));
+                lx.expect(":");
+                item.body = parseStmt();
+                s->items.push_back(std::move(item));
+            }
+            return s;
+        }
+        // Non-blocking assignment: name [ [expr] ] <= expr ;
+        s->kind = Stmt::NonBlocking;
+        s->target = lx.expectId();
+        if (lx.eat("[")) {
+            s->index = parseExpr();
+            lx.expect("]");
+        }
+        lx.expect("<=");
+        s->rhs = parseExpr();
+        lx.expect(";");
+        return s;
+    }
+
+    // Precedence-climbing expression parser.
+    ExprP
+    parseExpr()
+    {
+        ExprP cond = parseBin(0);
+        if (lx.eat("?")) {
+            auto e = std::make_unique<Expr>();
+            e->kind = Expr::Ternary;
+            e->line = lx.peek().line;
+            ExprP t = parseExpr();
+            lx.expect(":");
+            ExprP f = parseExpr();
+            e->args.push_back(std::move(cond));
+            e->args.push_back(std::move(t));
+            e->args.push_back(std::move(f));
+            return e;
+        }
+        return cond;
+    }
+
+    int
+    precedence(const std::string &op)
+    {
+        if (op == "||") return 1;
+        if (op == "&&") return 2;
+        if (op == "|") return 3;
+        if (op == "^") return 4;
+        if (op == "&") return 5;
+        if (op == "==" || op == "!=") return 6;
+        if (op == "<" || op == "<=" || op == ">" || op == ">=")
+            return 7;
+        if (op == "<<" || op == ">>" || op == ">>>") return 8;
+        if (op == "+" || op == "-") return 9;
+        if (op == "*") return 10;
+        return -1;
+    }
+
+    ExprP
+    parseBin(int min_prec)
+    {
+        ExprP lhs = parseUnary();
+        for (;;) {
+            const Token &t = lx.peek();
+            if (t.kind != Tok::Punct)
+                break;
+            int prec = precedence(t.text);
+            if (prec < 0 || prec < min_prec)
+                break;
+            std::string op = lx.next().text;
+            ExprP rhs = parseBin(prec + 1);
+            auto e = std::make_unique<Expr>();
+            e->kind = Expr::Binary;
+            e->op = op;
+            e->line = t.line;
+            e->args.push_back(std::move(lhs));
+            e->args.push_back(std::move(rhs));
+            lhs = std::move(e);
+        }
+        return lhs;
+    }
+
+    ExprP
+    parseUnary()
+    {
+        const Token &t = lx.peek();
+        if (t.kind == Tok::Punct &&
+            (t.text == "~" || t.text == "!" || t.text == "-" ||
+             t.text == "&" || t.text == "|" || t.text == "^")) {
+            auto e = std::make_unique<Expr>();
+            e->kind = Expr::Unary;
+            e->op = lx.next().text;
+            e->line = t.line;
+            e->args.push_back(parseUnary());
+            return e;
+        }
+        return parsePrimary();
+    }
+
+    ExprP
+    parsePrimary()
+    {
+        const Token &t = lx.peek();
+        auto e = std::make_unique<Expr>();
+        e->line = t.line;
+        if (t.kind == Tok::Number) {
+            Token n = lx.next();
+            e->kind = Expr::Num;
+            e->value = n.value;
+            e->width = n.width;
+            return e;
+        }
+        if (lx.eat("(")) {
+            ExprP inner = parseExpr();
+            lx.expect(")");
+            return inner;
+        }
+        if (lx.eat("{")) {
+            // Concat or replication.
+            if (lx.peek().kind == Tok::Number &&
+                lx.peek(1).kind == Tok::Punct &&
+                lx.peek(1).text == "{") {
+                e->kind = Expr::Repl;
+                e->value = lx.next().value; // count
+                lx.expect("{");
+                e->args.push_back(parseExpr());
+                lx.expect("}");
+                lx.expect("}");
+                return e;
+            }
+            e->kind = Expr::Concat;
+            do {
+                e->args.push_back(parseExpr());
+            } while (lx.eat(","));
+            lx.expect("}");
+            return e;
+        }
+        if (t.kind == Tok::Id) {
+            std::string name = lx.next().text;
+            if (lx.eat("[")) {
+                // a[c] or a[m:l] or mem[expr]
+                ExprP first = parseExpr();
+                if (lx.eat(":")) {
+                    if (first->kind != Expr::Num ||
+                        lx.peek().kind != Tok::Number)
+                        lx.err("part selects must be constant");
+                    uint64_t lsb = lx.next().value;
+                    lx.expect("]");
+                    e->kind = Expr::Range;
+                    e->op = name;
+                    e->msb = static_cast<uint32_t>(first->value);
+                    e->lsb = static_cast<uint32_t>(lsb);
+                    return e;
+                }
+                lx.expect("]");
+                e->kind = Expr::Index;
+                e->op = name;
+                e->args.push_back(std::move(first));
+                return e;
+            }
+            e->kind = Expr::Ref;
+            e->op = name;
+            return e;
+        }
+        lx.err("expected expression");
+    }
+
+    Lexer lx;
+};
+
+// ---- Hierarchy flattening ----------------------------------------------------
+
+/**
+ * Inlines every instantiation into the top module (the last module in
+ * the file), prefixing child identifiers with "<inst>__". Input port
+ * references are substituted with the bound parent expressions
+ * (bindings must be plain identifiers when the child bit-selects or
+ * part-selects the port); output ports must be bound to undriven
+ * parent wires. The instantiation graph must be acyclic.
+ */
+class Flattener
+{
+  public:
+    explicit Flattener(std::vector<Module> mods)
+    {
+        for (Module &m : mods) {
+            if (byName.count(m.name))
+                fatal("verilog: module %s defined twice",
+                      m.name.c_str());
+            order.push_back(m.name);
+            byName.emplace(m.name, std::move(m));
+        }
+    }
+
+    Module
+    run()
+    {
+        return flatten(order.back());
+    }
+
+  private:
+    [[noreturn]] void
+    err(int line, const std::string &msg)
+    {
+        fatal("verilog line %d: %s", line, msg.c_str());
+    }
+
+    /** Rename/substitution context for one inlining. */
+    struct Renamer
+    {
+        std::string prefix;
+        std::map<std::string, const Expr *> subst; ///< input bindings
+        std::map<std::string, std::string> rename; ///< other idents
+    };
+
+    ExprP
+    rewriteExpr(const Expr &e, const Renamer &rn)
+    {
+        if (e.kind == Expr::Ref) {
+            auto si = rn.subst.find(e.op);
+            if (si != rn.subst.end())
+                return cloneExpr(*si->second);
+        }
+        ExprP c = cloneExpr(e);
+        rewriteInPlace(*c, rn);
+        return c;
+    }
+
+    void
+    rewriteInPlace(Expr &e, const Renamer &rn)
+    {
+        if (e.kind == Expr::Ref || e.kind == Expr::Index ||
+            e.kind == Expr::Range) {
+            auto si = rn.subst.find(e.op);
+            if (si != rn.subst.end()) {
+                if (e.kind == Expr::Ref) {
+                    // Replace the node wholesale.
+                    ExprP repl = cloneExpr(*si->second);
+                    std::vector<ExprP> args = std::move(e.args);
+                    e = std::move(*repl);
+                    // (Ref has no args; the moved-from vector is
+                    // dropped.)
+                    (void)args;
+                } else {
+                    // Selecting into a port: the binding must be a
+                    // plain identifier we can select from instead.
+                    if (si->second->kind != Expr::Ref)
+                        err(e.line,
+                            "port " + e.op + " is indexed inside the "
+                            "child; bind it to a plain signal");
+                    e.op = si->second->op;
+                }
+            } else {
+                auto ri = rn.rename.find(e.op);
+                if (ri != rn.rename.end())
+                    e.op = ri->second;
+            }
+        }
+        for (ExprP &a : e.args)
+            if (a)
+                rewriteInPlace(*a, rn);
+    }
+
+    void
+    rewriteStmt(Stmt &s, const Renamer &rn)
+    {
+        if (!s.target.empty()) {
+            if (rn.subst.count(s.target))
+                err(s.line, "cannot assign to input port " + s.target);
+            auto ri = rn.rename.find(s.target);
+            if (ri != rn.rename.end())
+                s.target = ri->second;
+        }
+        for (ExprP *e : {&s.index, &s.rhs, &s.cond, &s.subject})
+            if (*e)
+                rewriteInPlace(**e, rn);
+        for (StmtP *sub : {&s.thenS, &s.elseS, &s.defaultS})
+            if (*sub)
+                rewriteStmt(**sub, rn);
+        for (Stmt::CaseItem &item : s.items)
+            rewriteStmt(*item.body, rn);
+        for (StmtP &sub : s.stmts)
+            rewriteStmt(*sub, rn);
+    }
+
+    Module
+    flatten(const std::string &name)
+    {
+        auto done = flat.find(name);
+        if (done != flat.end()) {
+            // Deep-copy the memoized flat module.
+            return copyModule(done->second);
+        }
+        auto it = byName.find(name);
+        if (it == byName.end())
+            fatal("verilog: unknown module %s", name.c_str());
+        if (!inProgress.insert(name).second)
+            fatal("verilog: instantiation cycle through %s",
+                  name.c_str());
+
+        Module out = copyModule(it->second);
+        std::vector<Instance> insts = std::move(out.instances);
+        out.instances.clear();
+        for (Instance &inst : insts)
+            inline_(out, inst);
+        inProgress.erase(name);
+        flat.emplace(name, copyModule(out));
+        return out;
+    }
+
+    Module
+    copyModule(const Module &m)
+    {
+        Module c;
+        c.name = m.name;
+        for (const Decl &d : m.decls) {
+            Decl nd;
+            nd.kind = d.kind;
+            nd.name = d.name;
+            nd.width = d.width;
+            nd.depth = d.depth;
+            nd.init = d.init;
+            nd.hasInit = d.hasInit;
+            nd.line = d.line;
+            if (d.wireExpr)
+                nd.wireExpr = cloneExpr(*d.wireExpr);
+            c.decls.push_back(std::move(nd));
+        }
+        for (const auto &[n, e] : m.assigns)
+            c.assigns.emplace_back(n, cloneExpr(*e));
+        for (const AlwaysBlock &b : m.always) {
+            AlwaysBlock nb;
+            nb.clock = b.clock;
+            nb.body = cloneStmt(*b.body);
+            c.always.push_back(std::move(nb));
+        }
+        for (const Instance &i : m.instances) {
+            Instance ni;
+            ni.moduleName = i.moduleName;
+            ni.instName = i.instName;
+            ni.line = i.line;
+            for (const auto &[p, e] : i.bindings)
+                ni.bindings.emplace_back(p, e ? cloneExpr(*e)
+                                              : nullptr);
+            c.instances.push_back(std::move(ni));
+        }
+        return c;
+    }
+
+    void
+    inline_(Module &parent, Instance &inst)
+    {
+        Module child = flatten(inst.moduleName);
+        Renamer rn;
+        rn.prefix = inst.instName + "__";
+
+        // Index the bindings.
+        std::map<std::string, const Expr *> bound;
+        for (auto &[port, e] : inst.bindings) {
+            if (bound.count(port))
+                err(inst.line, "port " + port + " bound twice");
+            bound[port] = e.get();
+        }
+
+        // Classify child declarations.
+        std::vector<std::pair<std::string, std::string>> out_binds;
+        for (Decl &d : child.decls) {
+            switch (d.kind) {
+              case Decl::Input: {
+                auto b = bound.find(d.name);
+                if (b == bound.end() || !b->second)
+                    err(inst.line, "input port " + d.name +
+                        " of " + inst.moduleName + " is unbound");
+                rn.subst[d.name] = b->second;
+                bound.erase(b);
+                break;
+              }
+              case Decl::Output:
+              case Decl::OutputReg: {
+                std::string inner = rn.prefix + d.name;
+                rn.rename[d.name] = inner;
+                Decl nd;
+                nd.kind = d.kind == Decl::Output ? Decl::Wire
+                                                 : Decl::Reg;
+                nd.name = inner;
+                nd.width = d.width;
+                nd.init = d.init;
+                nd.hasInit = d.hasInit;
+                nd.line = d.line;
+                parent.decls.push_back(std::move(nd));
+                auto b = bound.find(d.name);
+                if (b != bound.end()) {
+                    if (b->second) {
+                        if (b->second->kind != Expr::Ref)
+                            err(inst.line, "output port " + d.name +
+                                " must be bound to a plain wire");
+                        out_binds.emplace_back(b->second->op, inner);
+                    }
+                    bound.erase(b);
+                }
+                break;
+              }
+              default: {
+                std::string inner = rn.prefix + d.name;
+                rn.rename[d.name] = inner;
+                Decl nd;
+                nd.kind = d.kind;
+                nd.name = inner;
+                nd.width = d.width;
+                nd.depth = d.depth;
+                nd.init = d.init;
+                nd.hasInit = d.hasInit;
+                nd.line = d.line;
+                // The wire expression is rewritten below, once the
+                // rename map is complete (it may reference child
+                // declarations that appear later in the module).
+                parent.decls.push_back(std::move(nd));
+                pending_wire_exprs.emplace_back(
+                    parent.decls.size() - 1, d.wireExpr.get());
+                break;
+              }
+            }
+        }
+        if (!bound.empty())
+            err(inst.line, "no port named " + bound.begin()->first +
+                " on module " + inst.moduleName);
+
+        // Wire initializer expressions (complete rename map now).
+        for (auto &[idx, expr] : pending_wire_exprs)
+            if (expr)
+                parent.decls[idx].wireExpr = rewriteExpr(*expr, rn);
+        pending_wire_exprs.clear();
+
+        // Assigns.
+        for (auto &[target, e] : child.assigns) {
+            std::string t = target;
+            auto ri = rn.rename.find(t);
+            if (ri != rn.rename.end())
+                t = ri->second;
+            else if (rn.subst.count(t))
+                err(inst.line, "child assigns to input port " + t);
+            parent.assigns.emplace_back(t, rewriteExpr(*e, rn));
+        }
+        // Output port -> parent wire connections.
+        for (auto &[pwire, inner] : out_binds) {
+            auto e = std::make_unique<Expr>();
+            e->kind = Expr::Ref;
+            e->op = inner;
+            e->line = inst.line;
+            parent.assigns.emplace_back(pwire, std::move(e));
+        }
+        // Always blocks: the clock must be an input bound to a plain
+        // parent signal.
+        for (AlwaysBlock &b : child.always) {
+            auto si = rn.subst.find(b.clock);
+            if (si == rn.subst.end() || si->second->kind != Expr::Ref)
+                err(inst.line, "clock port " + b.clock +
+                    " must be bound to a plain signal");
+            AlwaysBlock nb;
+            nb.clock = si->second->op;
+            nb.body = cloneStmt(*b.body);
+            rewriteStmt(*nb.body, rn);
+            parent.always.push_back(std::move(nb));
+        }
+    }
+
+    std::map<std::string, Module> byName;
+    std::vector<std::string> order;
+    std::map<std::string, Module> flat;
+    std::set<std::string> inProgress;
+    std::vector<std::pair<size_t, const Expr *>> pending_wire_exprs;
+};
+
+// ---- Elaboration -------------------------------------------------------------
+
+struct Symbol
+{
+    Decl::Kind kind;
+    uint16_t width;
+    RegId reg = 0;
+    MemId mem = 0;
+    NodeId inputNode = kNoNode;
+    const Expr *wireExpr = nullptr;       ///< for wires
+    enum class State : uint8_t { Unresolved, InProgress, Done } state =
+        State::Unresolved;
+    Wire value;                           ///< resolved wire value
+};
+
+class Elaborator
+{
+  public:
+    explicit Elaborator(Module mod)
+        : m(std::move(mod)), d(m.name)
+    {}
+
+    Netlist
+    run()
+    {
+        findClock();
+        declare();
+        resolveAllWires();
+        elaborateAlways();
+        driveUndrivenRegs();
+        emitOutputs();
+        return d.finish();
+    }
+
+  private:
+    [[noreturn]] void
+    err(int line, const std::string &msg)
+    {
+        fatal("verilog line %d: %s", line, msg.c_str());
+    }
+
+    void
+    findClock()
+    {
+        for (const AlwaysBlock &b : m.always) {
+            if (clock.empty())
+                clock = b.clock;
+            else if (clock != b.clock)
+                fatal("multiple clock domains (%s and %s); only one "
+                      "top-level clock is supported (paper §5.3)",
+                      clock.c_str(), b.clock.c_str());
+        }
+    }
+
+    void
+    declare()
+    {
+        for (Decl &decl : m.decls) {
+            if (syms.count(decl.name))
+                err(decl.line, "duplicate declaration of " +
+                    decl.name);
+            Symbol s;
+            s.kind = decl.kind;
+            s.width = decl.width;
+            switch (decl.kind) {
+              case Decl::Input:
+                if (decl.name == clock)
+                    break; // the clock is implicit
+                s.inputNode = d.netlist().addInput(decl.name,
+                                                   decl.width);
+                s.value = Wire(&d.netlist(), s.inputNode);
+                s.state = Symbol::State::Done;
+                break;
+              case Decl::OutputReg:
+              case Decl::Reg:
+                s.reg = d.reg(decl.name, decl.width, decl.init);
+                s.value = d.read(s.reg);
+                s.state = Symbol::State::Done;
+                break;
+              case Decl::Mem:
+                s.mem = d.memory(decl.name, decl.width, decl.depth);
+                s.state = Symbol::State::Done;
+                break;
+              case Decl::Wire:
+                s.wireExpr = decl.wireExpr.get();
+                break;
+              case Decl::Output:
+                break; // resolved from the assign list
+            }
+            syms[decl.name] = s;
+        }
+        // Attach continuous assignments to wires/outputs.
+        for (auto &[name, expr] : m.assigns) {
+            auto it = syms.find(name);
+            if (it == syms.end())
+                fatal("assign to undeclared signal %s", name.c_str());
+            Symbol &s = it->second;
+            if (s.kind != Decl::Wire && s.kind != Decl::Output)
+                fatal("assign target %s must be a wire or output",
+                      name.c_str());
+            if (s.wireExpr)
+                fatal("signal %s driven twice", name.c_str());
+            s.wireExpr = expr.get();
+        }
+    }
+
+    Symbol &
+    lookup(const std::string &name, int line)
+    {
+        if (name == clock)
+            err(line, "the clock may only appear in @(posedge ...)");
+        auto it = syms.find(name);
+        if (it == syms.end())
+            err(line, "undeclared identifier " + name);
+        return it->second;
+    }
+
+    /** Resolve a wire/output value (demand-driven; detects loops). */
+    Wire
+    resolve(const std::string &name, int line)
+    {
+        Symbol &s = lookup(name, line);
+        if (s.state == Symbol::State::Done)
+            return s.value;
+        if (s.state == Symbol::State::InProgress)
+            err(line, "combinational loop through " + name);
+        if (!s.wireExpr)
+            err(line, name + " is never driven");
+        s.state = Symbol::State::InProgress;
+        Wire v = elabExpr(*s.wireExpr).resize(s.width);
+        s.value = v;
+        s.state = Symbol::State::Done;
+        return v;
+    }
+
+    void
+    resolveAllWires()
+    {
+        for (Decl &decl : m.decls)
+            if (decl.kind == Decl::Wire || decl.kind == Decl::Output)
+                resolve(decl.name, decl.line);
+    }
+
+    Wire
+    toBool(Wire w)
+    {
+        return w.width() == 1 ? w : w.redOr();
+    }
+
+    Wire
+    elabExpr(const Expr &e)
+    {
+        switch (e.kind) {
+          case Expr::Num:
+            return d.lit(e.width, e.value);
+          case Expr::Ref:
+            return resolve(e.op, e.line);
+          case Expr::Index: {
+            Symbol &s = lookup(e.op, e.line);
+            Wire idx = elabExpr(*e.args[0]);
+            if (s.kind == Decl::Mem)
+                return d.memRead(s.mem, idx);
+            // Constant bit select of a vector.
+            if (e.args[0]->kind != Expr::Num)
+                err(e.line, "bit selects must be constant (use a "
+                            "memory for dynamic indexing)");
+            uint32_t bit = static_cast<uint32_t>(e.args[0]->value);
+            Wire v = resolve(e.op, e.line);
+            if (bit >= v.width())
+                err(e.line, "bit select out of range");
+            return v.bit(bit);
+          }
+          case Expr::Range: {
+            Wire v = resolve(e.op, e.line);
+            if (e.msb < e.lsb || e.msb >= v.width())
+                err(e.line, "part select out of range");
+            return v.slice(e.lsb,
+                           static_cast<uint16_t>(e.msb - e.lsb + 1));
+          }
+          case Expr::Unary: {
+            Wire a = elabExpr(*e.args[0]);
+            if (e.op == "~")
+                return ~a;
+            if (e.op == "!")
+                return ~toBool(a);
+            if (e.op == "-")
+                return a.neg();
+            if (e.op == "&")
+                return a.redAnd();
+            if (e.op == "|")
+                return a.redOr();
+            if (e.op == "^")
+                return a.redXor();
+            err(e.line, "bad unary operator " + e.op);
+          }
+          case Expr::Binary: {
+            Wire a = elabExpr(*e.args[0]);
+            Wire b = elabExpr(*e.args[1]);
+            const std::string &op = e.op;
+            if (op == "||")
+                return toBool(a) | toBool(b);
+            if (op == "&&")
+                return toBool(a) & toBool(b);
+            if (op == "<<")
+                return a << b;
+            if (op == ">>")
+                return a >> b;
+            if (op == ">>>")
+                return a.sra(b);
+            // Width-balancing (zero extension) for the rest.
+            uint16_t w = std::max(a.width(), b.width());
+            a = a.resize(w);
+            b = b.resize(w);
+            if (op == "|")
+                return a | b;
+            if (op == "^")
+                return a ^ b;
+            if (op == "&")
+                return a & b;
+            if (op == "==")
+                return a == b;
+            if (op == "!=")
+                return a != b;
+            if (op == "<")
+                return a.ult(b);
+            if (op == "<=")
+                return a.ule(b);
+            if (op == ">")
+                return b.ult(a);
+            if (op == ">=")
+                return b.ule(a);
+            if (op == "+")
+                return a + b;
+            if (op == "-")
+                return a - b;
+            if (op == "*")
+                return a * b;
+            err(e.line, "bad binary operator " + op);
+          }
+          case Expr::Ternary: {
+            Wire c = toBool(elabExpr(*e.args[0]));
+            Wire t = elabExpr(*e.args[1]);
+            Wire f = elabExpr(*e.args[2]);
+            uint16_t w = std::max(t.width(), f.width());
+            return d.mux(c, t.resize(w), f.resize(w));
+          }
+          case Expr::Concat: {
+            Wire acc = elabExpr(*e.args[0]);
+            for (size_t i = 1; i < e.args.size(); ++i)
+                acc = acc.concat(elabExpr(*e.args[i]));
+            return acc;
+          }
+          case Expr::Repl: {
+            if (e.value == 0 || e.value > 64)
+                err(e.line, "bad replication count");
+            Wire part = elabExpr(*e.args[0]);
+            Wire acc = part;
+            for (uint64_t i = 1; i < e.value; ++i)
+                acc = acc.concat(part);
+            return acc;
+          }
+        }
+        err(e.line, "unhandled expression");
+    }
+
+    /** Execute one statement under path condition @p cond (invalid
+     *  wire = unconditional), updating the next-value environment. */
+    void
+    exec(const Stmt &s, std::map<std::string, Wire> &env, Wire cond)
+    {
+        switch (s.kind) {
+          case Stmt::Block:
+            for (const StmtP &sub : s.stmts)
+                exec(*sub, env, cond);
+            return;
+          case Stmt::NonBlocking: {
+            Symbol &sym = lookup(s.target, s.line);
+            if (s.index) {
+                if (sym.kind != Decl::Mem)
+                    err(s.line, s.target + " is not a memory");
+                Wire addr = elabExpr(*s.index);
+                Wire data = elabExpr(*s.rhs).resize(sym.width);
+                Wire en = cond.valid() ? cond : d.lit(1, 1);
+                d.memWrite(sym.mem, addr, data, en);
+                return;
+            }
+            if (sym.kind != Decl::Reg && sym.kind != Decl::OutputReg)
+                err(s.line, "non-blocking target " + s.target +
+                    " must be a reg");
+            if (regOwner.count(s.target) &&
+                regOwner[s.target] != currentBlock)
+                err(s.line, s.target +
+                    " is written from two always blocks");
+            regOwner[s.target] = currentBlock;
+            Wire rhs = elabExpr(*s.rhs).resize(sym.width);
+            Wire prev = env.count(s.target) ? env[s.target]
+                                            : d.read(sym.reg);
+            env[s.target] =
+                cond.valid() ? d.mux(cond, rhs, prev) : rhs;
+            return;
+          }
+          case Stmt::If: {
+            Wire c = toBool(elabExpr(*s.cond));
+            Wire then_c = cond.valid() ? (cond & c) : c;
+            exec(*s.thenS, env, then_c);
+            if (s.elseS) {
+                Wire else_c = cond.valid() ? (cond & ~c) : ~c;
+                exec(*s.elseS, env, else_c);
+            }
+            return;
+          }
+          case Stmt::Case: {
+            Wire subj = elabExpr(*s.subject);
+            Wire taken = d.lit(1, 0); // any earlier item matched
+            for (const Stmt::CaseItem &item : s.items) {
+                Wire match = d.lit(1, 0);
+                for (auto [val, w] : item.labels) {
+                    (void)w;
+                    match = match |
+                        (subj == d.lit(subj.width(), val));
+                }
+                Wire c = match & ~taken;
+                Wire item_c = cond.valid() ? (cond & c) : c;
+                exec(*item.body, env, item_c);
+                taken = taken | match;
+            }
+            if (s.defaultS) {
+                Wire c = ~taken;
+                Wire def_c = cond.valid() ? (cond & c) : c;
+                exec(*s.defaultS, env, def_c);
+            }
+            return;
+          }
+        }
+    }
+
+    void
+    elaborateAlways()
+    {
+        for (size_t bi = 0; bi < m.always.size(); ++bi) {
+            currentBlock = static_cast<int>(bi);
+            std::map<std::string, Wire> env;
+            exec(*m.always[bi].body, env, Wire());
+            for (auto &[name, next] : env)
+                d.next(syms[name].reg, next);
+            driven.insert(env.begin(), env.end());
+        }
+    }
+
+    void
+    driveUndrivenRegs()
+    {
+        for (Decl &decl : m.decls) {
+            if (decl.kind != Decl::Reg && decl.kind != Decl::OutputReg)
+                continue;
+            if (driven.count(decl.name))
+                continue;
+            Symbol &s = syms[decl.name];
+            d.next(s.reg, d.read(s.reg)); // constant register
+        }
+    }
+
+    void
+    emitOutputs()
+    {
+        for (Decl &decl : m.decls) {
+            if (decl.kind == Decl::Output) {
+                d.output(decl.name, resolve(decl.name, decl.line));
+            } else if (decl.kind == Decl::OutputReg) {
+                d.output(decl.name, d.read(syms[decl.name].reg));
+            }
+        }
+    }
+
+    Module m;
+    Design d;
+    std::string clock;
+    std::map<std::string, Symbol> syms;
+    std::map<std::string, Wire> driven;
+    std::map<std::string, int> regOwner;
+    int currentBlock = 0;
+};
+
+} // namespace
+
+Netlist
+parseVerilog(const std::string &text)
+{
+    Parser parser(text);
+    Flattener flattener(parser.parseFile());
+    Elaborator elab(flattener.run());
+    return elab.run();
+}
+
+Netlist
+parseVerilogFile(const std::string &path)
+{
+    std::ifstream f(path);
+    if (!f)
+        fatal("cannot open %s", path.c_str());
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    return parseVerilog(ss.str());
+}
+
+} // namespace parendi::frontend

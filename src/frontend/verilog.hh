@@ -1,0 +1,45 @@
+/**
+ * @file
+ * A synthesizable-Verilog-subset frontend, standing in for the
+ * Verilator-derived parser of the real Parendi. Supports the
+ * constructs the paper's benchmarks rely on:
+ *
+ *  - one module with ANSI-style ports:
+ *      module top(input clk, input [7:0] a, output [31:0] y);
+ *  - declarations: wire/reg with [msb:0] ranges, optional reg
+ *    initializers, and memories: reg [31:0] m [0:255];
+ *  - continuous assignment: assign y = expr;  wire w = expr;
+ *  - one clock domain: always @(posedge <clk>) with non-blocking
+ *    assignments, begin/end, if/else, and case/default
+ *  - expressions: ?:, || && | ^ & == != < <= > >= << >> >>> + - *
+ *    ~ ! and unary & | ^ reductions, concatenation {a,b}, replication
+ *    {4{a}}, constant bit/part selects a[3] / a[7:4], dynamic memory
+ *    indexing m[addr], and sized literals (8'hff, 4'b1010, 16'd42)
+ *
+ * Width rules (simplified, documented): operands of binary operators
+ * are zero-extended to the wider operand; assignment RHS is resized
+ * to the LHS; comparisons yield 1 bit; >>> is an arithmetic shift of
+ * the left operand. Everything is unsigned ($signed is not
+ * supported). The clock input is implicit (it does not appear in the
+ * netlist); multiple drivers, combinational loops, and writing one
+ * register from two always blocks are errors.
+ */
+
+#ifndef PARENDI_FRONTEND_VERILOG_HH
+#define PARENDI_FRONTEND_VERILOG_HH
+
+#include <string>
+
+#include "rtl/netlist.hh"
+
+namespace parendi::frontend {
+
+/** Parse and elaborate Verilog text. Calls fatal() on errors. */
+rtl::Netlist parseVerilog(const std::string &text);
+
+/** Parse a .v file from disk. */
+rtl::Netlist parseVerilogFile(const std::string &path);
+
+} // namespace parendi::frontend
+
+#endif // PARENDI_FRONTEND_VERILOG_HH

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Architectural parameters of the simulated Graphcore IPU system (an
+ * M2000: 4 IPUs x 1472 tiles, paper §2), plus the synchronization cost
+ * model measured in §4.1. Communication cost lives in ipu/exchange.hh.
+ *
+ * Calibration sources (paper):
+ *  - 1472 tiles/chip, 624 KiB/tile, ~200 KiB of it executable code.
+ *  - native BSP barrier: "a few hundred IPU cycles"; crossing chips
+ *    costs more (off-chip sync network).
+ *  - on-chip exchange: 7.7 TiB/s measured aggregate; off-chip (board
+ *    fabric): 107 GiB/s measured.
+ *  - M2000 tile clock 1.325 GHz.
+ */
+
+#ifndef PARENDI_IPU_ARCH_HH
+#define PARENDI_IPU_ARCH_HH
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+namespace parendi::ipu {
+
+struct IpuArch
+{
+    uint32_t tilesPerChip = 1472;
+    uint32_t maxChips = 4;
+    double clockGHz = 1.325;
+
+    uint64_t tileMemoryBytes = 624 * 1024;
+    uint64_t tileCodeBytes = 200 * 1024;
+
+    /// Exchange: bytes a tile can send (and receive) per clock on-chip.
+    double onChipBytesPerCycleTile = 4.0;
+    /// Fixed on-chip exchange setup latency (cycles).
+    double onChipLatency = 64.0;
+    /// Aggregate on-chip fabric capacity, bytes per clock (11 TiB/s
+    /// peak at 1.325 GHz ~ 8900 B/cycle; we use the measured 7.7 TiB/s).
+    double onChipFabricBytesPerCycle = 6200.0;
+
+    /// Board fabric: total off-chip bytes per clock (107 GiB/s
+    /// measured / 1.325 GHz ~ 87 B/cycle).
+    double offChipBytesPerCycle = 87.0;
+    /// Fixed off-chip exchange latency (cycles).
+    double offChipLatency = 1100.0;
+
+    /// Hardware barrier: base cost plus a slow growth with tile count.
+    double syncBase = 120.0;
+    double syncPerLog2Tile = 14.0;
+    /// Extra cost when the barrier spans multiple chips (the
+    /// dedicated sync network is fast; most of the multi-chip cost
+    /// shows up in the exchange, not the barrier).
+    double syncCrossChip = 90.0;
+
+    /// Fixed per-tile control overhead added to t_comp each cycle
+    /// (supervisor dispatch, loop bookkeeping).
+    double tileLoopOverhead = 40.0;
+
+    /** One global barrier across @p tiles tiles on @p chips chips. */
+    double
+    barrierCycles(uint32_t tiles, uint32_t chips) const
+    {
+        double c = syncBase +
+            syncPerLog2Tile * std::log2(std::max<uint32_t>(tiles, 2));
+        if (chips > 1)
+            c += syncCrossChip * std::log2(static_cast<double>(chips) * 2);
+        return c;
+    }
+
+    /** kHz for a given per-RTL-cycle cost in IPU clock cycles. */
+    double
+    rateKHz(double cycles_per_rtl_cycle) const
+    {
+        return clockGHz * 1e6 / cycles_per_rtl_cycle;
+    }
+};
+
+} // namespace parendi::ipu
+
+#endif // PARENDI_IPU_ARCH_HH

@@ -1,0 +1,64 @@
+#include "ipu/exchange.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace parendi::ipu {
+
+double
+onChipExchangeCycles(const IpuArch &arch, uint64_t max_tile_bytes,
+                     uint64_t total_bytes_per_chip)
+{
+    if (max_tile_bytes == 0)
+        return 0.0;
+    // Serialization of the busiest tile's traffic.
+    double cycles = arch.onChipLatency +
+        static_cast<double>(max_tile_bytes) /
+            arch.onChipBytesPerCycleTile;
+    // Mild contention once the aggregate approaches fabric capacity.
+    double util = static_cast<double>(total_bytes_per_chip) /
+        (arch.onChipFabricBytesPerCycle * std::max(cycles, 1.0));
+    if (util > 0.5)
+        cycles *= 1.0 + (util - 0.5);
+    return cycles;
+}
+
+double
+offChipExchangeCycles(const IpuArch &arch, uint64_t total_off_chip_bytes)
+{
+    if (total_off_chip_bytes == 0)
+        return 0.0;
+    return arch.offChipLatency +
+        static_cast<double>(total_off_chip_bytes) /
+            arch.offChipBytesPerCycle;
+}
+
+double
+exchangeCycles(const IpuArch &arch, const ExchangeTraffic &t)
+{
+    uint64_t per_chip = t.chips
+        ? t.totalOnChipBytes / t.chips : t.totalOnChipBytes;
+    return onChipExchangeCycles(arch, t.maxTileOnChipBytes, per_chip) +
+        offChipExchangeCycles(arch, t.totalOffChipBytes);
+}
+
+double
+pairwiseExchangeCycles(const IpuArch &arch, uint32_t m, uint32_t b,
+                       bool off_chip)
+{
+    double sync = arch.barrierCycles(2 * m, off_chip ? 2 : 1);
+    if (!off_chip) {
+        // Each tile sends and receives b bytes: per-tile 2b bytes.
+        ExchangeTraffic t;
+        t.maxTileOnChipBytes = 2ull * b;
+        t.totalOnChipBytes = 2ull * b * m;
+        t.chips = 1;
+        return exchangeCycles(arch, t) + sync;
+    }
+    ExchangeTraffic t;
+    t.totalOffChipBytes = 2ull * b * m;
+    t.chips = 2;
+    return exchangeCycles(arch, t) + sync;
+}
+
+} // namespace parendi::ipu

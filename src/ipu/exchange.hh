@@ -1,0 +1,57 @@
+/**
+ * @file
+ * BSP exchange-phase cost model (paper §4.2, Fig. 5). The key measured
+ * asymmetry it reproduces:
+ *
+ *  - on-chip, latency grows with b (max bytes per tile) and is nearly
+ *    independent of m (tile count) until the fabric nears saturation;
+ *  - off-chip, latency grows with the *total* volume m x b because the
+ *    board fabric is shared and runs near its bandwidth limit.
+ */
+
+#ifndef PARENDI_IPU_EXCHANGE_HH
+#define PARENDI_IPU_EXCHANGE_HH
+
+#include <cstdint>
+
+#include "ipu/arch.hh"
+
+namespace parendi::ipu {
+
+/** Traffic summary of one BSP exchange phase. */
+struct ExchangeTraffic
+{
+    /// Max over tiles of on-chip bytes a single tile sends+receives.
+    uint64_t maxTileOnChipBytes = 0;
+    /// Total bytes moved within chips (sum over messages).
+    uint64_t totalOnChipBytes = 0;
+    /// Total bytes crossing chip boundaries.
+    uint64_t totalOffChipBytes = 0;
+    /// Number of chips participating.
+    uint32_t chips = 1;
+};
+
+/** Cycles for the on-chip part of an exchange phase. */
+double onChipExchangeCycles(const IpuArch &arch,
+                            uint64_t max_tile_bytes,
+                            uint64_t total_bytes_per_chip);
+
+/** Cycles for the off-chip part (0 if no off-chip traffic). */
+double offChipExchangeCycles(const IpuArch &arch,
+                             uint64_t total_off_chip_bytes);
+
+/** Full exchange phase: on-chip and off-chip parts overlap poorly on
+ *  the statically scheduled fabric, so they add. */
+double exchangeCycles(const IpuArch &arch, const ExchangeTraffic &t);
+
+/**
+ * Microbenchmark model of the Fig. 5 experiment: m tile pairs exchange
+ * b bytes in each direction; `off_chip` selects whether the pairs span
+ * two chips. Returns modeled IPU cycles (including the closing sync).
+ */
+double pairwiseExchangeCycles(const IpuArch &arch, uint32_t m, uint32_t b,
+                              bool off_chip);
+
+} // namespace parendi::ipu
+
+#endif // PARENDI_IPU_EXCHANGE_HH

@@ -1,0 +1,434 @@
+#include "ipu/machine.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <map>
+#include <thread>
+
+#include "util/logging.hh"
+
+namespace parendi::ipu {
+
+using namespace rtl;
+using fiber::FiberSet;
+using partition::Partitioning;
+using partition::Process;
+
+IpuMachine::IpuMachine(const FiberSet &fs, const Partitioning &parts,
+                       const IpuArch &arch_, const MachineOptions &opt_)
+    : nl(fs.netlist()), arch(arch_), opt(opt_)
+{
+    parts.checkComplete(fs);
+    buildTiles(fs, parts);
+    buildExchange(fs);
+    accountCosts(fs, parts);
+    evalAll();
+}
+
+void
+IpuMachine::buildTiles(const FiberSet &fs, const Partitioning &parts)
+{
+    // Per-chip process counts and capacity check.
+    uint32_t max_chip = 0;
+    std::vector<uint32_t> per_chip(arch.maxChips, 0);
+    for (const Process &p : parts.processes) {
+        if (p.chip < 0 || p.chip >= static_cast<int>(arch.maxChips))
+            fatal("process assigned to chip %d outside machine (max %u)",
+                  p.chip, arch.maxChips);
+        uint32_t chip = static_cast<uint32_t>(p.chip);
+        max_chip = std::max(max_chip, chip);
+        if (++per_chip[chip] > arch.tilesPerChip)
+            fatal("chip %u needs more than %u tiles", chip,
+                  arch.tilesPerChip);
+    }
+    chipsUsed_ = 0;
+    for (uint32_t c = 0; c < arch.maxChips; ++c)
+        if (per_chip[c])
+            ++chipsUsed_;
+
+    tiles.reserve(parts.processes.size());
+    std::vector<uint32_t> next_in_chip(arch.maxChips, 0);
+    for (const Process &p : parts.processes) {
+        uint32_t chip = static_cast<uint32_t>(p.chip);
+        Tile t;
+        t.chip = chip;
+        t.id = chip * arch.tilesPerChip + next_in_chip[chip]++;
+
+        // The tile program: union of the process's fiber cones,
+        // lowered in ascending node id (construction order is
+        // topological by construction of the Netlist API).
+        std::vector<NodeId> nodes;
+        for (uint32_t fi : p.fibers)
+            nodes = partition::sortedUnion(nodes, fs[fi].cone);
+        ProgramBuilder builder(nl);
+        for (NodeId id : nodes)
+            builder.addNode(id);
+        t.prog = builder.build();
+        t.computeCycles =
+            p.ipuCost + static_cast<uint64_t>(arch.tileLoopOverhead);
+
+        uint64_t mem = p.memBytes(fs);
+        maxTileMem = std::max(maxTileMem, mem);
+        maxTileCode = std::max(maxTileCode, p.codeBytes);
+        if (mem > arch.tileMemoryBytes)
+            fatal("process on tile %u needs %llu bytes > tile memory "
+                  "%llu", t.id, static_cast<unsigned long long>(mem),
+                  static_cast<unsigned long long>(arch.tileMemoryBytes));
+        tiles.push_back(std::move(t));
+        // The state must reference the program at its final address
+        // (the vector was reserved above, so elements never move).
+        tiles.back().state =
+            std::make_unique<EvalState>(tiles.back().prog);
+    }
+    if (maxTileCode > arch.tileCodeBytes)
+        warn("largest tile code footprint %llu exceeds the %llu-byte "
+             "executable region",
+             static_cast<unsigned long long>(maxTileCode),
+             static_cast<unsigned long long>(arch.tileCodeBytes));
+}
+
+void
+IpuMachine::buildExchange(const FiberSet &fs)
+{
+    (void)fs;
+    // Register homes: the tile whose program owns each register.
+    regHome.assign(nl.numRegisters(), {UINT32_MAX, 0});
+    for (uint32_t ti = 0; ti < tiles.size(); ++ti)
+        for (const ProgReg &r : tiles[ti].prog.regs)
+            if (r.owned)
+                regHome[r.reg] = {ti, r.cur};
+
+    // Register messages: owner -> every tile holding a non-owned copy.
+    for (uint32_t ti = 0; ti < tiles.size(); ++ti) {
+        for (const ProgReg &r : tiles[ti].prog.regs) {
+            if (r.owned)
+                continue;
+            auto [owner, owner_slot] = regHome[r.reg];
+            if (owner == UINT32_MAX)
+                panic("register %s has readers but no owner tile",
+                      nl.reg(r.reg).name.c_str());
+            RegMessage m;
+            m.ownerTile = owner;
+            m.ownerSlot = owner_slot;
+            m.readerTile = ti;
+            m.readerSlot = r.cur;
+            m.words = static_cast<uint16_t>(wordsFor(r.width));
+            m.bytes = ((r.width + 31) / 32) * 4;
+            regMessages.push_back(m);
+        }
+    }
+
+    // Array write-port broadcasts, in netlist port order per memory.
+    // First index the replicas of each memory.
+    std::vector<std::vector<std::pair<uint32_t, uint32_t>>> replicas(
+        nl.numMemories());
+    for (uint32_t ti = 0; ti < tiles.size(); ++ti)
+        for (uint32_t mi = 0; mi < tiles[ti].prog.mems.size(); ++mi)
+            replicas[tiles[ti].prog.mems[mi].mem].emplace_back(ti, mi);
+
+    for (MemId m = 0; m < nl.numMemories(); ++m) {
+        const Memory &mem = nl.mem(m);
+        for (NodeId port : mem.writePorts) {
+            // Find the tile owning this MemWrite sink: the one whose
+            // program contains the sink node.
+            uint32_t owner = UINT32_MAX;
+            for (uint32_t ti = 0; ti < tiles.size(); ++ti) {
+                if (tiles[ti].prog.slotOf.count(port)) {
+                    owner = ti;
+                    break;
+                }
+            }
+            if (owner == UINT32_MAX)
+                panic("write port of %s not placed", mem.name.c_str());
+            const Node &n = nl.node(port);
+            PortBroadcast b;
+            b.ownerTile = owner;
+            b.addrSlot = tiles[owner].prog.slotOf.at(n.operands[0]);
+            b.addrWidth = nl.widthOf(n.operands[0]);
+            b.dataSlot = tiles[owner].prog.slotOf.at(n.operands[1]);
+            b.enSlot = tiles[owner].prog.slotOf.at(n.operands[2]);
+            b.mem = m;
+            b.entryWords = wordsFor(mem.width);
+            b.depth = mem.depth;
+            b.replicas = replicas[m];
+            broadcasts.push_back(std::move(b));
+        }
+    }
+
+    // Port bindings.
+    inputSlots.assign(nl.numInputs(), {});
+    for (uint32_t ti = 0; ti < tiles.size(); ++ti)
+        for (const ProgPort &p : tiles[ti].prog.inputs)
+            inputSlots[p.port].emplace_back(ti, p.slot);
+    outputSlots.assign(nl.numOutputs(), {UINT32_MAX, 0});
+    for (uint32_t ti = 0; ti < tiles.size(); ++ti)
+        for (const ProgPort &p : tiles[ti].prog.outputs)
+            outputSlots[p.port] = {ti, p.slot};
+}
+
+void
+IpuMachine::accountCosts(const FiberSet &fs, const Partitioning &parts)
+{
+    (void)fs;
+    (void)parts;
+    // t_comp: the straggler tile.
+    uint64_t max_comp = 0;
+    for (const Tile &t : tiles)
+        max_comp = std::max(max_comp, t.computeCycles);
+    costs.tComp = static_cast<double>(max_comp);
+
+    // Exchange traffic. The IPU exchange can multicast: a sender
+    // transmits a value once and any number of same-chip tiles
+    // listen, so sender-side serialization is counted once per value
+    // while each receiver pays for what it receives; the fabric
+    // (congestion) term counts delivered copies.
+    std::vector<uint64_t> tile_on_bytes(tiles.size(), 0);
+    std::vector<uint64_t> chip_on_bytes(arch.maxChips, 0);
+    uint64_t off_bytes = 0;
+    auto account = [&](uint32_t from, uint32_t to, uint64_t bytes,
+                       bool first_copy) {
+        if (tiles[from].chip == tiles[to].chip) {
+            if (first_copy)
+                tile_on_bytes[from] += bytes;
+            tile_on_bytes[to] += bytes;
+            chip_on_bytes[tiles[from].chip] += bytes;
+        } else {
+            // One serialized copy per (value, remote chip).
+            if (first_copy)
+                off_bytes += bytes;
+        }
+    };
+    {
+        // Group per (owner tile, register value) to mark the first
+        // same-chip copy and the first copy per remote chip.
+        std::map<std::pair<uint32_t, uint32_t>, std::vector<bool>>
+            seen; // (owner, slot) -> per-chip first-copy flags
+        for (const RegMessage &m : regMessages) {
+            auto key = std::make_pair(m.ownerTile, m.ownerSlot);
+            auto &flags = seen[key];
+            if (flags.empty())
+                flags.assign(arch.maxChips, false);
+            uint32_t chip = tiles[m.readerTile].chip;
+            bool first = !flags[chip];
+            flags[chip] = true;
+            account(m.ownerTile, m.readerTile, m.bytes, first);
+        }
+    }
+    for (const PortBroadcast &b : broadcasts) {
+        uint64_t diff_bytes =
+            uint64_t{(b.addrWidth + 1u + 31u) / 32u} * 4 +
+            uint64_t{(nl.mem(b.mem).width + 31u) / 32u} * 4;
+        uint64_t full_bytes = nl.mem(b.mem).sizeBytes();
+        std::vector<bool> flags(arch.maxChips, false);
+        for (auto [tile, mi] : b.replicas) {
+            (void)mi;
+            if (tile == b.ownerTile)
+                continue;
+            uint32_t chip = tiles[tile].chip;
+            bool first = !flags[chip];
+            flags[chip] = true;
+            account(b.ownerTile, tile,
+                    opt.differentialExchange ? diff_bytes : full_bytes,
+                    first);
+        }
+    }
+
+    traffic_ = ExchangeTraffic{};
+    traffic_.chips = chipsUsed_;
+    for (uint64_t b : tile_on_bytes)
+        traffic_.maxTileOnChipBytes =
+            std::max(traffic_.maxTileOnChipBytes, b);
+    for (uint64_t b : chip_on_bytes)
+        traffic_.totalOnChipBytes += b;
+    traffic_.totalOffChipBytes = off_bytes;
+
+    uint64_t max_chip_bytes = 0;
+    for (uint64_t b : chip_on_bytes)
+        max_chip_bytes = std::max(max_chip_bytes, b);
+    costs.tCommOn = onChipExchangeCycles(
+        arch, traffic_.maxTileOnChipBytes, max_chip_bytes);
+    costs.tCommOff = offChipExchangeCycles(arch, off_bytes);
+    costs.tSync =
+        2.0 * arch.barrierCycles(tilesUsed(), chipsUsed_);
+}
+
+void
+IpuMachine::evalAll()
+{
+    // The BSP compute phase: every tile evaluates only its private
+    // state, so tiles can run on host worker threads with no locking
+    // — the join below is the (host-side) barrier.
+    if (opt.hostThreads < 2 || tiles.size() < 2 * opt.hostThreads) {
+        for (Tile &t : tiles)
+            t.state->evalComb();
+        return;
+    }
+    uint32_t nthreads = opt.hostThreads;
+    std::vector<std::thread> workers;
+    workers.reserve(nthreads);
+    std::atomic<size_t> next{0};
+    for (uint32_t w = 0; w < nthreads; ++w) {
+        workers.emplace_back([&]() {
+            for (;;) {
+                size_t i = next.fetch_add(1);
+                if (i >= tiles.size())
+                    return;
+                tiles[i].state->evalComb();
+            }
+        });
+    }
+    for (std::thread &t : workers)
+        t.join();
+}
+
+void
+IpuMachine::step(size_t n)
+{
+    for (size_t i = 0; i < n; ++i) {
+        // End of compute phase: commit array writes to all replicas,
+        // in global port order (differential exchange).
+        for (const PortBroadcast &b : broadcasts) {
+            EvalState &owner = *tiles[b.ownerTile].state;
+            if (!(owner.slotPtr(b.enSlot)[0] & 1))
+                continue;
+            // Saturating address read.
+            uint64_t addr = owner.slotPtr(b.addrSlot)[0];
+            for (uint32_t w = 1; w < wordsFor(b.addrWidth); ++w)
+                if (owner.slotPtr(b.addrSlot)[w])
+                    addr = UINT64_MAX;
+            if (addr >= b.depth)
+                continue;
+            const uint64_t *data = owner.slotPtr(b.dataSlot);
+            for (auto [tile, mi] : b.replicas) {
+                uint64_t *img = tiles[tile].state->memImage(mi).data() +
+                    addr * b.entryWords;
+                std::memcpy(img, data, b.entryWords * sizeof(uint64_t));
+            }
+        }
+        // Latch locally owned registers.
+        for (Tile &t : tiles)
+            t.state->latchRegisters();
+        // Exchange register values to reader tiles.
+        for (const RegMessage &m : regMessages) {
+            const uint64_t *src =
+                tiles[m.ownerTile].state->slotPtr(m.ownerSlot);
+            uint64_t *dst =
+                tiles[m.readerTile].state->slotPtr(m.readerSlot);
+            std::memcpy(dst, src, m.words * sizeof(uint64_t));
+        }
+        // Next compute phase.
+        evalAll();
+        ++cycleCount;
+    }
+}
+
+void
+IpuMachine::reset()
+{
+    for (Tile &t : tiles)
+        t.state->reset();
+    evalAll();
+    cycleCount = 0;
+}
+
+void
+IpuMachine::poke(const std::string &input, const BitVec &value)
+{
+    PortId id = nl.findInput(input);
+    if (id == nl.numInputs())
+        fatal("no input port named %s", input.c_str());
+    if (value.width() != nl.input(id).width)
+        fatal("poke %s: width mismatch", input.c_str());
+    for (auto [tile, slot] : inputSlots[id]) {
+        tiles[tile].state->writeSlot(slot, value);
+        tiles[tile].state->evalComb();
+    }
+}
+
+void
+IpuMachine::poke(const std::string &input, uint64_t value)
+{
+    PortId id = nl.findInput(input);
+    if (id == nl.numInputs())
+        fatal("no input port named %s", input.c_str());
+    poke(input, BitVec(nl.input(id).width, value));
+}
+
+BitVec
+IpuMachine::peek(const std::string &output) const
+{
+    PortId id = nl.findOutput(output);
+    if (id == nl.numOutputs())
+        fatal("no output port named %s", output.c_str());
+    auto [tile, slot] = outputSlots[id];
+    if (tile == UINT32_MAX)
+        fatal("output %s not placed", output.c_str());
+    return tiles[tile].state->readSlot(slot, nl.output(id).width);
+}
+
+void
+IpuMachine::save(std::ostream &out) const
+{
+    out.write(reinterpret_cast<const char *>(&cycleCount),
+              sizeof(cycleCount));
+    uint64_t ntiles = tiles.size();
+    out.write(reinterpret_cast<const char *>(&ntiles),
+              sizeof(ntiles));
+    for (const Tile &t : tiles)
+        t.state->save(out);
+}
+
+void
+IpuMachine::restore(std::istream &in)
+{
+    in.read(reinterpret_cast<char *>(&cycleCount),
+            sizeof(cycleCount));
+    uint64_t ntiles = 0;
+    in.read(reinterpret_cast<char *>(&ntiles), sizeof(ntiles));
+    if (!in || ntiles != tiles.size())
+        fatal("checkpoint mismatch: tile count");
+    for (Tile &t : tiles)
+        t.state->restore(in);
+}
+
+BitVec
+IpuMachine::peekMemory(const std::string &mem, uint64_t index) const
+{
+    MemId id = nl.findMemory(mem);
+    if (id == nl.numMemories())
+        fatal("no memory named %s", mem.c_str());
+    for (const Tile &t : tiles) {
+        for (uint32_t mi = 0; mi < t.prog.mems.size(); ++mi) {
+            const ProgMem &pm = t.prog.mems[mi];
+            if (pm.mem != id)
+                continue;
+            if (index >= pm.depth)
+                fatal("memory %s index %llu out of range",
+                      mem.c_str(),
+                      static_cast<unsigned long long>(index));
+            const auto &img = t.state->memImage(mi);
+            std::vector<uint64_t> words(
+                img.begin() + index * pm.entryWords,
+                img.begin() + (index + 1) * pm.entryWords);
+            return BitVec(nl.mem(id).width, std::move(words));
+        }
+    }
+    fatal("memory %s not placed on any tile", mem.c_str());
+}
+
+BitVec
+IpuMachine::peekRegister(const std::string &reg) const
+{
+    RegId id = nl.findRegister(reg);
+    if (id == nl.numRegisters())
+        fatal("no register named %s", reg.c_str());
+    auto [tile, slot] = regHome[id];
+    if (tile == UINT32_MAX)
+        fatal("register %s not placed", reg.c_str());
+    return tiles[tile].state->readSlot(slot, nl.reg(id).width);
+}
+
+} // namespace parendi::ipu

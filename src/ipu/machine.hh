@@ -1,0 +1,188 @@
+/**
+ * @file
+ * The simulated IPU system executing a compiled BSP RTL simulation.
+ *
+ * Functionally, every process of a Partitioning becomes a tile: an
+ * EvalProgram holding the union of its fibers' cones (duplicated nodes
+ * and all, exactly like the generated poplar codelets of the real
+ * Parendi). One simulated RTL cycle is:
+ *
+ *   compute   : every tile evaluates its combinational program
+ *   barrier   : (modeled)
+ *   exchange  : array write ports are broadcast to replicas
+ *               (differential exchange, paper §5.2) and register values
+ *               flow from owner tiles to reader tiles
+ *   barrier   : (modeled)
+ *
+ * Performance is accounted analytically per RTL cycle from the
+ * partitioning and the IpuArch cost model (t_sync + t_comm + t_comp,
+ * paper Eq. 1); because the simulation is full-cycle, the per-cycle
+ * cost is static.
+ */
+
+#ifndef PARENDI_IPU_MACHINE_HH
+#define PARENDI_IPU_MACHINE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ipu/arch.hh"
+#include "ipu/exchange.hh"
+#include "partition/process.hh"
+#include "rtl/eval.hh"
+
+namespace parendi::ipu {
+
+/** The three BSP cost components of one simulated RTL cycle. */
+struct CycleCosts
+{
+    double tSync = 0;
+    double tCommOn = 0;
+    double tCommOff = 0;
+    double tComp = 0;
+
+    double
+    total() const
+    {
+        return tSync + tCommOn + tCommOff + tComp;
+    }
+
+    double
+    tComm() const
+    {
+        return tCommOn + tCommOff;
+    }
+};
+
+struct MachineOptions
+{
+    /** Model differential array exchange (§5.2); when false, remote
+     *  array replicas are modeled as receiving full copies each cycle
+     *  (functional behaviour is unchanged — this is the ablation). */
+    bool differentialExchange = true;
+
+    /** Host worker threads for the functional compute phase (BSP
+     *  makes this trivially safe: tiles only touch private state
+     *  between barriers). 0 = sequential execution. */
+    uint32_t hostThreads = 0;
+};
+
+/** One tile's compiled program and run state. */
+struct Tile
+{
+    uint32_t id;                ///< global tile id
+    uint32_t chip;
+    rtl::EvalProgram prog;
+    std::unique_ptr<rtl::EvalState> state;
+    uint64_t computeCycles = 0; ///< modeled cycles per RTL cycle
+};
+
+class IpuMachine
+{
+  public:
+    IpuMachine(const fiber::FiberSet &fs,
+               const partition::Partitioning &parts,
+               const IpuArch &arch = IpuArch{},
+               const MachineOptions &opt = MachineOptions{});
+
+    // -- Functional simulation -------------------------------------------
+
+    /** Simulate @p n RTL cycles. */
+    void step(size_t n = 1);
+
+    void reset();
+    uint64_t cycles() const { return cycleCount; }
+
+    void poke(const std::string &input, const rtl::BitVec &value);
+    void poke(const std::string &input, uint64_t value);
+    rtl::BitVec peek(const std::string &output) const;
+    rtl::BitVec peekRegister(const std::string &reg) const;
+    /** Read one entry of a memory (from any replica; the
+     *  differential exchange keeps them identical). */
+    rtl::BitVec peekMemory(const std::string &mem,
+                           uint64_t index) const;
+
+    /** Checkpoint the state of every tile (plus the cycle count). */
+    void save(std::ostream &out) const;
+    /** Restore a checkpoint from the same compiled configuration. */
+    void restore(std::istream &in);
+
+    // -- Performance model -----------------------------------------------
+
+    const CycleCosts &cycleCosts() const { return costs; }
+    double rateKHz() const { return arch.rateKHz(costs.total()); }
+    const ExchangeTraffic &traffic() const { return traffic_; }
+
+    uint32_t tilesUsed() const { return static_cast<uint32_t>(
+        tiles.size()); }
+    uint32_t chipsUsed() const { return chipsUsed_; }
+
+    /** Largest per-tile memory footprint (bytes). */
+    uint64_t maxTileMemBytes() const { return maxTileMem; }
+    /** Largest per-tile code footprint (bytes). */
+    uint64_t maxTileCodeBytes() const { return maxTileCode; }
+
+    const IpuArch &architecture() const { return arch; }
+
+  private:
+    struct RegMessage
+    {
+        uint32_t ownerTile;
+        uint32_t ownerSlot;     ///< cur slot in owner (post-latch value)
+        uint32_t readerTile;
+        uint32_t readerSlot;
+        uint16_t words;
+        uint32_t bytes;         ///< exchange payload (4B granules)
+    };
+
+    struct PortBroadcast       ///< one array write port fanned out
+    {
+        uint32_t ownerTile;
+        uint32_t addrSlot;
+        uint16_t addrWidth;
+        uint32_t dataSlot;
+        uint32_t enSlot;
+        rtl::MemId mem;
+        uint32_t entryWords;
+        uint32_t depth;
+        /// (tile, program-local memory index) of every replica.
+        std::vector<std::pair<uint32_t, uint32_t>> replicas;
+    };
+
+    void buildTiles(const fiber::FiberSet &fs,
+                    const partition::Partitioning &parts);
+    void buildExchange(const fiber::FiberSet &fs);
+    void accountCosts(const fiber::FiberSet &fs,
+                      const partition::Partitioning &parts);
+    void evalAll();
+
+    const rtl::Netlist &nl;
+    IpuArch arch;
+    MachineOptions opt;
+
+    std::vector<Tile> tiles;
+    uint32_t chipsUsed_ = 1;
+
+    std::vector<RegMessage> regMessages;
+    std::vector<PortBroadcast> broadcasts;
+
+    /// input port -> [(tile, slot)] replicas
+    std::vector<std::vector<std::pair<uint32_t, uint32_t>>> inputSlots;
+    /// output port -> (tile, slot)
+    std::vector<std::pair<uint32_t, uint32_t>> outputSlots;
+    /// register -> (tile, cur slot) of its owner
+    std::vector<std::pair<uint32_t, uint32_t>> regHome;
+
+    CycleCosts costs;
+    ExchangeTraffic traffic_;
+    uint64_t maxTileMem = 0;
+    uint64_t maxTileCode = 0;
+    uint64_t cycleCount = 0;
+};
+
+} // namespace parendi::ipu
+
+#endif // PARENDI_IPU_MACHINE_HH

@@ -1,0 +1,369 @@
+#include "partition/hypergraph.hh"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+#include "partition/makespan.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace parendi::partition {
+
+uint32_t
+Hypergraph::addNode(uint64_t weight)
+{
+    nodeWeight.push_back(weight);
+    return static_cast<uint32_t>(nodeWeight.size() - 1);
+}
+
+bool
+Hypergraph::addEdge(uint64_t weight, std::vector<uint32_t> edge_pins)
+{
+    std::sort(edge_pins.begin(), edge_pins.end());
+    edge_pins.erase(std::unique(edge_pins.begin(), edge_pins.end()),
+                    edge_pins.end());
+    if (edge_pins.size() < 2)
+        return false;
+    edgeWeight.push_back(weight);
+    pins.push_back(std::move(edge_pins));
+    return true;
+}
+
+void
+Hypergraph::buildIncidence()
+{
+    incident.assign(numNodes(), {});
+    for (uint32_t e = 0; e < numEdges(); ++e)
+        for (uint32_t v : pins[e])
+            incident[v].push_back(e);
+}
+
+uint64_t
+Hypergraph::totalNodeWeight() const
+{
+    return std::accumulate(nodeWeight.begin(), nodeWeight.end(),
+                           uint64_t{0});
+}
+
+uint64_t
+connectivityCost(const Hypergraph &hg, const std::vector<uint32_t> &part,
+                 uint32_t k)
+{
+    (void)k;
+    uint64_t cost = 0;
+    std::vector<uint32_t> seen;
+    for (uint32_t e = 0; e < hg.numEdges(); ++e) {
+        seen.clear();
+        for (uint32_t v : hg.pins[e])
+            seen.push_back(part[v]);
+        std::sort(seen.begin(), seen.end());
+        seen.erase(std::unique(seen.begin(), seen.end()), seen.end());
+        cost += hg.edgeWeight[e] * (seen.size() - 1);
+    }
+    return cost;
+}
+
+uint64_t
+cutCost(const Hypergraph &hg, const std::vector<uint32_t> &part)
+{
+    uint64_t cost = 0;
+    for (uint32_t e = 0; e < hg.numEdges(); ++e) {
+        uint32_t first = part[hg.pins[e][0]];
+        for (uint32_t v : hg.pins[e]) {
+            if (part[v] != first) {
+                cost += hg.edgeWeight[e];
+                break;
+            }
+        }
+    }
+    return cost;
+}
+
+namespace {
+
+/** Per-edge pin counts per part, kept as small sorted vectors since
+ *  most edges touch only a handful of parts even for large k. */
+struct EdgeParts
+{
+    std::vector<std::pair<uint32_t, uint32_t>> counts; // (part, pins)
+
+    uint32_t
+    lambda() const
+    {
+        return static_cast<uint32_t>(counts.size());
+    }
+
+    uint32_t
+    countOf(uint32_t part) const
+    {
+        for (const auto &[p, c] : counts)
+            if (p == part)
+                return c;
+        return 0;
+    }
+
+    void
+    add(uint32_t part)
+    {
+        for (auto &[p, c] : counts) {
+            if (p == part) {
+                ++c;
+                return;
+            }
+        }
+        counts.emplace_back(part, 1);
+    }
+
+    void
+    remove(uint32_t part)
+    {
+        for (size_t i = 0; i < counts.size(); ++i) {
+            if (counts[i].first == part) {
+                if (--counts[i].second == 0) {
+                    counts[i] = counts.back();
+                    counts.pop_back();
+                }
+                return;
+            }
+        }
+        panic("EdgeParts::remove: part %u not present", part);
+    }
+};
+
+/**
+ * One greedy FM-style refinement pass: visit nodes in random order and
+ * apply the best positive-gain (connectivity-1) move that keeps
+ * balance. Returns number of moves applied.
+ */
+size_t
+refinePass(const Hypergraph &hg, std::vector<uint32_t> &part,
+           std::vector<EdgeParts> &edge_parts,
+           std::vector<uint64_t> &part_weight, uint64_t max_part_weight,
+           Rng &rng)
+{
+    size_t moves = 0;
+    std::vector<uint32_t> order(hg.numNodes());
+    std::iota(order.begin(), order.end(), 0);
+    for (size_t i = order.size(); i > 1; --i)
+        std::swap(order[i - 1], order[rng.below(i)]);
+
+    for (uint32_t v : order) {
+        uint32_t from = part[v];
+        // Candidate target parts: parts present on incident edges.
+        std::vector<uint32_t> cands;
+        for (uint32_t e : hg.incident[v])
+            for (const auto &[p, c] : edge_parts[e].counts)
+                if (p != from)
+                    cands.push_back(p);
+        std::sort(cands.begin(), cands.end());
+        cands.erase(std::unique(cands.begin(), cands.end()), cands.end());
+        if (cands.empty())
+            continue;
+
+        int64_t best_gain = 0;
+        uint32_t best_to = from;
+        for (uint32_t to : cands) {
+            if (part_weight[to] + hg.nodeWeight[v] > max_part_weight)
+                continue;
+            int64_t gain = 0;
+            for (uint32_t e : hg.incident[v]) {
+                const EdgeParts &ep = edge_parts[e];
+                int64_t w = static_cast<int64_t>(hg.edgeWeight[e]);
+                // Moving v: if v is the last pin of `from` on e,
+                // lambda drops by 1 unless `to` is new on e.
+                bool leaves_from = ep.countOf(from) == 1;
+                bool enters_to = ep.countOf(to) == 0;
+                if (leaves_from && !enters_to)
+                    gain += w;
+                if (!leaves_from && enters_to)
+                    gain -= w;
+            }
+            if (gain > best_gain ||
+                (gain == best_gain && best_to != from &&
+                 part_weight[to] < part_weight[best_to])) {
+                best_gain = gain;
+                best_to = to;
+            }
+        }
+        if (best_to == from || best_gain <= 0)
+            continue;
+        // Apply the move.
+        for (uint32_t e : hg.incident[v]) {
+            edge_parts[e].remove(from);
+            edge_parts[e].add(best_to);
+        }
+        part_weight[from] -= hg.nodeWeight[v];
+        part_weight[best_to] += hg.nodeWeight[v];
+        part[v] = best_to;
+        ++moves;
+    }
+    return moves;
+}
+
+void
+refine(const Hypergraph &hg, std::vector<uint32_t> &part,
+       const HgOptions &opt, uint64_t max_part_weight, Rng &rng)
+{
+    std::vector<EdgeParts> edge_parts(hg.numEdges());
+    for (uint32_t e = 0; e < hg.numEdges(); ++e)
+        for (uint32_t v : hg.pins[e])
+            edge_parts[e].add(part[v]);
+    std::vector<uint64_t> part_weight(opt.k, 0);
+    for (uint32_t v = 0; v < hg.numNodes(); ++v)
+        part_weight[part[v]] += hg.nodeWeight[v];
+
+    for (int pass = 0; pass < opt.refinePasses; ++pass) {
+        size_t moves = refinePass(hg, part, edge_parts, part_weight,
+                                  max_part_weight, rng);
+        if (moves == 0)
+            break;
+    }
+}
+
+/** Heavy-edge matching contraction. Returns fine->coarse mapping and
+ *  the coarse hypergraph; nullopt-style empty mapping if no progress. */
+struct CoarseLevel
+{
+    Hypergraph hg;
+    std::vector<uint32_t> fineToCoarse;
+};
+
+bool
+coarsen(const Hypergraph &fine, uint64_t max_cluster_weight, Rng &rng,
+        CoarseLevel &out)
+{
+    size_t n = fine.numNodes();
+    std::vector<uint32_t> match(n, UINT32_MAX);
+    std::vector<uint32_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    for (size_t i = n; i > 1; --i)
+        std::swap(order[i - 1], order[rng.below(i)]);
+
+    size_t matched = 0;
+    std::unordered_map<uint32_t, double> rating;
+    for (uint32_t u : order) {
+        if (match[u] != UINT32_MAX)
+            continue;
+        rating.clear();
+        for (uint32_t e : fine.incident[u]) {
+            if (fine.pins[e].size() > 64)
+                continue; // skip huge edges: poor signal, costly
+            double r = static_cast<double>(fine.edgeWeight[e]) /
+                (static_cast<double>(fine.pins[e].size()) - 1.0);
+            for (uint32_t v : fine.pins[e])
+                if (v != u && match[v] == UINT32_MAX)
+                    rating[v] += r;
+        }
+        uint32_t best = UINT32_MAX;
+        double best_r = 0.0;
+        for (const auto &[v, r] : rating) {
+            if (fine.nodeWeight[u] + fine.nodeWeight[v] >
+                max_cluster_weight)
+                continue;
+            if (r > best_r || (r == best_r && v < best)) {
+                best_r = r;
+                best = v;
+            }
+        }
+        if (best != UINT32_MAX) {
+            match[u] = best;
+            match[best] = u;
+            matched += 2;
+        }
+    }
+    if (matched < n / 20)
+        return false; // negligible progress
+
+    // Assign coarse ids.
+    out.fineToCoarse.assign(n, UINT32_MAX);
+    uint32_t next_id = 0;
+    for (uint32_t u = 0; u < n; ++u) {
+        if (out.fineToCoarse[u] != UINT32_MAX)
+            continue;
+        out.fineToCoarse[u] = next_id;
+        if (match[u] != UINT32_MAX)
+            out.fineToCoarse[match[u]] = next_id;
+        ++next_id;
+    }
+    out.hg = Hypergraph{};
+    out.hg.nodeWeight.assign(next_id, 0);
+    for (uint32_t u = 0; u < n; ++u)
+        out.hg.nodeWeight[out.fineToCoarse[u]] += fine.nodeWeight[u];
+    for (uint32_t e = 0; e < fine.numEdges(); ++e) {
+        std::vector<uint32_t> cpins;
+        cpins.reserve(fine.pins[e].size());
+        for (uint32_t v : fine.pins[e])
+            cpins.push_back(out.fineToCoarse[v]);
+        out.hg.addEdge(fine.edgeWeight[e], std::move(cpins));
+    }
+    out.hg.buildIncidence();
+    return true;
+}
+
+/** Balanced greedy initial partition: LPT on node weights. */
+std::vector<uint32_t>
+initialPartition(const Hypergraph &hg, const HgOptions &opt)
+{
+    Schedule s = lptSchedule(hg.nodeWeight, opt.k);
+    return s.binOf;
+}
+
+} // namespace
+
+std::vector<uint32_t>
+partitionHypergraph(const Hypergraph &hg_in, const HgOptions &opt)
+{
+    if (opt.k == 0)
+        fatal("partitionHypergraph: k must be positive");
+    if (hg_in.numNodes() == 0)
+        return {};
+    if (opt.k == 1)
+        return std::vector<uint32_t>(hg_in.numNodes(), 0);
+
+    Rng rng(opt.seed);
+    uint64_t total = hg_in.totalNodeWeight();
+    uint64_t max_part_weight = static_cast<uint64_t>(
+        static_cast<double>(total) / opt.k * (1.0 + opt.epsilon)) + 1;
+    // Never let a single cluster exceed the part budget during
+    // coarsening, or balance becomes unachievable.
+    uint64_t max_cluster_weight = std::max<uint64_t>(
+        max_part_weight / 4, 1);
+
+    size_t target = opt.coarsenTarget
+        ? opt.coarsenTarget
+        : std::max<size_t>(static_cast<size_t>(opt.k) * 16, 64);
+
+    // Build the V-cycle.
+    std::vector<CoarseLevel> levels;
+    const Hypergraph *cur = &hg_in;
+    Hypergraph first = hg_in;
+    if (first.incident.empty() ||
+        first.incident.size() != first.numNodes())
+        first.buildIncidence();
+    cur = &first;
+    while (cur->numNodes() > target) {
+        CoarseLevel lvl;
+        if (!coarsen(*cur, max_cluster_weight, rng, lvl))
+            break;
+        levels.push_back(std::move(lvl));
+        cur = &levels.back().hg;
+    }
+
+    std::vector<uint32_t> part = initialPartition(*cur, opt);
+    refine(*cur, part, opt, max_part_weight, rng);
+
+    // Uncoarsen with refinement at each level.
+    for (size_t li = levels.size(); li-- > 0;) {
+        const Hypergraph &fine =
+            li == 0 ? first : levels[li - 1].hg;
+        std::vector<uint32_t> fine_part(fine.numNodes());
+        for (uint32_t v = 0; v < fine.numNodes(); ++v)
+            fine_part[v] = part[levels[li].fineToCoarse[v]];
+        part = std::move(fine_part);
+        refine(fine, part, opt, max_part_weight, rng);
+    }
+    return part;
+}
+
+} // namespace parendi::partition

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * A weighted hypergraph and a multilevel k-way partitioner (heavy-edge
+ * coarsening, greedy initial partition, FM-style refinement). This is
+ * the stand-in for the KaHyPar library used by paper §5.1 stage 2 (and
+ * for the RepCut-style "H" strategy of §6.4.1).
+ */
+
+#ifndef PARENDI_PARTITION_HYPERGRAPH_HH
+#define PARENDI_PARTITION_HYPERGRAPH_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace parendi::partition {
+
+/** Pin-list hypergraph with integer node and edge weights. */
+struct Hypergraph
+{
+    std::vector<uint64_t> nodeWeight;
+    std::vector<uint64_t> edgeWeight;
+    std::vector<std::vector<uint32_t>> pins;      ///< edge -> nodes
+    std::vector<std::vector<uint32_t>> incident;  ///< node -> edges
+
+    size_t numNodes() const { return nodeWeight.size(); }
+    size_t numEdges() const { return edgeWeight.size(); }
+
+    uint32_t addNode(uint64_t weight);
+    /** Add a hyperedge; duplicate pins are removed; edges with fewer
+     *  than two distinct pins are dropped (returns false). */
+    bool addEdge(uint64_t weight, std::vector<uint32_t> edge_pins);
+
+    /** (Re)build the node->edges incidence lists. */
+    void buildIncidence();
+
+    uint64_t totalNodeWeight() const;
+};
+
+struct HgOptions
+{
+    uint32_t k = 2;             ///< number of parts
+    double epsilon = 0.05;      ///< balance slack
+    uint64_t seed = 1;
+    int refinePasses = 4;
+    size_t coarsenTarget = 0;   ///< 0 = auto (16*k, min 64)
+};
+
+/** Connectivity-1 objective: Σ_e w(e) · (λ(e) − 1). */
+uint64_t connectivityCost(const Hypergraph &hg,
+                          const std::vector<uint32_t> &part, uint32_t k);
+
+/** Cut-net objective: Σ_{e : λ(e)>1} w(e). */
+uint64_t cutCost(const Hypergraph &hg, const std::vector<uint32_t> &part);
+
+/**
+ * Multilevel k-way partition minimizing connectivity-1 under the
+ * balance constraint (per-part node weight ≤ (1+ε)·total/k).
+ * Returns the part id of each node.
+ */
+std::vector<uint32_t> partitionHypergraph(const Hypergraph &hg,
+                                          const HgOptions &opt);
+
+} // namespace parendi::partition
+
+#endif // PARENDI_PARTITION_HYPERGRAPH_HH

@@ -1,0 +1,58 @@
+#include "partition/makespan.hh"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "util/logging.hh"
+
+namespace parendi::partition {
+
+Schedule
+lptSchedule(const std::vector<uint64_t> &costs, uint32_t bins)
+{
+    if (bins == 0)
+        fatal("lptSchedule: zero bins");
+    Schedule s;
+    s.binOf.assign(costs.size(), 0);
+    s.binLoad.assign(bins, 0);
+
+    std::vector<uint32_t> order(costs.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](uint32_t a, uint32_t b) {
+                         return costs[a] > costs[b];
+                     });
+
+    // Min-heap of (load, bin).
+    using Entry = std::pair<uint64_t, uint32_t>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+    for (uint32_t b = 0; b < bins; ++b)
+        heap.push({0, b});
+
+    for (uint32_t item : order) {
+        auto [load, bin] = heap.top();
+        heap.pop();
+        s.binOf[item] = bin;
+        load += costs[item];
+        s.binLoad[bin] = load;
+        heap.push({load, bin});
+    }
+    s.makespan = *std::max_element(s.binLoad.begin(), s.binLoad.end());
+    return s;
+}
+
+uint64_t
+makespanLowerBound(const std::vector<uint64_t> &costs, uint32_t bins)
+{
+    if (bins == 0)
+        fatal("makespanLowerBound: zero bins");
+    uint64_t sum = 0, biggest = 0;
+    for (uint64_t c : costs) {
+        sum += c;
+        biggest = std::max(biggest, c);
+    }
+    return std::max((sum + bins - 1) / bins, biggest);
+}
+
+} // namespace parendi::partition

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Classical multiprocessor scheduling (makespan minimization) used as
+ * the duplication-oblivious baseline (paper §4.3): LPT (longest
+ * processing time first), a 4/3-approximation.
+ */
+
+#ifndef PARENDI_PARTITION_MAKESPAN_HH
+#define PARENDI_PARTITION_MAKESPAN_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace parendi::partition {
+
+/** Result of a makespan schedule. */
+struct Schedule
+{
+    std::vector<uint32_t> binOf;        ///< item -> bin
+    std::vector<uint64_t> binLoad;      ///< total cost per bin
+    uint64_t makespan = 0;              ///< max bin load
+};
+
+/**
+ * LPT schedule of @p costs onto @p bins machines.
+ * Items with zero cost are still assigned (round robin over bins).
+ */
+Schedule lptSchedule(const std::vector<uint64_t> &costs, uint32_t bins);
+
+/** Lower bounds: max(ceil(sum/bins), max_i cost_i). */
+uint64_t makespanLowerBound(const std::vector<uint64_t> &costs,
+                            uint32_t bins);
+
+} // namespace parendi::partition
+
+#endif // PARENDI_PARTITION_MAKESPAN_HH

@@ -1,0 +1,407 @@
+#include "partition/merge.hh"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+#include <tuple>
+
+#include "partition/hypergraph.hh"
+#include "util/logging.hh"
+
+namespace parendi::partition {
+
+using fiber::FiberSet;
+
+namespace {
+
+/** Union-find for stage 1. */
+struct UnionFind
+{
+    std::vector<uint32_t> parent;
+
+    explicit UnionFind(size_t n) : parent(n)
+    {
+        std::iota(parent.begin(), parent.end(), 0);
+    }
+
+    uint32_t
+    find(uint32_t x)
+    {
+        while (parent[x] != x) {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        return x;
+    }
+
+    void
+    unite(uint32_t a, uint32_t b)
+    {
+        a = find(a);
+        b = find(b);
+        if (a != b)
+            parent[b] = a;
+    }
+};
+
+} // namespace
+
+std::vector<Process>
+initialProcesses(const FiberSet &fs, const MergeOptions &opt)
+{
+    const rtl::Netlist &nl = fs.netlist();
+    UnionFind uf(fs.size());
+
+    // Stage 1: fibers referencing the same large array must share a
+    // tile, so only one copy of the array exists.
+    std::vector<uint32_t> array_rep(nl.numMemories(), UINT32_MAX);
+    for (uint32_t fi = 0; fi < fs.size(); ++fi) {
+        for (rtl::MemId m : fs[fi].memsUsed) {
+            if (nl.mem(m).sizeBytes() < opt.largeArrayBytes)
+                continue;
+            if (array_rep[m] == UINT32_MAX)
+                array_rep[m] = fi;
+            else
+                uf.unite(array_rep[m], fi);
+        }
+    }
+
+    // Group fibers by root.
+    std::vector<std::vector<uint32_t>> groups(fs.size());
+    for (uint32_t fi = 0; fi < fs.size(); ++fi)
+        groups[uf.find(fi)].push_back(fi);
+
+    std::vector<Process> procs;
+    for (auto &g : groups) {
+        if (g.empty())
+            continue;
+        Process p = Process::fromFiber(fs, g[0]);
+        for (size_t i = 1; i < g.size(); ++i)
+            p = Process::merged(fs, p, Process::fromFiber(fs, g[i]));
+        procs.push_back(std::move(p));
+    }
+    return procs;
+}
+
+uint64_t
+assignChips(const FiberSet &fs, std::vector<Process> &procs,
+            uint32_t chips, const MergeOptions &opt)
+{
+    if (chips <= 1) {
+        for (Process &p : procs)
+            p.chip = 0;
+        return 0;
+    }
+
+    // Hypergraph: nodes = processes (weight = compute cost), one
+    // hyperedge per register connecting its writer and readers
+    // (weight = register words, paper §5.1 stage 2).
+    const rtl::Netlist &nl = fs.netlist();
+    Hypergraph hg;
+    for (const Process &p : procs)
+        hg.addNode(std::max<uint64_t>(p.ipuCost, 1));
+
+    std::vector<std::vector<uint32_t>> touching(nl.numRegisters());
+    for (uint32_t pi = 0; pi < procs.size(); ++pi) {
+        for (rtl::RegId r : procs[pi].regsRead)
+            touching[r].push_back(pi);
+        for (rtl::RegId r : procs[pi].regsOwned)
+            touching[r].push_back(pi);
+    }
+    for (rtl::RegId r = 0; r < nl.numRegisters(); ++r)
+        hg.addEdge((nl.reg(r).width + 31) / 32, touching[r]);
+    hg.buildIncidence();
+
+    HgOptions hopt;
+    hopt.k = chips;
+    hopt.seed = opt.seed;
+    std::vector<uint32_t> part = partitionHypergraph(hg, hopt);
+    for (uint32_t pi = 0; pi < procs.size(); ++pi)
+        procs[pi].chip = static_cast<int>(part[pi]);
+
+    // Off-chip cut: register bytes whose writer and a reader differ
+    // in chip (counted once per (reg, remote chip) pair).
+    uint64_t cut = 0;
+    for (rtl::RegId r = 0; r < nl.numRegisters(); ++r) {
+        int writer_chip = -1;
+        for (uint32_t pi : touching[r])
+            if (std::binary_search(procs[pi].regsOwned.begin(),
+                                   procs[pi].regsOwned.end(), r))
+                writer_chip = procs[pi].chip;
+        if (writer_chip < 0)
+            continue;
+        std::vector<int> remote;
+        for (uint32_t pi : touching[r])
+            if (procs[pi].chip != writer_chip &&
+                std::binary_search(procs[pi].regsRead.begin(),
+                                   procs[pi].regsRead.end(), r))
+                remote.push_back(procs[pi].chip);
+        std::sort(remote.begin(), remote.end());
+        remote.erase(std::unique(remote.begin(), remote.end()),
+                     remote.end());
+        cut += remote.size() * fs.regBytes(r);
+    }
+    return cut;
+}
+
+namespace {
+
+/**
+ * Worklist driver for stages 3 and 4. `relaxed` = stage 4 (allow
+ * makespan growth). Mutates procs in place (dead entries flagged).
+ */
+struct Merger
+{
+    const FiberSet &fs;
+    const MergeOptions &opt;
+    std::vector<Process> &procs;
+    std::vector<bool> live;
+    std::vector<bool> skipped;
+    std::vector<uint32_t> version;
+    size_t liveCount;
+    uint64_t straggler;
+
+    // reg -> owning process; reg -> (possibly stale) reader list.
+    std::vector<uint32_t> regOwner;
+    std::vector<std::vector<uint32_t>> regReaders;
+
+    using HeapEntry = std::tuple<uint64_t, uint32_t, uint32_t>;
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                        std::greater<>> heap;
+
+    Merger(const FiberSet &fs_, const MergeOptions &opt_,
+           std::vector<Process> &procs_)
+        : fs(fs_), opt(opt_), procs(procs_)
+    {
+        live.assign(procs.size(), true);
+        skipped.assign(procs.size(), false);
+        version.assign(procs.size(), 0);
+        liveCount = procs.size();
+        straggler = 0;
+        regOwner.assign(fs.netlist().numRegisters(), UINT32_MAX);
+        regReaders.assign(fs.netlist().numRegisters(), {});
+        for (uint32_t pi = 0; pi < procs.size(); ++pi) {
+            straggler = std::max(straggler, procs[pi].ipuCost);
+            for (rtl::RegId r : procs[pi].regsOwned)
+                regOwner[r] = pi;
+            for (rtl::RegId r : procs[pi].regsRead)
+                regReaders[r].push_back(pi);
+            heap.push({procs[pi].ipuCost, version[pi], pi});
+        }
+    }
+
+    /** Neighbors of pi: processes it exchanges registers with. */
+    std::vector<uint32_t>
+    neighbors(uint32_t pi)
+    {
+        std::vector<uint32_t> out;
+        const Process &p = procs[pi];
+        for (rtl::RegId r : p.regsRead) {
+            uint32_t o = regOwner[r];
+            if (o != UINT32_MAX && o != pi && live[o])
+                out.push_back(o);
+        }
+        for (rtl::RegId r : p.regsOwned) {
+            for (uint32_t q : regReaders[r]) {
+                if (q != pi && q < procs.size() && live[q] &&
+                    std::binary_search(procs[q].regsRead.begin(),
+                                       procs[q].regsRead.end(), r))
+                    out.push_back(q);
+            }
+        }
+        std::sort(out.begin(), out.end());
+        out.erase(std::unique(out.begin(), out.end()), out.end());
+        return out;
+    }
+
+    /** Merge b into a; a keeps its index. */
+    void
+    applyMerge(uint32_t a, uint32_t b)
+    {
+        Process merged = Process::merged(fs, procs[a], procs[b]);
+        procs[a] = std::move(merged);
+        live[b] = false;
+        --liveCount;
+        ++version[a];
+        ++version[b];
+        skipped[a] = false;
+        for (rtl::RegId r : procs[a].regsOwned)
+            regOwner[r] = a;
+        for (rtl::RegId r : procs[a].regsRead)
+            regReaders[r].push_back(a);
+        straggler = std::max(straggler, procs[a].ipuCost);
+        heap.push({procs[a].ipuCost, version[a], a});
+    }
+
+    /** Next unprocessed live process by ascending cost, or UINT32_MAX. */
+    uint32_t
+    popSmallest()
+    {
+        while (!heap.empty()) {
+            auto [cost, ver, pi] = heap.top();
+            heap.pop();
+            if (!live[pi] || version[pi] != ver || skipped[pi])
+                continue;
+            return pi;
+        }
+        return UINT32_MAX;
+    }
+
+    /** The two cheapest live processes (for the fallback merge). */
+    std::pair<uint32_t, uint32_t>
+    twoSmallest() const
+    {
+        uint32_t s1 = UINT32_MAX, s2 = UINT32_MAX;
+        for (uint32_t pi = 0; pi < procs.size(); ++pi) {
+            if (!live[pi])
+                continue;
+            if (s1 == UINT32_MAX || procs[pi].ipuCost < procs[s1].ipuCost) {
+                s2 = s1;
+                s1 = pi;
+            } else if (s2 == UINT32_MAX ||
+                       procs[pi].ipuCost < procs[s2].ipuCost) {
+                s2 = pi;
+            }
+        }
+        return {s1, s2};
+    }
+
+    bool
+    fits(uint32_t a, uint32_t b, bool relaxed) const
+    {
+        if (mergedMemBytes(fs, procs[a], procs[b]) > opt.tileMemoryBytes)
+            return false;
+        if (!relaxed &&
+            mergedIpuCost(fs, procs[a], procs[b]) > straggler)
+            return false;
+        return true;
+    }
+
+    /** One sweep of the stage-3/4 policy. Returns true if the target
+     *  was reached. */
+    bool
+    run(uint32_t target, bool relaxed)
+    {
+        // Reset skip marks for a fresh sweep; refill the heap.
+        heap = {};
+        for (uint32_t pi = 0; pi < procs.size(); ++pi) {
+            if (!live[pi])
+                continue;
+            skipped[pi] = false;
+            heap.push({procs[pi].ipuCost, version[pi], pi});
+        }
+        while (liveCount > target) {
+            uint32_t pi = popSmallest();
+            if (pi == UINT32_MAX)
+                return liveCount <= target;
+            // Best communicating partner.
+            uint32_t best = UINT32_MAX;
+            int64_t best_score = -1;
+            uint64_t best_cost = UINT64_MAX;
+            for (uint32_t q : neighbors(pi)) {
+                if (!fits(pi, q, relaxed))
+                    continue;
+                uint64_t mc = mergedIpuCost(fs, procs[pi], procs[q]);
+                int64_t saving =
+                    static_cast<int64_t>(procs[pi].ipuCost +
+                                         procs[q].ipuCost - mc) +
+                    static_cast<int64_t>(
+                        commBytesBetween(fs, procs[pi], procs[q]));
+                bool better = relaxed
+                    ? (mc < best_cost)
+                    : (saving > best_score ||
+                       (saving == best_score && mc < best_cost));
+                if (better) {
+                    best = q;
+                    best_score = saving;
+                    best_cost = mc;
+                }
+            }
+            if (best != UINT32_MAX) {
+                applyMerge(pi, best);
+                continue;
+            }
+            // Fallback: the two smallest processes.
+            auto [s1, s2] = twoSmallest();
+            if (s2 != UINT32_MAX && fits(s1, s2, relaxed)) {
+                applyMerge(s1, s2);
+                continue;
+            }
+            skipped[pi] = true;
+        }
+        return true;
+    }
+};
+
+} // namespace
+
+std::vector<Process>
+mergeToTiles(const FiberSet &fs, std::vector<Process> procs,
+             uint32_t target, const MergeOptions &opt)
+{
+    if (target == 0)
+        fatal("mergeToTiles: zero tiles");
+    if (procs.size() <= target)
+        return procs;
+
+    Merger merger(fs, opt, procs);
+    // Stage 3: conservative (straggler-bounded) merging.
+    merger.run(target, false);
+    // Stage 4: relax the straggler bound if needed; sweep until the
+    // target is reached or no sweep makes progress.
+    while (merger.liveCount > target) {
+        size_t before = merger.liveCount;
+        merger.run(target, true);
+        if (merger.liveCount == before)
+            fatal("design does not fit: %zu processes remain for %u "
+                  "tiles (tile memory limit %llu bytes)",
+                  merger.liveCount, target,
+                  static_cast<unsigned long long>(opt.tileMemoryBytes));
+    }
+
+    std::vector<Process> out;
+    out.reserve(merger.liveCount);
+    for (uint32_t pi = 0; pi < procs.size(); ++pi)
+        if (merger.live[pi])
+            out.push_back(std::move(procs[pi]));
+    return out;
+}
+
+Partitioning
+bottomUpPartition(const FiberSet &fs, uint32_t chips,
+                  uint32_t tiles_per_chip, const MergeOptions &opt,
+                  MergeStats *stats)
+{
+    MergeStats local;
+    local.fibers = fs.size();
+    local.stragglerIpu = fs.maxFiberIpu();
+
+    std::vector<Process> procs = initialProcesses(fs, opt);
+    local.afterStage1 = procs.size();
+
+    local.offChipCutBytes = assignChips(fs, procs, chips, opt);
+
+    Partitioning result;
+    for (uint32_t chip = 0; chip < std::max(chips, 1u); ++chip) {
+        std::vector<Process> chip_procs;
+        for (Process &p : procs)
+            if (p.chip == static_cast<int>(chip))
+                chip_procs.push_back(std::move(p));
+        if (chip_procs.empty())
+            continue;
+        std::vector<Process> merged =
+            mergeToTiles(fs, std::move(chip_procs), tiles_per_chip, opt);
+        for (Process &p : merged) {
+            p.chip = static_cast<int>(chip);
+            result.processes.push_back(std::move(p));
+        }
+    }
+    local.afterStage4 = result.processes.size();
+    local.finalMakespanIpu = result.makespanIpu();
+    result.checkComplete(fs);
+    if (stats)
+        *stats = local;
+    return result;
+}
+
+} // namespace parendi::partition

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Parendi's bottom-up partitioning algorithm (paper §5.1), four stages:
+ *
+ *  1. Reduce data memory footprint: merge fibers referencing the same
+ *     *very large* RTL array (>= largeArrayBytes, tunable).
+ *  2. Minimize off-chip communication: k-way hypergraph partition of
+ *     fibers across IPU chips (hypernodes = fibers, hyperedges =
+ *     registers, edge weight = register words).
+ *  3. Within each chip, conservatively merge the smallest processes
+ *     with communicating partners so long as the merged time does not
+ *     exceed the current straggler and tile memory is not overflowed.
+ *  4. If stage 3 did not reach the tile budget, keep merging while
+ *     allowing the worst-case execution time to grow (memory limits
+ *     still enforced). Compilation fails if the design cannot fit.
+ */
+
+#ifndef PARENDI_PARTITION_MERGE_HH
+#define PARENDI_PARTITION_MERGE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "partition/process.hh"
+
+namespace parendi::partition {
+
+struct MergeOptions
+{
+    /** Per-tile memory budget (624 KiB tile minus runtime reserve). */
+    uint64_t tileMemoryBytes = 560 * 1024;
+    /** Stage-1 threshold: arrays at least this big force fiber merges. */
+    uint64_t largeArrayBytes = 128 * 1024;
+    /** Random seed for the hypergraph stage. */
+    uint64_t seed = 1;
+};
+
+/** Per-stage observability for tests and the compile report. */
+struct MergeStats
+{
+    size_t fibers = 0;
+    size_t afterStage1 = 0;
+    size_t afterStage3 = 0;
+    size_t afterStage4 = 0;
+    uint64_t stragglerIpu = 0;      ///< max fiber cost (lower bound)
+    uint64_t finalMakespanIpu = 0;
+    uint64_t offChipCutBytes = 0;   ///< stage-2 cut (0 if one chip)
+};
+
+/**
+ * Stage 1: build singleton processes and merge fibers sharing large
+ * arrays (union-find over array references).
+ */
+std::vector<Process> initialProcesses(const fiber::FiberSet &fs,
+                                      const MergeOptions &opt);
+
+/**
+ * Stage 2: assign processes to @p chips chips by partitioning the
+ * fiber/register hypergraph; sets Process::chip. Returns the off-chip
+ * cut in bytes (sum of register bytes crossing chips).
+ */
+uint64_t assignChips(const fiber::FiberSet &fs,
+                     std::vector<Process> &procs, uint32_t chips,
+                     const MergeOptions &opt);
+
+/**
+ * Stages 3 and 4 within one chip: merge @p procs (all on one chip)
+ * down to at most @p target processes. Calls fatal() if the design
+ * cannot fit the tile count/memory.
+ */
+std::vector<Process> mergeToTiles(const fiber::FiberSet &fs,
+                                  std::vector<Process> procs,
+                                  uint32_t target,
+                                  const MergeOptions &opt);
+
+/**
+ * The full §5.1 pipeline: stages 1-4 for @p chips chips with
+ * @p tilesPerChip tiles each. Returns the final partitioning with
+ * Process::chip assigned.
+ */
+Partitioning bottomUpPartition(const fiber::FiberSet &fs, uint32_t chips,
+                               uint32_t tiles_per_chip,
+                               const MergeOptions &opt = MergeOptions{},
+                               MergeStats *stats = nullptr);
+
+} // namespace parendi::partition
+
+#endif // PARENDI_PARTITION_MERGE_HH

@@ -1,0 +1,208 @@
+#include "partition/process.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace parendi::partition {
+
+using fiber::FiberSet;
+using fiber::Fiber;
+using fiber::SinkKind;
+
+Process
+Process::fromFiber(const FiberSet &fs, uint32_t fiber_idx)
+{
+    const Fiber &f = fs[fiber_idx];
+    Process p;
+    p.fibers = {fiber_idx};
+    p.exclIpu = f.exclIpu;
+    p.exclX86 = f.exclX86;
+    p.exclCode = f.exclCode;
+    p.exclData = f.exclData;
+    p.shared = f.shared;
+    p.regsRead = f.regsRead;
+    p.mems = f.memsUsed;
+    if (f.kind == SinkKind::Register)
+        p.regsOwned = {f.target};
+    p.recompute(fs);
+    return p;
+}
+
+Process
+Process::merged(const FiberSet &fs, const Process &a, const Process &b)
+{
+    Process p;
+    p.fibers = sortedUnion(a.fibers, b.fibers);
+    p.chip = a.chip;
+    p.exclIpu = a.exclIpu + b.exclIpu;
+    p.exclX86 = a.exclX86 + b.exclX86;
+    p.exclCode = a.exclCode + b.exclCode;
+    p.exclData = a.exclData + b.exclData;
+    p.shared = a.shared;
+    p.shared |= b.shared;
+    p.regsRead = sortedUnion(a.regsRead, b.regsRead);
+    p.regsOwned = sortedUnion(a.regsOwned, b.regsOwned);
+    p.mems = sortedUnion(a.mems, b.mems);
+    p.recompute(fs);
+    return p;
+}
+
+void
+Process::recompute(const FiberSet &fs)
+{
+    ipuCost = exclIpu + shared.totalWeight(fs.sharedIpu());
+    x86Instrs = exclX86 + shared.totalWeight(fs.sharedX86());
+    codeBytes = exclCode + shared.totalWeight(fs.sharedCode());
+    dataBytes = exclData + shared.totalWeight(fs.sharedData());
+}
+
+uint64_t
+Process::memBytes(const FiberSet &fs) const
+{
+    uint64_t bytes = codeBytes + dataBytes;
+    const rtl::Netlist &nl = fs.netlist();
+    for (rtl::MemId m : mems)
+        bytes += nl.mem(m).sizeBytes();
+    // Double-buffered exchange landing area for registers read plus the
+    // outgoing staging of owned registers.
+    for (rtl::RegId r : regsRead)
+        bytes += 2 * fs.regBytes(r);
+    for (rtl::RegId r : regsOwned)
+        bytes += fs.regBytes(r);
+    return bytes;
+}
+
+uint64_t
+mergedIpuCost(const FiberSet &fs, const Process &a, const Process &b)
+{
+    uint64_t overlap = a.shared.intersectWeight(b.shared, fs.sharedIpu());
+    return a.ipuCost + b.ipuCost - overlap;
+}
+
+uint64_t
+mergedMemBytes(const FiberSet &fs, const Process &a, const Process &b)
+{
+    const rtl::Netlist &nl = fs.netlist();
+    uint64_t code = a.codeBytes + b.codeBytes -
+        a.shared.intersectWeight(b.shared, fs.sharedCode());
+    uint64_t data = a.dataBytes + b.dataBytes -
+        a.shared.intersectWeight(b.shared, fs.sharedData());
+    uint64_t bytes = code + data;
+    // Arrays: count the union once.
+    size_t ia = 0, ib = 0;
+    while (ia < a.mems.size() || ib < b.mems.size()) {
+        rtl::MemId m;
+        if (ib == b.mems.size() ||
+            (ia < a.mems.size() && a.mems[ia] <= b.mems[ib])) {
+            m = a.mems[ia];
+            if (ib < b.mems.size() && b.mems[ib] == m)
+                ++ib;
+            ++ia;
+        } else {
+            m = b.mems[ib];
+            ++ib;
+        }
+        bytes += nl.mem(m).sizeBytes();
+    }
+    // Register buffers over the unions.
+    size_t ra = 0, rb = 0;
+    auto add_regs = [&](const std::vector<rtl::RegId> &va,
+                        const std::vector<rtl::RegId> &vb,
+                        uint64_t per_reg_factor) {
+        size_t i = 0, j = 0;
+        while (i < va.size() || j < vb.size()) {
+            rtl::RegId r;
+            if (j == vb.size() || (i < va.size() && va[i] <= vb[j])) {
+                r = va[i];
+                if (j < vb.size() && vb[j] == r)
+                    ++j;
+                ++i;
+            } else {
+                r = vb[j];
+                ++j;
+            }
+            bytes += per_reg_factor * fs.regBytes(r);
+        }
+    };
+    (void)ra;
+    (void)rb;
+    add_regs(a.regsRead, b.regsRead, 2);
+    add_regs(a.regsOwned, b.regsOwned, 1);
+    return bytes;
+}
+
+uint64_t
+commBytesBetween(const FiberSet &fs, const Process &a, const Process &b)
+{
+    // Registers owned by one side and read by the other.
+    uint64_t bytes = 0;
+    auto accumulate = [&](const std::vector<rtl::RegId> &owned,
+                          const std::vector<rtl::RegId> &read) {
+        size_t i = 0, j = 0;
+        while (i < owned.size() && j < read.size()) {
+            if (owned[i] < read[j]) {
+                ++i;
+            } else if (owned[i] > read[j]) {
+                ++j;
+            } else {
+                bytes += fs.regBytes(owned[i]);
+                ++i;
+                ++j;
+            }
+        }
+    };
+    accumulate(a.regsOwned, b.regsRead);
+    accumulate(b.regsOwned, a.regsRead);
+    return bytes;
+}
+
+uint64_t
+Partitioning::makespanIpu() const
+{
+    uint64_t best = 0;
+    for (const Process &p : processes)
+        best = std::max(best, p.ipuCost);
+    return best;
+}
+
+uint64_t
+Partitioning::totalIpu() const
+{
+    uint64_t total = 0;
+    for (const Process &p : processes)
+        total += p.ipuCost;
+    return total;
+}
+
+double
+Partitioning::duplicationRatio(const FiberSet &fs) const
+{
+    // Ideal: every shared node executed once, plus all exclusive work.
+    uint64_t ideal = 0;
+    for (size_t i = 0; i < fs.size(); ++i)
+        ideal += fs[i].exclIpu;
+    for (uint64_t w : fs.sharedIpu())
+        ideal += w;
+    uint64_t actual = totalIpu();
+    return ideal ? static_cast<double>(actual) / ideal : 1.0;
+}
+
+void
+Partitioning::checkComplete(const FiberSet &fs) const
+{
+    std::vector<uint8_t> seen(fs.size(), 0);
+    for (const Process &p : processes) {
+        for (uint32_t f : p.fibers) {
+            if (f >= fs.size())
+                panic("partitioning references fiber %u out of range", f);
+            if (seen[f]++)
+                panic("fiber %u assigned to two processes", f);
+        }
+    }
+    for (size_t i = 0; i < fs.size(); ++i)
+        if (!seen[i])
+            panic("fiber %zu not assigned to any process", i);
+}
+
+} // namespace parendi::partition

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * A BSP process: a set of fibers merged onto one tile (paper Fig. 3).
+ * Cost, code and data accounting is duplication-aware: shared nodes are
+ * counted once per process via the shared-universe bitset, exactly as
+ * the submodular cost function τ(f_i ∪ f_j) = t_i + t_j − τ(f_i ∩ f_j)
+ * requires (paper §4.3/§5.1).
+ */
+
+#ifndef PARENDI_PARTITION_PROCESS_HH
+#define PARENDI_PARTITION_PROCESS_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <iterator>
+#include <vector>
+
+#include "fiber/fiber.hh"
+
+namespace parendi::partition {
+
+/** A merged set of fibers destined for a single tile. */
+struct Process
+{
+    std::vector<uint32_t> fibers;           ///< fiber indices, sorted
+    int chip = 0;                           ///< assigned IPU chip
+
+    // Duplication-aware accumulators over exclusive nodes.
+    uint64_t exclIpu = 0;
+    uint64_t exclX86 = 0;
+    uint64_t exclCode = 0;
+    uint64_t exclData = 0;
+    parendi::DenseBitset shared;            ///< union of member bitsets
+
+    std::vector<rtl::RegId> regsRead;       ///< union, sorted unique
+    std::vector<rtl::RegId> regsOwned;      ///< registers computed here
+    std::vector<rtl::MemId> mems;           ///< arrays referenced
+
+    // Cached totals (call recompute after direct field edits).
+    uint64_t ipuCost = 0;                   ///< tile cycles per RTL cycle
+    uint64_t x86Instrs = 0;
+    uint64_t codeBytes = 0;
+    uint64_t dataBytes = 0;                 ///< slot bytes (no arrays)
+
+    /** Build a singleton process from one fiber. */
+    static Process fromFiber(const fiber::FiberSet &fs, uint32_t fiber_idx);
+
+    /** Materialize the merge of two processes. */
+    static Process merged(const fiber::FiberSet &fs, const Process &a,
+                          const Process &b);
+
+    /** Recompute cached totals from the accumulators. */
+    void recompute(const fiber::FiberSet &fs);
+
+    /**
+     * Total tile memory this process needs: code + slot data + one copy
+     * of each referenced array + register exchange buffers.
+     */
+    uint64_t memBytes(const fiber::FiberSet &fs) const;
+};
+
+/**
+ * τ(a ∪ b) in IPU cycles, without materializing the merge:
+ * a.ipuCost + b.ipuCost − weight(a.shared ∩ b.shared).
+ */
+uint64_t mergedIpuCost(const fiber::FiberSet &fs, const Process &a,
+                       const Process &b);
+
+/** Merged memory bytes (code+data+arrays+buffers) without materializing. */
+uint64_t mergedMemBytes(const fiber::FiberSet &fs, const Process &a,
+                        const Process &b);
+
+/** Bytes of register traffic flowing between two processes per cycle. */
+uint64_t commBytesBetween(const fiber::FiberSet &fs, const Process &a,
+                          const Process &b);
+
+/** Sorted-vector set union helper shared by partitioners. */
+template <typename T>
+std::vector<T>
+sortedUnion(const std::vector<T> &a, const std::vector<T> &b)
+{
+    std::vector<T> out;
+    out.reserve(a.size() + b.size());
+    std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                   std::back_inserter(out));
+    return out;
+}
+
+/** A complete partitioning of a design into processes. */
+struct Partitioning
+{
+    std::vector<Process> processes;
+
+    /** max_p ipuCost — the BSP compute-phase bound t_comp. */
+    uint64_t makespanIpu() const;
+
+    /** Sum over processes (total duplicated work). */
+    uint64_t totalIpu() const;
+
+    /** Duplication factor vs. executing every shared node once. */
+    double duplicationRatio(const fiber::FiberSet &fs) const;
+
+    /** Verify every fiber is assigned to exactly one process. */
+    void checkComplete(const fiber::FiberSet &fs) const;
+};
+
+} // namespace parendi::partition
+
+#endif // PARENDI_PARTITION_PROCESS_HH

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Top-level partitioning strategies evaluated in the paper:
+ *
+ *  - Single chip (§6.4.1): the default bottom-up merge (B) versus the
+ *    RepCut-style hypergraph partitioning of duplicated computation (H).
+ *  - Multi chip (§6.4.2): partition fibers across chips before merging
+ *    (Pre, the default), partition finished processes (Post), or ignore
+ *    chip boundaries entirely (None).
+ */
+
+#ifndef PARENDI_PARTITION_STRATEGY_HH
+#define PARENDI_PARTITION_STRATEGY_HH
+
+#include "partition/merge.hh"
+
+namespace parendi::partition {
+
+enum class SingleChipStrategy
+{
+    BottomUp,    ///< paper §5.1 (strategy "B")
+    Hypergraph,  ///< RepCut-style replication-aware cut (strategy "H")
+};
+
+enum class MultiChipStrategy
+{
+    Pre,   ///< partition fibers across chips, then merge (default)
+    Post,  ///< merge first, then partition processes across chips
+    None,  ///< chip-oblivious: merge, deal out round-robin
+};
+
+struct PartitionOptions
+{
+    uint32_t chips = 1;
+    uint32_t tilesPerChip = 1472;
+    SingleChipStrategy single = SingleChipStrategy::BottomUp;
+    MultiChipStrategy multi = MultiChipStrategy::Pre;
+    MergeOptions merge;
+};
+
+/** Off-chip register traffic (bytes/cycle) implied by an assignment,
+ *  counting each (register, remote chip) pair once. */
+uint64_t offChipCutBytes(const fiber::FiberSet &fs,
+                         const std::vector<Process> &procs);
+
+/** Partition a design according to @p opt. */
+Partitioning partitionDesign(const fiber::FiberSet &fs,
+                             const PartitionOptions &opt,
+                             MergeStats *stats = nullptr);
+
+} // namespace parendi::partition
+
+#endif // PARENDI_PARTITION_STRATEGY_HH

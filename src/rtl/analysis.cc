@@ -1,0 +1,124 @@
+#include "rtl/analysis.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace parendi::rtl {
+
+std::vector<NodeId>
+topoOrder(const Netlist &nl)
+{
+    size_t n = nl.numNodes();
+    std::vector<uint32_t> indegree(n, 0);
+    // Users adjacency built on the fly from operand lists.
+    std::vector<std::vector<NodeId>> users(n);
+    for (NodeId id = 0; id < n; ++id) {
+        const Node &node = nl.node(id);
+        int arity = opArity(node.op);
+        for (int i = 0; i < arity; ++i) {
+            users[node.operands[i]].push_back(id);
+            ++indegree[id];
+        }
+    }
+    std::vector<NodeId> order;
+    order.reserve(n);
+    std::vector<NodeId> ready;
+    for (NodeId id = 0; id < n; ++id)
+        if (indegree[id] == 0)
+            ready.push_back(id);
+    while (!ready.empty()) {
+        NodeId id = ready.back();
+        ready.pop_back();
+        order.push_back(id);
+        for (NodeId user : users[id])
+            if (--indegree[user] == 0)
+                ready.push_back(user);
+    }
+    if (order.size() != n)
+        fatal("netlist %s has a combinational loop (%zu of %zu nodes "
+              "orderable)", nl.name().c_str(), order.size(), n);
+    return order;
+}
+
+bool
+hasCombinationalLoop(const Netlist &nl)
+{
+    try {
+        topoOrder(nl);
+        return false;
+    } catch (const FatalError &) {
+        return true;
+    }
+}
+
+std::vector<NodeId>
+backwardCone(const Netlist &nl, NodeId sink)
+{
+    std::vector<NodeId> cone;
+    std::vector<NodeId> stack{sink};
+    std::vector<bool> seen(nl.numNodes(), false);
+    seen[sink] = true;
+    while (!stack.empty()) {
+        NodeId id = stack.back();
+        stack.pop_back();
+        cone.push_back(id);
+        const Node &node = nl.node(id);
+        int arity = opArity(node.op);
+        for (int i = 0; i < arity; ++i) {
+            NodeId opnd = node.operands[i];
+            if (!seen[opnd]) {
+                seen[opnd] = true;
+                stack.push_back(opnd);
+            }
+        }
+    }
+    std::sort(cone.begin(), cone.end());
+    return cone;
+}
+
+std::vector<uint32_t>
+fanoutCounts(const Netlist &nl)
+{
+    std::vector<uint32_t> fanout(nl.numNodes(), 0);
+    for (NodeId id = 0; id < nl.numNodes(); ++id) {
+        const Node &node = nl.node(id);
+        int arity = opArity(node.op);
+        for (int i = 0; i < arity; ++i)
+            ++fanout[node.operands[i]];
+    }
+    return fanout;
+}
+
+NetlistMetrics
+computeMetrics(const Netlist &nl)
+{
+    NetlistMetrics m;
+    m.nodes = nl.numNodes();
+    m.registers = nl.numRegisters();
+    m.memories = nl.numMemories();
+    m.sinks = nl.sinks().size();
+    for (NodeId id = 0; id < nl.numNodes(); ++id) {
+        Op op = nl.node(id).op;
+        if (!isSource(op) && !isSink(op))
+            ++m.combNodes;
+    }
+    for (RegId r = 0; r < nl.numRegisters(); ++r)
+        m.regBits += nl.reg(r).width;
+    for (MemId mm = 0; mm < nl.numMemories(); ++mm)
+        m.memBytes += nl.mem(mm).sizeBytes();
+    return m;
+}
+
+std::string
+describe(const Netlist &nl)
+{
+    NetlistMetrics m = computeMetrics(nl);
+    return strprintf("%s: %zu nodes (%zu comb), %zu regs (%llu bits), "
+                     "%zu mems (%llu bytes), %zu sinks",
+                     nl.name().c_str(), m.nodes, m.combNodes, m.registers,
+                     static_cast<unsigned long long>(m.regBits), m.memories,
+                     static_cast<unsigned long long>(m.memBytes), m.sinks);
+}
+
+} // namespace parendi::rtl

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Structural analyses over the RTL data dependence graph: topological
+ * ordering, combinational loop detection (a compile error, paper §5.3),
+ * backward cone extraction (the basis of fiber construction), and basic
+ * size metrics.
+ */
+
+#ifndef PARENDI_RTL_ANALYSIS_HH
+#define PARENDI_RTL_ANALYSIS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rtl/netlist.hh"
+
+namespace parendi::rtl {
+
+/**
+ * Topologically order all nodes so every operand precedes its user.
+ * RegRead/Input/Const are sources; RegNext/MemWrite/Output are sinks.
+ * Calls fatal() if the combinational graph has a cycle.
+ */
+std::vector<NodeId> topoOrder(const Netlist &nl);
+
+/** True iff the combinational graph contains a cycle. */
+bool hasCombinationalLoop(const Netlist &nl);
+
+/**
+ * The set of nodes transitively feeding @p sink (inclusive), i.e. the
+ * cone of logic that a fiber executes. Source nodes (Const/Input/
+ * RegRead) are included; nodes behind a RegRead are not traversed.
+ * Result is in increasing NodeId order.
+ */
+std::vector<NodeId> backwardCone(const Netlist &nl, NodeId sink);
+
+/** Per-node user counts (combinational fanout). */
+std::vector<uint32_t> fanoutCounts(const Netlist &nl);
+
+/** Aggregate size metrics used in reports (Table 3 columns). */
+struct NetlistMetrics
+{
+    size_t nodes = 0;           ///< total DDG nodes
+    size_t combNodes = 0;       ///< nodes excluding sources/sinks
+    size_t registers = 0;
+    size_t memories = 0;
+    size_t sinks = 0;
+    uint64_t regBits = 0;       ///< total architectural register bits
+    uint64_t memBytes = 0;      ///< total array bytes
+};
+
+NetlistMetrics computeMetrics(const Netlist &nl);
+
+/** One-line human-readable summary of a netlist. */
+std::string describe(const Netlist &nl);
+
+} // namespace parendi::rtl
+
+#endif // PARENDI_RTL_ANALYSIS_HH

@@ -1,0 +1,104 @@
+#include "rtl/bitvec.hh"
+
+#include "util/logging.hh"
+
+namespace parendi::rtl {
+
+BitVec::BitVec(uint32_t width, uint64_t value) : width_(width)
+{
+    if (width > kMaxWidth)
+        fatal("BitVec width %u exceeds maximum %u", width, kMaxWidth);
+    words_.assign(wordsFor(width), 0);
+    if (!words_.empty())
+        words_[0] = value;
+    normalize();
+}
+
+BitVec::BitVec(uint32_t width, std::vector<uint64_t> words)
+    : width_(width), words_(std::move(words))
+{
+    if (width > kMaxWidth)
+        fatal("BitVec width %u exceeds maximum %u", width, kMaxWidth);
+    words_.resize(wordsFor(width), 0);
+    normalize();
+}
+
+void
+BitVec::setBit(uint32_t i, bool v)
+{
+    uint64_t mask = uint64_t{1} << (i & 63);
+    if (v)
+        words_[i >> 6] |= mask;
+    else
+        words_[i >> 6] &= ~mask;
+}
+
+bool
+BitVec::isZero() const
+{
+    for (uint64_t w : words_)
+        if (w)
+            return false;
+    return true;
+}
+
+bool
+BitVec::operator==(const BitVec &o) const
+{
+    return width_ == o.width_ && words_ == o.words_;
+}
+
+void
+BitVec::normalize()
+{
+    if (words_.empty())
+        return;
+    uint32_t top_bits = width_ & 63;
+    if (top_bits)
+        words_.back() &= (uint64_t{1} << top_bits) - 1;
+}
+
+std::string
+BitVec::toHex() const
+{
+    if (width_ == 0)
+        return "0";
+    std::string out;
+    uint32_t nibbles = (width_ + 3) / 4;
+    for (uint32_t i = 0; i < nibbles; ++i) {
+        uint32_t nib = nibbles - 1 - i;
+        uint32_t bit = nib * 4;
+        uint64_t w = words_[bit >> 6];
+        out.push_back("0123456789abcdef"[(w >> (bit & 63)) & 0xf]);
+    }
+    // Strip leading zeros but keep at least one digit.
+    size_t first = out.find_first_not_of('0');
+    return first == std::string::npos ? "0" : out.substr(first);
+}
+
+BitVec
+BitVec::fromHex(uint32_t width, const std::string &hex)
+{
+    BitVec v(width, uint64_t{0});
+    uint32_t bit = 0;
+    for (auto it = hex.rbegin(); it != hex.rend() && bit < width; ++it) {
+        char c = *it;
+        uint64_t nib;
+        if (c >= '0' && c <= '9')
+            nib = static_cast<uint64_t>(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            nib = static_cast<uint64_t>(c - 'a' + 10);
+        else if (c >= 'A' && c <= 'F')
+            nib = static_cast<uint64_t>(c - 'A' + 10);
+        else
+            fatal("bad hex digit '%c' in \"%s\"", c, hex.c_str());
+        v.words_[bit >> 6] |= nib << (bit & 63);
+        if ((bit & 63) > 60 && (bit >> 6) + 1 < v.words_.size())
+            v.words_[(bit >> 6) + 1] |= nib >> (64 - (bit & 63));
+        bit += 4;
+    }
+    v.normalize();
+    return v;
+}
+
+} // namespace parendi::rtl

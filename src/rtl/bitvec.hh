@@ -1,0 +1,76 @@
+/**
+ * @file
+ * BitVec: an arbitrary-width bit vector value used for constants, register
+ * initial values, and port I/O at the public API boundary. The simulation
+ * inner loops do not use BitVec; they operate on flat uint64 word arrays
+ * (see rtl/eval.hh) for speed.
+ */
+
+#ifndef PARENDI_RTL_BITVEC_HH
+#define PARENDI_RTL_BITVEC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace parendi::rtl {
+
+/** Number of 64-bit words needed to hold @p width bits. */
+constexpr uint32_t
+wordsFor(uint32_t width)
+{
+    return (width + 63) / 64;
+}
+
+/** Maximum supported signal width in bits. */
+constexpr uint32_t kMaxWidth = 4096;
+
+/**
+ * A value of a fixed bit width. All operations keep the value normalized:
+ * bits above `width` are always zero.
+ */
+class BitVec
+{
+  public:
+    BitVec() : width_(0) {}
+
+    /** A @p width bit value initialized from a uint64 (truncated). */
+    explicit BitVec(uint32_t width, uint64_t value = 0);
+
+    /** A @p width bit value from little-endian 64-bit words. */
+    BitVec(uint32_t width, std::vector<uint64_t> words);
+
+    uint32_t width() const { return width_; }
+    uint32_t numWords() const { return wordsFor(width_); }
+
+    /** Low 64 bits of the value. */
+    uint64_t toUint64() const { return words_.empty() ? 0 : words_[0]; }
+
+    uint64_t word(uint32_t i) const { return words_[i]; }
+    const std::vector<uint64_t> &words() const { return words_; }
+
+    bool bit(uint32_t i) const { return (words_[i >> 6] >> (i & 63)) & 1; }
+    void setBit(uint32_t i, bool v);
+
+    bool isZero() const;
+
+    bool operator==(const BitVec &o) const;
+    bool operator!=(const BitVec &o) const { return !(*this == o); }
+
+    /** Hex string, e.g. "8'hff" style without the width prefix. */
+    std::string toHex() const;
+
+    /** Parse a hex string (no prefix) into a value of @p width bits. */
+    static BitVec fromHex(uint32_t width, const std::string &hex);
+
+    /** Mask the top word so bits above width are zero. */
+    void normalize();
+
+  private:
+    uint32_t width_;
+    std::vector<uint64_t> words_;
+};
+
+} // namespace parendi::rtl
+
+#endif // PARENDI_RTL_BITVEC_HH

@@ -1,0 +1,246 @@
+/**
+ * @file
+ * A tiny hardware-construction DSL over Netlist, in the spirit of Chisel:
+ * value-semantic Wire handles with overloaded operators, so the design
+ * generators in src/designs/ read like HDL rather than graph plumbing.
+ */
+
+#ifndef PARENDI_RTL_DSL_HH
+#define PARENDI_RTL_DSL_HH
+
+#include <string>
+
+#include "rtl/netlist.hh"
+
+namespace parendi::rtl {
+
+/** A handle to a node in a specific netlist. */
+class Wire
+{
+  public:
+    Wire() : nl_(nullptr), id_(kNoNode) {}
+    Wire(Netlist *nl, NodeId id) : nl_(nl), id_(id) {}
+
+    NodeId id() const { return id_; }
+    uint16_t width() const { return nl_->widthOf(id_); }
+    Netlist *netlist() const { return nl_; }
+    bool valid() const { return nl_ != nullptr && id_ != kNoNode; }
+
+    Wire
+    make(NodeId id) const
+    {
+        return Wire(nl_, id);
+    }
+
+    // Bitwise / arithmetic
+    Wire operator&(Wire o) const
+    {
+        return make(nl_->addBinary(Op::And, id_, o.id_));
+    }
+    Wire operator|(Wire o) const
+    {
+        return make(nl_->addBinary(Op::Or, id_, o.id_));
+    }
+    Wire operator^(Wire o) const
+    {
+        return make(nl_->addBinary(Op::Xor, id_, o.id_));
+    }
+    Wire operator+(Wire o) const
+    {
+        return make(nl_->addBinary(Op::Add, id_, o.id_));
+    }
+    Wire operator-(Wire o) const
+    {
+        return make(nl_->addBinary(Op::Sub, id_, o.id_));
+    }
+    Wire operator*(Wire o) const
+    {
+        return make(nl_->addBinary(Op::Mul, id_, o.id_));
+    }
+    Wire operator~() const { return make(nl_->addUnary(Op::Not, id_)); }
+    Wire neg() const { return make(nl_->addUnary(Op::Neg, id_)); }
+
+    // Shifts by a wire or by a constant amount
+    Wire operator<<(Wire o) const
+    {
+        return make(nl_->addBinary(Op::Shl, id_, o.id_));
+    }
+    Wire operator>>(Wire o) const
+    {
+        return make(nl_->addBinary(Op::Shr, id_, o.id_));
+    }
+    Wire shl(uint32_t amount) const;
+    Wire shr(uint32_t amount) const;
+    Wire sra(Wire o) const
+    {
+        return make(nl_->addBinary(Op::Sra, id_, o.id_));
+    }
+
+    // Comparisons
+    Wire operator==(Wire o) const
+    {
+        return make(nl_->addBinary(Op::Eq, id_, o.id_));
+    }
+    Wire operator!=(Wire o) const
+    {
+        return make(nl_->addBinary(Op::Ne, id_, o.id_));
+    }
+    Wire ult(Wire o) const
+    {
+        return make(nl_->addBinary(Op::Ult, id_, o.id_));
+    }
+    Wire ule(Wire o) const
+    {
+        return make(nl_->addBinary(Op::Ule, id_, o.id_));
+    }
+    Wire slt(Wire o) const
+    {
+        return make(nl_->addBinary(Op::Slt, id_, o.id_));
+    }
+    Wire sle(Wire o) const
+    {
+        return make(nl_->addBinary(Op::Sle, id_, o.id_));
+    }
+
+    // Reductions
+    Wire redAnd() const { return make(nl_->addUnary(Op::RedAnd, id_)); }
+    Wire redOr() const { return make(nl_->addUnary(Op::RedOr, id_)); }
+    Wire redXor() const { return make(nl_->addUnary(Op::RedXor, id_)); }
+
+    // Structure
+    Wire
+    slice(uint32_t lsb, uint16_t w) const
+    {
+        return make(nl_->addSlice(id_, lsb, w));
+    }
+    Wire bit(uint32_t i) const { return slice(i, 1); }
+    Wire
+    concat(Wire lo) const
+    {
+        return make(nl_->addConcat(id_, lo.id_));
+    }
+    Wire
+    zext(uint16_t w) const
+    {
+        return w == width() ? *this : make(nl_->addExtend(Op::ZExt, id_, w));
+    }
+    Wire
+    sext(uint16_t w) const
+    {
+        return w == width() ? *this : make(nl_->addExtend(Op::SExt, id_, w));
+    }
+    /** Truncate or zero-extend to @p w bits. */
+    Wire
+    resize(uint16_t w) const
+    {
+        if (w == width())
+            return *this;
+        return w < width() ? slice(0, w) : zext(w);
+    }
+
+  private:
+    Netlist *nl_;
+    NodeId id_;
+};
+
+/**
+ * A design under construction: wraps a Netlist and hands out Wires.
+ * Typical use in a generator:
+ *
+ *   Design d("counter");
+ *   auto en = d.input("en", 1);
+ *   auto cnt = d.reg("cnt", 32);
+ *   d.next(cnt, d.mux(en, d.read(cnt) + d.lit(32, 1), d.read(cnt)));
+ *   d.output("value", d.read(cnt));
+ */
+class Design
+{
+  public:
+    explicit Design(std::string name) : nl_(std::move(name)) {}
+
+    Netlist &netlist() { return nl_; }
+    const Netlist &netlist() const { return nl_; }
+
+    /** Move the completed netlist out (runs check()). */
+    Netlist
+    finish()
+    {
+        nl_.check();
+        return std::move(nl_);
+    }
+
+    Wire
+    lit(uint16_t width, uint64_t value)
+    {
+        return Wire(&nl_, nl_.addConst(width, value));
+    }
+    Wire
+    lit(const BitVec &v)
+    {
+        return Wire(&nl_, nl_.addConst(v));
+    }
+    Wire
+    input(const std::string &name, uint16_t width)
+    {
+        return Wire(&nl_, nl_.addInput(name, width));
+    }
+    RegId
+    reg(const std::string &name, uint16_t width, uint64_t init = 0)
+    {
+        return nl_.addRegister(name, width, init);
+    }
+    RegId
+    reg(const std::string &name, const BitVec &init)
+    {
+        return nl_.addRegister(name, static_cast<uint16_t>(init.width()),
+                               init);
+    }
+    Wire read(RegId r) { return Wire(&nl_, nl_.readRegister(r)); }
+    void next(RegId r, Wire value) { nl_.setRegisterNext(r, value.id()); }
+    Wire
+    mux(Wire sel, Wire t, Wire e)
+    {
+        return Wire(&nl_, nl_.addMux(sel.id(), t.id(), e.id()));
+    }
+    MemId
+    memory(const std::string &name, uint16_t width, uint32_t depth)
+    {
+        return nl_.addMemory(name, width, depth);
+    }
+    Wire
+    memRead(MemId m, Wire addr)
+    {
+        return Wire(&nl_, nl_.readMemory(m, addr.id()));
+    }
+    void
+    memWrite(MemId m, Wire addr, Wire data, Wire en)
+    {
+        nl_.writeMemory(m, addr.id(), data.id(), en.id());
+    }
+    void
+    output(const std::string &name, Wire value)
+    {
+        nl_.addOutput(name, value.id());
+    }
+
+  private:
+    Netlist nl_;
+};
+
+inline Wire
+Wire::shl(uint32_t amount) const
+{
+    Wire amt(nl_, nl_->addConst(32, amount));
+    return *this << amt;
+}
+
+inline Wire
+Wire::shr(uint32_t amount) const
+{
+    Wire amt(nl_, nl_->addConst(32, amount));
+    return *this >> amt;
+}
+
+} // namespace parendi::rtl
+
+#endif // PARENDI_RTL_DSL_HH

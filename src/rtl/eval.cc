@@ -1,0 +1,675 @@
+#include "rtl/eval.hh"
+
+#include <bit>
+#include <cstring>
+#include <istream>
+#include <ostream>
+
+#include "rtl/analysis.hh"
+#include "util/logging.hh"
+
+namespace parendi::rtl {
+
+namespace {
+
+constexpr uint32_t
+nw(uint32_t width)
+{
+    return (width + 63) / 64;
+}
+
+inline uint64_t
+topMask(uint16_t width)
+{
+    uint32_t r = width & 63;
+    return r ? (uint64_t{1} << r) - 1 : ~uint64_t{0};
+}
+
+inline void
+normalize(uint64_t *d, uint16_t width)
+{
+    d[nw(width) - 1] &= topMask(width);
+}
+
+inline void
+copyVal(uint64_t *d, const uint64_t *a, uint32_t words)
+{
+    std::memcpy(d, a, words * sizeof(uint64_t));
+}
+
+inline void
+zeroVal(uint64_t *d, uint32_t words)
+{
+    std::memset(d, 0, words * sizeof(uint64_t));
+}
+
+void
+addVal(uint64_t *d, const uint64_t *a, const uint64_t *b, uint16_t width)
+{
+    uint32_t n = nw(width);
+    unsigned __int128 carry = 0;
+    for (uint32_t i = 0; i < n; ++i) {
+        unsigned __int128 s = carry + a[i] + b[i];
+        d[i] = static_cast<uint64_t>(s);
+        carry = s >> 64;
+    }
+    normalize(d, width);
+}
+
+void
+subVal(uint64_t *d, const uint64_t *a, const uint64_t *b, uint16_t width)
+{
+    uint32_t n = nw(width);
+    unsigned __int128 borrow = 0;
+    for (uint32_t i = 0; i < n; ++i) {
+        unsigned __int128 s = static_cast<unsigned __int128>(a[i]) - b[i]
+            - borrow;
+        d[i] = static_cast<uint64_t>(s);
+        borrow = (s >> 64) ? 1 : 0;
+    }
+    normalize(d, width);
+}
+
+void
+mulVal(uint64_t *d, const uint64_t *a, const uint64_t *b, uint16_t width)
+{
+    uint32_t n = nw(width);
+    // Truncating schoolbook multiply on 64-bit limbs.
+    uint64_t tmp[nw(kMaxWidth)] = {0};
+    for (uint32_t i = 0; i < n; ++i) {
+        if (a[i] == 0)
+            continue;
+        unsigned __int128 carry = 0;
+        for (uint32_t j = 0; i + j < n; ++j) {
+            unsigned __int128 cur = tmp[i + j] + carry +
+                static_cast<unsigned __int128>(a[i]) * b[j];
+            tmp[i + j] = static_cast<uint64_t>(cur);
+            carry = cur >> 64;
+        }
+    }
+    copyVal(d, tmp, n);
+    normalize(d, width);
+}
+
+/** Shift amount as a saturating uint64 (any nonzero high word = huge). */
+uint64_t
+shiftAmount(const uint64_t *b, uint16_t wb)
+{
+    uint32_t n = nw(wb);
+    for (uint32_t i = 1; i < n; ++i)
+        if (b[i])
+            return UINT64_MAX;
+    return b[0];
+}
+
+void
+shlVal(uint64_t *d, const uint64_t *a, uint64_t amount, uint16_t width)
+{
+    uint32_t n = nw(width);
+    if (amount >= width) {
+        zeroVal(d, n);
+        return;
+    }
+    uint32_t word_shift = static_cast<uint32_t>(amount >> 6);
+    uint32_t bit_shift = static_cast<uint32_t>(amount & 63);
+    for (uint32_t i = n; i-- > 0;) {
+        uint64_t hi = i >= word_shift ? a[i - word_shift] : 0;
+        uint64_t lo = (bit_shift && i > word_shift)
+            ? a[i - word_shift - 1] : 0;
+        d[i] = bit_shift ? (hi << bit_shift) | (lo >> (64 - bit_shift)) : hi;
+    }
+    normalize(d, width);
+}
+
+void
+shrVal(uint64_t *d, const uint64_t *a, uint64_t amount, uint16_t width)
+{
+    uint32_t n = nw(width);
+    if (amount >= width) {
+        zeroVal(d, n);
+        return;
+    }
+    uint32_t word_shift = static_cast<uint32_t>(amount >> 6);
+    uint32_t bit_shift = static_cast<uint32_t>(amount & 63);
+    for (uint32_t i = 0; i < n; ++i) {
+        uint64_t lo = i + word_shift < n ? a[i + word_shift] : 0;
+        uint64_t hi = (bit_shift && i + word_shift + 1 < n)
+            ? a[i + word_shift + 1] : 0;
+        d[i] = bit_shift ? (lo >> bit_shift) | (hi << (64 - bit_shift)) : lo;
+    }
+}
+
+void
+sraVal(uint64_t *d, const uint64_t *a, uint64_t amount, uint16_t width)
+{
+    bool sign = (a[(width - 1) >> 6] >> ((width - 1) & 63)) & 1;
+    if (amount >= width) {
+        uint32_t n = nw(width);
+        for (uint32_t i = 0; i < n; ++i)
+            d[i] = sign ? ~uint64_t{0} : 0;
+        normalize(d, width);
+        return;
+    }
+    shrVal(d, a, amount, width);
+    if (sign && amount > 0) {
+        // Fill the vacated top `amount` bits with ones.
+        for (uint32_t bit = width - static_cast<uint32_t>(amount);
+             bit < width; ++bit)
+            d[bit >> 6] |= uint64_t{1} << (bit & 63);
+    }
+}
+
+/** Unsigned compare: -1, 0, +1. */
+int
+ucmp(const uint64_t *a, const uint64_t *b, uint16_t width)
+{
+    for (uint32_t i = nw(width); i-- > 0;) {
+        if (a[i] < b[i])
+            return -1;
+        if (a[i] > b[i])
+            return 1;
+    }
+    return 0;
+}
+
+/** Signed compare of width-bit two's-complement values. */
+int
+scmp(const uint64_t *a, const uint64_t *b, uint16_t width)
+{
+    uint32_t sbit = (width - 1);
+    bool sa = (a[sbit >> 6] >> (sbit & 63)) & 1;
+    bool sb = (b[sbit >> 6] >> (sbit & 63)) & 1;
+    if (sa != sb)
+        return sa ? -1 : 1;
+    return ucmp(a, b, width);
+}
+
+bool
+isZeroVal(const uint64_t *a, uint16_t width)
+{
+    for (uint32_t i = 0; i < nw(width); ++i)
+        if (a[i])
+            return false;
+    return true;
+}
+
+} // namespace
+
+uint64_t
+EvalProgram::dataBytes() const
+{
+    uint64_t bytes = initSlots.size() * 8;
+    for (const auto &img : memInit)
+        bytes += img.size() * 8;
+    return bytes;
+}
+
+ProgramBuilder::ProgramBuilder(const Netlist &nl) : nl_(nl) {}
+
+uint32_t
+ProgramBuilder::allocSlots(uint16_t width)
+{
+    uint32_t off = static_cast<uint32_t>(prog_.initSlots.size());
+    prog_.initSlots.resize(off + nw(width), 0);
+    return off;
+}
+
+uint32_t
+ProgramBuilder::slotFor(NodeId id) const
+{
+    auto it = prog_.slotOf.find(id);
+    if (it == prog_.slotOf.end())
+        panic("node %u used before being added to program", id);
+    return it->second;
+}
+
+void
+ProgramBuilder::addNode(NodeId id)
+{
+    if (prog_.slotOf.count(id))
+        return;
+    const Node &n = nl_.node(id);
+    switch (n.op) {
+      case Op::Const: {
+        uint32_t slot = allocSlots(n.width);
+        const BitVec &v = nl_.constValue(n.aux);
+        for (uint32_t i = 0; i < v.numWords(); ++i)
+            prog_.initSlots[slot + i] = v.word(i);
+        prog_.slotOf[id] = slot;
+        return;
+      }
+      case Op::Input: {
+        uint32_t slot = allocSlots(n.width);
+        prog_.slotOf[id] = slot;
+        prog_.inputs.push_back({n.aux, n.width, slot});
+        return;
+      }
+      case Op::RegRead: {
+        RegId reg = n.aux;
+        auto it = regIndex_.find(reg);
+        uint32_t idx;
+        if (it == regIndex_.end()) {
+            uint32_t slot = allocSlots(n.width);
+            const BitVec &init = nl_.reg(reg).init;
+            for (uint32_t i = 0; i < init.numWords(); ++i)
+                prog_.initSlots[slot + i] = init.word(i);
+            idx = static_cast<uint32_t>(prog_.regs.size());
+            prog_.regs.push_back({reg, n.width, slot, kNoSlot, false});
+            regIndex_[reg] = idx;
+        } else {
+            idx = it->second;
+        }
+        prog_.slotOf[id] = prog_.regs[idx].cur;
+        return;
+      }
+      case Op::RegNext: {
+        RegId reg = n.aux;
+        uint32_t value_slot = slotFor(n.operands[0]);
+        auto it = regIndex_.find(reg);
+        if (it == regIndex_.end()) {
+            // Register written but never read locally: no cur slot
+            // needed for evaluation, but allocate one anyway so the
+            // host can latch/peek uniformly.
+            uint32_t slot = allocSlots(n.width);
+            const BitVec &init = nl_.reg(reg).init;
+            for (uint32_t i = 0; i < init.numWords(); ++i)
+                prog_.initSlots[slot + i] = init.word(i);
+            regIndex_[reg] = static_cast<uint32_t>(prog_.regs.size());
+            prog_.regs.push_back({reg, n.width, slot, value_slot, true});
+        } else {
+            ProgReg &pr = prog_.regs[it->second];
+            pr.next = value_slot;
+            pr.owned = true;
+        }
+        prog_.slotOf[id] = value_slot;
+        return;
+      }
+      case Op::Output: {
+        prog_.slotOf[id] = slotFor(n.operands[0]);
+        prog_.outputs.push_back({n.aux, n.width, slotFor(n.operands[0])});
+        return;
+      }
+      case Op::MemWrite: {
+        MemId mem = n.aux;
+        auto it = memIndex_.find(mem);
+        uint32_t idx;
+        if (it == memIndex_.end()) {
+            idx = static_cast<uint32_t>(prog_.mems.size());
+            const Memory &m = nl_.mem(mem);
+            prog_.mems.push_back({mem, nw(m.width), m.depth, true});
+            memIndex_[mem] = idx;
+        } else {
+            idx = it->second;
+            prog_.mems[idx].owned = true;
+        }
+        prog_.writes.push_back({idx, slotFor(n.operands[0]),
+                                nl_.widthOf(n.operands[0]),
+                                slotFor(n.operands[1]),
+                                slotFor(n.operands[2])});
+        prog_.slotOf[id] = slotFor(n.operands[1]);
+        return;
+      }
+      default:
+        break;
+    }
+
+    // Pure combinational operator: emit an instruction.
+    EvalInstr in;
+    in.op = n.op;
+    in.width = n.width;
+    in.aux = n.aux;
+    in.wa = 0;
+    in.wb = 0;
+    in.a = in.b = in.c = 0;
+    int arity = opArity(n.op);
+    if (arity >= 1) {
+        in.a = slotFor(n.operands[0]);
+        in.wa = nl_.widthOf(n.operands[0]);
+    }
+    if (arity >= 2) {
+        in.b = slotFor(n.operands[1]);
+        in.wb = nl_.widthOf(n.operands[1]);
+    }
+    if (arity >= 3)
+        in.c = slotFor(n.operands[2]);
+
+    if (n.op == Op::MemRead) {
+        MemId mem = n.aux;
+        auto it = memIndex_.find(mem);
+        uint32_t idx;
+        if (it == memIndex_.end()) {
+            idx = static_cast<uint32_t>(prog_.mems.size());
+            const Memory &m = nl_.mem(mem);
+            prog_.mems.push_back({mem, nw(m.width), m.depth, false});
+            memIndex_[mem] = idx;
+        } else {
+            idx = it->second;
+        }
+        in.aux = idx; // program-local memory index
+    }
+
+    uint32_t dst = allocSlots(n.width);
+    in.dst = dst;
+    prog_.slotOf[id] = dst;
+    prog_.instrs.push_back(in);
+}
+
+void
+ProgramBuilder::addAll()
+{
+    // Construction order is topological (the builder API cannot
+    // reference a node before it exists), and ascending order also
+    // preserves memory write-port order.
+    for (NodeId id = 0; id < nl_.numNodes(); ++id)
+        addNode(id);
+}
+
+EvalProgram
+ProgramBuilder::build()
+{
+    // Populate memory init images.
+    prog_.memInit.resize(prog_.mems.size());
+    for (size_t i = 0; i < prog_.mems.size(); ++i) {
+        const ProgMem &pm = prog_.mems[i];
+        const Memory &m = nl_.mem(pm.mem);
+        auto &img = prog_.memInit[i];
+        img.assign(uint64_t{pm.entryWords} * pm.depth, 0);
+        for (size_t e = 0; e < m.init.size(); ++e)
+            for (uint32_t w = 0; w < m.init[e].numWords(); ++w)
+                img[e * pm.entryWords + w] = m.init[e].word(w);
+    }
+    return std::move(prog_);
+}
+
+EvalState::EvalState(const EvalProgram &prog) : prog_(prog)
+{
+    reset();
+}
+
+void
+EvalState::reset()
+{
+    slots_ = prog_.initSlots;
+    mems_ = prog_.memInit;
+}
+
+BitVec
+EvalState::readSlot(uint32_t slot, uint16_t width) const
+{
+    std::vector<uint64_t> words(slots_.begin() + slot,
+                                slots_.begin() + slot + nw(width));
+    return BitVec(width, std::move(words));
+}
+
+void
+EvalState::writeSlot(uint32_t slot, const BitVec &v)
+{
+    for (uint32_t i = 0; i < v.numWords(); ++i)
+        slots_[slot + i] = v.word(i);
+}
+
+void
+EvalState::evalComb()
+{
+    for (const EvalInstr &in : prog_.instrs)
+        evalOne(in);
+}
+
+void
+EvalState::evalOne(const EvalInstr &in)
+{
+    uint64_t *s = slots_.data();
+    {
+        uint64_t *d = s + in.dst;
+        const uint64_t *a = s + in.a;
+        const uint64_t *b = s + in.b;
+        uint32_t n = nw(in.width);
+        switch (in.op) {
+          case Op::Not:
+            for (uint32_t i = 0; i < n; ++i)
+                d[i] = ~a[i];
+            normalize(d, in.width);
+            break;
+          case Op::Neg: {
+            unsigned __int128 borrow = 0;
+            for (uint32_t i = 0; i < n; ++i) {
+                unsigned __int128 v = static_cast<unsigned __int128>(0)
+                    - a[i] - borrow;
+                d[i] = static_cast<uint64_t>(v);
+                borrow = a[i] || borrow ? 1 : 0;
+            }
+            normalize(d, in.width);
+            break;
+          }
+          case Op::RedAnd: {
+            bool all = true;
+            uint32_t na = nw(in.wa);
+            for (uint32_t i = 0; i + 1 < na; ++i)
+                all &= (a[i] == ~uint64_t{0});
+            all &= (a[na - 1] == topMask(in.wa));
+            d[0] = all;
+            break;
+          }
+          case Op::RedOr:
+            d[0] = !isZeroVal(a, in.wa);
+            break;
+          case Op::RedXor: {
+            uint64_t acc = 0;
+            for (uint32_t i = 0; i < nw(in.wa); ++i)
+                acc ^= a[i];
+            d[0] = static_cast<uint64_t>(std::popcount(acc)) & 1;
+            break;
+          }
+          case Op::And:
+            for (uint32_t i = 0; i < n; ++i)
+                d[i] = a[i] & b[i];
+            break;
+          case Op::Or:
+            for (uint32_t i = 0; i < n; ++i)
+                d[i] = a[i] | b[i];
+            break;
+          case Op::Xor:
+            for (uint32_t i = 0; i < n; ++i)
+                d[i] = a[i] ^ b[i];
+            break;
+          case Op::Add:
+            addVal(d, a, b, in.width);
+            break;
+          case Op::Sub:
+            subVal(d, a, b, in.width);
+            break;
+          case Op::Mul:
+            mulVal(d, a, b, in.width);
+            break;
+          case Op::Shl:
+            shlVal(d, a, shiftAmount(b, in.wb), in.width);
+            break;
+          case Op::Shr:
+            shrVal(d, a, shiftAmount(b, in.wb), in.width);
+            break;
+          case Op::Sra:
+            sraVal(d, a, shiftAmount(b, in.wb), in.width);
+            break;
+          case Op::Eq:
+            d[0] = ucmp(a, b, in.wa) == 0;
+            break;
+          case Op::Ne:
+            d[0] = ucmp(a, b, in.wa) != 0;
+            break;
+          case Op::Ult:
+            d[0] = ucmp(a, b, in.wa) < 0;
+            break;
+          case Op::Ule:
+            d[0] = ucmp(a, b, in.wa) <= 0;
+            break;
+          case Op::Slt:
+            d[0] = scmp(a, b, in.wa) < 0;
+            break;
+          case Op::Sle:
+            d[0] = scmp(a, b, in.wa) <= 0;
+            break;
+          case Op::Mux: {
+            const uint64_t *src = (a[0] & 1) ? b : s + in.c;
+            copyVal(d, src, n);
+            break;
+          }
+          case Op::Concat: {
+            // d = (a << wb) | b
+            uint32_t nb = nw(in.wb);
+            copyVal(d, b, nb);
+            for (uint32_t i = nb; i < n; ++i)
+                d[i] = 0;
+            // OR in the high part shifted left by wb bits.
+            uint32_t word_shift = in.wb >> 6;
+            uint32_t bit_shift = in.wb & 63;
+            uint32_t na = nw(in.wa);
+            for (uint32_t i = 0; i < na; ++i) {
+                uint32_t lo_idx = i + word_shift;
+                if (lo_idx < n)
+                    d[lo_idx] |= bit_shift ? (a[i] << bit_shift) : a[i];
+                if (bit_shift && lo_idx + 1 < n)
+                    d[lo_idx + 1] |= a[i] >> (64 - bit_shift);
+            }
+            normalize(d, in.width);
+            break;
+          }
+          case Op::Slice: {
+            // Logical right shift of a by aux, truncated to width.
+            uint32_t word_shift = in.aux >> 6;
+            uint32_t bit_shift = in.aux & 63;
+            uint32_t na = nw(in.wa);
+            for (uint32_t i = 0; i < n; ++i) {
+                uint64_t lo = i + word_shift < na ? a[i + word_shift] : 0;
+                uint64_t hi = (bit_shift && i + word_shift + 1 < na)
+                    ? a[i + word_shift + 1] : 0;
+                d[i] = bit_shift
+                    ? (lo >> bit_shift) | (hi << (64 - bit_shift)) : lo;
+            }
+            normalize(d, in.width);
+            break;
+          }
+          case Op::ZExt: {
+            uint32_t na = nw(in.wa);
+            copyVal(d, a, na);
+            for (uint32_t i = na; i < n; ++i)
+                d[i] = 0;
+            break;
+          }
+          case Op::SExt: {
+            uint32_t na = nw(in.wa);
+            copyVal(d, a, na);
+            bool sign = (a[(in.wa - 1) >> 6] >> ((in.wa - 1) & 63)) & 1;
+            for (uint32_t i = na; i < n; ++i)
+                d[i] = sign ? ~uint64_t{0} : 0;
+            if (sign) {
+                for (uint32_t bit = in.wa; bit < (na << 6) && bit < in.width;
+                     ++bit)
+                    d[bit >> 6] |= uint64_t{1} << (bit & 63);
+            }
+            normalize(d, in.width);
+            break;
+          }
+          case Op::MemRead: {
+            const ProgMem &pm = prog_.mems[in.aux];
+            const std::vector<uint64_t> &img = mems_[in.aux];
+            uint64_t addr = shiftAmount(a, in.wa); // saturating read
+            if (addr < pm.depth)
+                copyVal(d, img.data() + addr * pm.entryWords,
+                        pm.entryWords);
+            else
+                zeroVal(d, pm.entryWords);
+            break;
+          }
+          default:
+            panic("evalComb: unexpected op %s", opName(in.op));
+        }
+    }
+}
+
+void
+EvalState::commitWrites()
+{
+    uint64_t *s = slots_.data();
+    for (const ProgWrite &w : prog_.writes) {
+        if (!(s[w.en] & 1))
+            continue;
+        const ProgMem &pm = prog_.mems[w.memIndex];
+        uint64_t addr = shiftAmount(s + w.addr, w.addrWidth);
+        if (addr >= pm.depth)
+            continue;
+        copyVal(mems_[w.memIndex].data() + addr * pm.entryWords,
+                s + w.data, pm.entryWords);
+    }
+}
+
+void
+EvalState::latchRegisters()
+{
+    // Two phases (double buffering): a register's next-value slot may
+    // alias another register's current-value slot (e.g. a swap), so
+    // all next values are staged before any current value is written.
+    uint64_t *s = slots_.data();
+    scratch_.clear();
+    for (const ProgReg &r : prog_.regs) {
+        if (!r.owned || r.next == kNoSlot)
+            continue;
+        for (uint32_t i = 0; i < nw(r.width); ++i)
+            scratch_.push_back(s[r.next + i]);
+    }
+    size_t at = 0;
+    for (const ProgReg &r : prog_.regs) {
+        if (!r.owned || r.next == kNoSlot)
+            continue;
+        for (uint32_t i = 0; i < nw(r.width); ++i)
+            s[r.cur + i] = scratch_[at++];
+    }
+}
+
+void
+EvalState::step()
+{
+    evalComb();
+    commitWrites();
+    latchRegisters();
+}
+
+void
+EvalState::save(std::ostream &out) const
+{
+    auto write_vec = [&](const std::vector<uint64_t> &v) {
+        uint64_t n = v.size();
+        out.write(reinterpret_cast<const char *>(&n), sizeof(n));
+        out.write(reinterpret_cast<const char *>(v.data()),
+                  static_cast<std::streamsize>(n * 8));
+    };
+    write_vec(slots_);
+    uint64_t nmems = mems_.size();
+    out.write(reinterpret_cast<const char *>(&nmems), sizeof(nmems));
+    for (const auto &m : mems_)
+        write_vec(m);
+}
+
+void
+EvalState::restore(std::istream &in)
+{
+    auto read_vec = [&](std::vector<uint64_t> &v) {
+        uint64_t n = 0;
+        in.read(reinterpret_cast<char *>(&n), sizeof(n));
+        if (!in || n != v.size())
+            fatal("checkpoint mismatch: expected %zu words, got %llu",
+                  v.size(), static_cast<unsigned long long>(n));
+        in.read(reinterpret_cast<char *>(v.data()),
+                static_cast<std::streamsize>(n * 8));
+        if (!in)
+            fatal("checkpoint truncated");
+    };
+    read_vec(slots_);
+    uint64_t nmems = 0;
+    in.read(reinterpret_cast<char *>(&nmems), sizeof(nmems));
+    if (!in || nmems != mems_.size())
+        fatal("checkpoint mismatch: memory count");
+    for (auto &m : mems_)
+        read_vec(m);
+}
+
+} // namespace parendi::rtl

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Compiled evaluation programs: a netlist (or any subset of one, e.g.
+ * the fibers merged onto one IPU tile) is lowered to a flat list of
+ * word-offset instructions over a dense uint64 slot array. The same
+ * kernel executes the reference interpreter and every simulated IPU
+ * tile, so functional equivalence between the two is exact by
+ * construction of the inputs, not by luck.
+ *
+ * Lowering rules:
+ *  - Const nodes become pre-initialized slots (no instruction).
+ *  - Input/RegRead nodes are slots written by the caller (poke /
+ *    register latch / exchange).
+ *  - RegNext and Output are aliases to their operand's slot.
+ *  - MemWrite becomes a deferred write-port record, applied in port
+ *    order by EvalState::commit() after combinational evaluation.
+ */
+
+#ifndef PARENDI_RTL_EVAL_HH
+#define PARENDI_RTL_EVAL_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <unordered_map>
+#include <vector>
+
+#include "rtl/netlist.hh"
+
+namespace parendi::rtl {
+
+/** One lowered combinational operation on slot storage. */
+struct EvalInstr
+{
+    Op op;
+    uint16_t width;     ///< result width (bits)
+    uint16_t wa;        ///< width of operand a (bits)
+    uint16_t wb;        ///< width of operand b (bits)
+    uint32_t dst;       ///< destination word offset
+    uint32_t a;         ///< operand word offsets
+    uint32_t b;
+    uint32_t c;
+    uint32_t aux;       ///< slice LSB or program-local memory index
+};
+
+/** A register's slot bindings within one program. */
+struct ProgReg
+{
+    RegId reg;              ///< netlist register id
+    uint16_t width;
+    uint32_t cur;           ///< slot of the current-cycle value
+    uint32_t next;          ///< slot holding the next value (kNoSlot if
+                            ///< this program does not compute it)
+    bool owned = false;     ///< this program computes the next value
+};
+
+/** A memory replica held by one program. */
+struct ProgMem
+{
+    MemId mem;              ///< netlist memory id
+    uint32_t entryWords;
+    uint32_t depth;
+    bool owned = false;     ///< this program applies the write ports
+};
+
+/** A deferred memory write port. */
+struct ProgWrite
+{
+    uint32_t memIndex;      ///< index into EvalProgram::mems
+    uint32_t addr;          ///< slot of address value
+    uint16_t addrWidth;
+    uint32_t data;          ///< slot of data value
+    uint32_t en;            ///< slot of 1-bit enable
+};
+
+/** An input or output port binding. */
+struct ProgPort
+{
+    PortId port;
+    uint16_t width;
+    uint32_t slot;
+};
+
+constexpr uint32_t kNoSlot = UINT32_MAX;
+
+/**
+ * An immutable compiled program: instructions, slot layout, and initial
+ * images. Instantiate with EvalState to run.
+ */
+struct EvalProgram
+{
+    std::vector<EvalInstr> instrs;
+    std::vector<uint64_t> initSlots;    ///< initial slot image
+    std::vector<ProgReg> regs;
+    std::vector<ProgMem> mems;
+    std::vector<std::vector<uint64_t>> memInit;
+    std::vector<ProgWrite> writes;
+    std::vector<ProgPort> inputs;
+    std::vector<ProgPort> outputs;
+
+    /** node id -> slot word offset, for cross-referencing by the host. */
+    std::unordered_map<NodeId, uint32_t> slotOf;
+
+    uint32_t numSlots() const { return static_cast<uint32_t>(
+        initSlots.size()); }
+
+    /** Approximate data bytes this program needs on a tile. */
+    uint64_t dataBytes() const;
+};
+
+/**
+ * Incrementally lowers a subset of a netlist into an EvalProgram.
+ * Nodes must be added in an order where operands precede users
+ * (callers pass nodes in topological order).
+ */
+class ProgramBuilder
+{
+  public:
+    explicit ProgramBuilder(const Netlist &nl);
+
+    /** Add one node. Idempotent: re-adding a node is a no-op. */
+    void addNode(NodeId id);
+
+    /** Add every node of the netlist (reference interpreter). */
+    void addAll();
+
+    /** Finalize. Ownership flags are set for regs/mems whose sinks
+     *  were added. */
+    EvalProgram build();
+
+  private:
+    uint32_t allocSlots(uint16_t width);
+    uint32_t slotFor(NodeId id) const;
+
+    const Netlist &nl_;
+    EvalProgram prog_;
+    std::unordered_map<MemId, uint32_t> memIndex_;
+    std::unordered_map<RegId, uint32_t> regIndex_;
+};
+
+/**
+ * Mutable run state for an EvalProgram: the slot array and memory
+ * images. One EvalState per simulated tile (or one for the whole
+ * design in the reference interpreter).
+ */
+class EvalState
+{
+  public:
+    explicit EvalState(const EvalProgram &prog);
+
+    /** Restore initial slot and memory images. */
+    void reset();
+
+    /** Evaluate all combinational instructions (the BSP compute phase). */
+    void evalComb();
+
+    /** Evaluate a single instruction (used by the event-driven
+     *  interpreter for selective re-evaluation). */
+    void evalOne(const EvalInstr &in);
+
+    /** Apply deferred memory writes in port order. */
+    void commitWrites();
+
+    /** Copy next -> cur for registers owned by this program. */
+    void latchRegisters();
+
+    /** Full local cycle: evalComb + commitWrites + latchRegisters. */
+    void step();
+
+    // Slot access (word granularity).
+    uint64_t *slotPtr(uint32_t slot) { return &slots_[slot]; }
+    const uint64_t *slotPtr(uint32_t slot) const { return &slots_[slot]; }
+
+    /** Read a value of @p width bits at @p slot into a BitVec. */
+    BitVec readSlot(uint32_t slot, uint16_t width) const;
+
+    /** Write a BitVec into @p slot (value is normalized to @p width). */
+    void writeSlot(uint32_t slot, const BitVec &v);
+
+    const EvalProgram &program() const { return prog_; }
+
+    std::vector<uint64_t> &memImage(uint32_t mem_index)
+    {
+        return mems_[mem_index];
+    }
+
+    const std::vector<uint64_t> &
+    memImage(uint32_t mem_index) const
+    {
+        return mems_[mem_index];
+    }
+
+    /** Serialize all mutable state (slots + memory images). */
+    void save(std::ostream &out) const;
+    /** Restore state saved by save(); the program must be identical.
+     *  Calls fatal() on a size mismatch. */
+    void restore(std::istream &in);
+
+  private:
+    const EvalProgram &prog_;
+    std::vector<uint64_t> slots_;
+    std::vector<std::vector<uint64_t>> mems_;
+    std::vector<uint64_t> scratch_;   ///< latch staging (double buffer)
+};
+
+} // namespace parendi::rtl
+
+#endif // PARENDI_RTL_EVAL_HH

@@ -1,0 +1,152 @@
+#include "rtl/event.hh"
+
+#include <cstring>
+#include <unordered_map>
+
+#include "util/logging.hh"
+
+namespace parendi::rtl {
+
+EventInterpreter::EventInterpreter(Netlist netlist)
+    : nl(std::move(netlist))
+{
+    ProgramBuilder builder(nl);
+    builder.addAll();
+    prog = builder.build();
+    state = std::make_unique<EvalState>(prog);
+
+    // Producer (dst slot) -> instruction index.
+    std::unordered_map<uint32_t, uint32_t> producer;
+    for (uint32_t i = 0; i < prog.instrs.size(); ++i)
+        producer[prog.instrs[i].dst] = i;
+    // Consumers per slot.
+    std::unordered_map<uint32_t, std::vector<uint32_t>> consumers;
+    users.assign(prog.instrs.size(), {});
+    for (uint32_t i = 0; i < prog.instrs.size(); ++i) {
+        const EvalInstr &in = prog.instrs[i];
+        int arity = opArity(in.op);
+        uint32_t ops[3] = {in.a, in.b, in.c};
+        for (int k = 0; k < arity; ++k) {
+            consumers[ops[k]].push_back(i);
+            auto it = producer.find(ops[k]);
+            if (it != producer.end())
+                users[it->second].push_back(i);
+        }
+    }
+    // Register/memory fanout.
+    regUsers.assign(prog.regs.size(), {});
+    for (size_t r = 0; r < prog.regs.size(); ++r) {
+        auto it = consumers.find(prog.regs[r].cur);
+        if (it != consumers.end())
+            regUsers[r] = it->second;
+    }
+    memUsers.assign(prog.mems.size(), {});
+    for (uint32_t i = 0; i < prog.instrs.size(); ++i)
+        if (prog.instrs[i].op == Op::MemRead)
+            memUsers[prog.instrs[i].aux].push_back(i);
+
+    dirty.assign(prog.instrs.size(), 0);
+    // Initial full evaluation (like power-on in a full-cycle sim).
+    state->evalComb();
+    shadow.assign(state->slotPtr(0),
+                  state->slotPtr(0) + prog.numSlots());
+}
+
+void
+EventInterpreter::step(size_t n)
+{
+    for (size_t c = 0; c < n; ++c) {
+        uint64_t *s = state->slotPtr(0);
+
+        // 1. Commit memory writes with change detection.
+        for (const ProgWrite &w : prog.writes) {
+            if (!(s[w.en] & 1))
+                continue;
+            const ProgMem &pm = prog.mems[w.memIndex];
+            uint64_t addr = s[w.addr];
+            bool huge = false;
+            for (uint32_t i = 1; i < wordsFor(w.addrWidth); ++i)
+                if (s[w.addr + i])
+                    huge = true;
+            if (huge || addr >= pm.depth)
+                continue;
+            uint64_t *entry = state->memImage(w.memIndex).data() +
+                addr * pm.entryWords;
+            if (std::memcmp(entry, s + w.data,
+                            pm.entryWords * 8) != 0) {
+                std::memcpy(entry, s + w.data, pm.entryWords * 8);
+                for (uint32_t u : memUsers[w.memIndex])
+                    dirty[u] = 1;
+            }
+        }
+
+        // 2. Latch registers (staged, change-detected).
+        std::vector<uint64_t> staged;
+        for (const ProgReg &r : prog.regs) {
+            if (!r.owned || r.next == kNoSlot)
+                continue;
+            for (uint32_t i = 0; i < wordsFor(r.width); ++i)
+                staged.push_back(s[r.next + i]);
+        }
+        size_t at = 0;
+        for (size_t ri = 0; ri < prog.regs.size(); ++ri) {
+            const ProgReg &r = prog.regs[ri];
+            if (!r.owned || r.next == kNoSlot)
+                continue;
+            uint32_t words = wordsFor(r.width);
+            bool changed = std::memcmp(s + r.cur, staged.data() + at,
+                                       words * 8) != 0;
+            if (changed) {
+                std::memcpy(s + r.cur, staged.data() + at, words * 8);
+                for (uint32_t u : regUsers[ri])
+                    dirty[u] = 1;
+            }
+            at += words;
+        }
+
+        // 3. Selective propagation in topological (ascending) order.
+        for (uint32_t i = 0; i < prog.instrs.size(); ++i) {
+            if (!dirty[i])
+                continue;
+            dirty[i] = 0;
+            const EvalInstr &in = prog.instrs[i];
+            state->evalOne(in);
+            ++evaluated;
+            uint32_t words = wordsFor(in.width);
+            if (std::memcmp(s + in.dst, shadow.data() + in.dst,
+                            words * 8) != 0) {
+                std::memcpy(shadow.data() + in.dst, s + in.dst,
+                            words * 8);
+                for (uint32_t u : users[i])
+                    dirty[u] = 1;
+            }
+        }
+        ++cycleCount;
+    }
+}
+
+BitVec
+EventInterpreter::peek(const std::string &output) const
+{
+    PortId id = nl.findOutput(output);
+    if (id == nl.numOutputs())
+        fatal("no output port named %s", output.c_str());
+    for (const ProgPort &p : prog.outputs)
+        if (p.port == id)
+            return state->readSlot(p.slot, p.width);
+    fatal("output %s not in program", output.c_str());
+}
+
+BitVec
+EventInterpreter::peekRegister(const std::string &reg) const
+{
+    RegId id = nl.findRegister(reg);
+    if (id == nl.numRegisters())
+        fatal("no register named %s", reg.c_str());
+    for (const ProgReg &r : prog.regs)
+        if (r.reg == id)
+            return state->readSlot(r.cur, r.width);
+    fatal("register %s not in program", reg.c_str());
+}
+
+} // namespace parendi::rtl

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * An event-driven (activity-aware) interpreter: per cycle, only the
+ * combinational nodes whose inputs changed are re-evaluated. The
+ * paper (§3, citing Beamer's work) argues full-cycle simulation
+ * usually beats event-driven because the cost of tracking value
+ * changes exceeds the savings at typical RTL activity factors; this
+ * implementation exists to measure that trade-off on the benchmark
+ * designs (bench/sec3_activity) and as a second, independently
+ * derived functional model for differential testing.
+ */
+
+#ifndef PARENDI_RTL_EVENT_HH
+#define PARENDI_RTL_EVENT_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rtl/eval.hh"
+#include "rtl/netlist.hh"
+
+namespace parendi::rtl {
+
+class EventInterpreter
+{
+  public:
+    explicit EventInterpreter(Netlist nl);
+
+    /** Simulate @p n cycles with selective evaluation. */
+    void step(size_t n = 1);
+
+    uint64_t cycles() const { return cycleCount; }
+
+    BitVec peek(const std::string &output) const;
+    BitVec peekRegister(const std::string &reg) const;
+
+    /** Nodes evaluated since construction (the "work done"). */
+    uint64_t evaluatedNodes() const { return evaluated; }
+    /** Nodes that would have been evaluated full-cycle. */
+    uint64_t
+    fullCycleNodes() const
+    {
+        return cycleCount * prog.instrs.size();
+    }
+    /** Fraction of node evaluations actually performed. */
+    double
+    activityFactor() const
+    {
+        return fullCycleNodes()
+                   ? static_cast<double>(evaluated) /
+                         static_cast<double>(fullCycleNodes())
+                   : 0.0;
+    }
+
+    const Netlist &netlist() const { return nl; }
+
+  private:
+    Netlist nl;
+    EvalProgram prog;
+    std::unique_ptr<EvalState> state;
+
+    /// instruction index -> indices of dependent instructions
+    std::vector<std::vector<uint32_t>> users;
+    /// per-register: instructions reading its current-value slot
+    std::vector<std::vector<uint32_t>> regUsers;
+    /// per-memory(program index): instructions reading it
+    std::vector<std::vector<uint32_t>> memUsers;
+    std::vector<uint8_t> dirty;
+    std::vector<uint64_t> shadow;   ///< previous dst values
+
+    uint64_t cycleCount = 0;
+    uint64_t evaluated = 0;
+};
+
+} // namespace parendi::rtl
+
+#endif // PARENDI_RTL_EVENT_HH

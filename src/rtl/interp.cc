@@ -1,0 +1,133 @@
+#include "rtl/interp.hh"
+
+#include <istream>
+#include <ostream>
+
+#include "util/logging.hh"
+
+namespace parendi::rtl {
+
+Interpreter::Interpreter(Netlist netlist) : nl(std::move(netlist))
+{
+    ProgramBuilder builder(nl);
+    builder.addAll();
+    prog = builder.build();
+    state = std::make_unique<EvalState>(prog);
+    // Evaluate combinational logic once so outputs are observable
+    // before the first clock edge.
+    state->evalComb();
+}
+
+void
+Interpreter::step(size_t n)
+{
+    for (size_t i = 0; i < n; ++i) {
+        state->commitWrites();
+        state->latchRegisters();
+        state->evalComb();
+        ++cycleCount;
+    }
+}
+
+void
+Interpreter::reset()
+{
+    state->reset();
+    state->evalComb();
+    cycleCount = 0;
+}
+
+void
+Interpreter::poke(const std::string &input, const BitVec &value)
+{
+    PortId id = nl.findInput(input);
+    if (id == nl.numInputs())
+        fatal("no input port named %s", input.c_str());
+    for (const ProgPort &p : prog.inputs) {
+        if (p.port == id) {
+            if (value.width() != p.width)
+                fatal("poke %s: width %u != port width %u",
+                      input.c_str(), value.width(), p.width);
+            state->writeSlot(p.slot, value);
+            // Re-evaluate so pokes are visible combinationally.
+            state->evalComb();
+            return;
+        }
+    }
+    fatal("input port %s not in program", input.c_str());
+}
+
+void
+Interpreter::poke(const std::string &input, uint64_t value)
+{
+    PortId id = nl.findInput(input);
+    if (id == nl.numInputs())
+        fatal("no input port named %s", input.c_str());
+    poke(input, BitVec(nl.input(id).width, value));
+}
+
+void
+Interpreter::save(std::ostream &out) const
+{
+    out.write(reinterpret_cast<const char *>(&cycleCount),
+              sizeof(cycleCount));
+    state->save(out);
+}
+
+void
+Interpreter::restore(std::istream &in)
+{
+    in.read(reinterpret_cast<char *>(&cycleCount),
+            sizeof(cycleCount));
+    if (!in)
+        fatal("checkpoint truncated");
+    state->restore(in);
+}
+
+BitVec
+Interpreter::peek(const std::string &output) const
+{
+    PortId id = nl.findOutput(output);
+    if (id == nl.numOutputs())
+        fatal("no output port named %s", output.c_str());
+    for (const ProgPort &p : prog.outputs)
+        if (p.port == id)
+            return state->readSlot(p.slot, p.width);
+    fatal("output port %s not in program", output.c_str());
+}
+
+BitVec
+Interpreter::peekRegister(const std::string &reg) const
+{
+    RegId id = nl.findRegister(reg);
+    if (id == nl.numRegisters())
+        fatal("no register named %s", reg.c_str());
+    for (const ProgReg &r : prog.regs)
+        if (r.reg == id)
+            return state->readSlot(r.cur, r.width);
+    fatal("register %s not in program", reg.c_str());
+}
+
+BitVec
+Interpreter::peekMemory(const std::string &mem, uint64_t index) const
+{
+    MemId id = nl.findMemory(mem);
+    if (id == nl.numMemories())
+        fatal("no memory named %s", mem.c_str());
+    for (size_t i = 0; i < prog.mems.size(); ++i) {
+        const ProgMem &pm = prog.mems[i];
+        if (pm.mem != id)
+            continue;
+        if (index >= pm.depth)
+            fatal("memory %s index %llu out of range", mem.c_str(),
+                  static_cast<unsigned long long>(index));
+        const auto &img = state->memImage(static_cast<uint32_t>(i));
+        std::vector<uint64_t> words(
+            img.begin() + index * pm.entryWords,
+            img.begin() + (index + 1) * pm.entryWords);
+        return BitVec(nl.mem(id).width, std::move(words));
+    }
+    fatal("memory %s not in program", mem.c_str());
+}
+
+} // namespace parendi::rtl

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Reference single-threaded RTL interpreter (the golden model). It is
+ * also the functional stand-in for "Verilator single-thread" in the
+ * evaluation harness: a straight-line, full-cycle evaluation of the
+ * whole design with no partitioning.
+ */
+
+#ifndef PARENDI_RTL_INTERP_HH
+#define PARENDI_RTL_INTERP_HH
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "rtl/eval.hh"
+#include "rtl/netlist.hh"
+
+namespace parendi::rtl {
+
+/**
+ * Owns a compiled whole-design EvalProgram and its state, and exposes
+ * cycle stepping plus name-based port/register/memory access.
+ */
+class Interpreter
+{
+  public:
+    /** Takes the netlist by value (copy or move) so the interpreter
+     *  owns its design and temporaries are safe to pass. */
+    explicit Interpreter(Netlist nl);
+
+    // The state holds a reference to the program member; the object
+    // must stay put.
+    Interpreter(const Interpreter &) = delete;
+    Interpreter &operator=(const Interpreter &) = delete;
+
+    /** Simulate @p n full RTL cycles. */
+    void step(size_t n = 1);
+
+    /** Cycles simulated since construction/reset. */
+    uint64_t cycles() const { return cycleCount; }
+
+    /** Reset all state to initial values. */
+    void reset();
+
+    /** Drive an input port (takes effect from the next evaluation). */
+    void poke(const std::string &input, const BitVec &value);
+    void poke(const std::string &input, uint64_t value);
+
+    /** Sample an output port as of the last completed cycle's
+     *  combinational evaluation. */
+    BitVec peek(const std::string &output) const;
+
+    /** Read a register's current value by name. */
+    BitVec peekRegister(const std::string &reg) const;
+
+    /** Read one memory entry by memory name. */
+    BitVec peekMemory(const std::string &mem, uint64_t index) const;
+
+    /** Checkpoint all simulation state (including the cycle count). */
+    void save(std::ostream &out) const;
+    /** Restore a checkpoint written by save() for the same design. */
+    void restore(std::istream &in);
+
+    const Netlist &netlist() const { return nl; }
+    const EvalProgram &program() const { return prog; }
+
+  private:
+    Netlist nl;
+    EvalProgram prog;
+    std::unique_ptr<EvalState> state;
+    uint64_t cycleCount = 0;
+};
+
+} // namespace parendi::rtl
+
+#endif // PARENDI_RTL_INTERP_HH

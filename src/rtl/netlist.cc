@@ -1,0 +1,431 @@
+#include "rtl/netlist.hh"
+
+#include "util/logging.hh"
+
+namespace parendi::rtl {
+
+bool
+isSink(Op op)
+{
+    return op == Op::RegNext || op == Op::MemWrite || op == Op::Output;
+}
+
+bool
+isSource(Op op)
+{
+    return op == Op::Const || op == Op::Input || op == Op::RegRead;
+}
+
+const char *
+opName(Op op)
+{
+    switch (op) {
+      case Op::Const: return "const";
+      case Op::Input: return "input";
+      case Op::RegRead: return "regread";
+      case Op::MemRead: return "memread";
+      case Op::Not: return "not";
+      case Op::Neg: return "neg";
+      case Op::RedAnd: return "redand";
+      case Op::RedOr: return "redor";
+      case Op::RedXor: return "redxor";
+      case Op::And: return "and";
+      case Op::Or: return "or";
+      case Op::Xor: return "xor";
+      case Op::Add: return "add";
+      case Op::Sub: return "sub";
+      case Op::Mul: return "mul";
+      case Op::Shl: return "shl";
+      case Op::Shr: return "shr";
+      case Op::Sra: return "sra";
+      case Op::Eq: return "eq";
+      case Op::Ne: return "ne";
+      case Op::Ult: return "ult";
+      case Op::Ule: return "ule";
+      case Op::Slt: return "slt";
+      case Op::Sle: return "sle";
+      case Op::Mux: return "mux";
+      case Op::Concat: return "concat";
+      case Op::Slice: return "slice";
+      case Op::ZExt: return "zext";
+      case Op::SExt: return "sext";
+      case Op::RegNext: return "regnext";
+      case Op::MemWrite: return "memwrite";
+      case Op::Output: return "output";
+      default: return "?";
+    }
+}
+
+int
+opArity(Op op)
+{
+    switch (op) {
+      case Op::Const:
+      case Op::Input:
+      case Op::RegRead:
+        return 0;
+      case Op::MemRead:
+      case Op::Not:
+      case Op::Neg:
+      case Op::RedAnd:
+      case Op::RedOr:
+      case Op::RedXor:
+      case Op::Slice:
+      case Op::ZExt:
+      case Op::SExt:
+      case Op::RegNext:
+      case Op::Output:
+        return 1;
+      case Op::Mux:
+      case Op::MemWrite:
+        return 3;
+      default:
+        return 2;
+    }
+}
+
+NodeId
+Netlist::pushNode(Node n)
+{
+    NodeId id = static_cast<NodeId>(nodes_.size());
+    nodes_.push_back(n);
+    if (isSink(n.op))
+        sinks_.push_back(id);
+    return id;
+}
+
+NodeId
+Netlist::addConst(const BitVec &value)
+{
+    uint32_t pool = static_cast<uint32_t>(consts_.size());
+    consts_.push_back(value);
+    Node n;
+    n.op = Op::Const;
+    n.width = static_cast<uint16_t>(value.width());
+    n.aux = pool;
+    return pushNode(n);
+}
+
+NodeId
+Netlist::addConst(uint32_t width, uint64_t value)
+{
+    return addConst(BitVec(width, value));
+}
+
+NodeId
+Netlist::addInput(const std::string &name, uint16_t width)
+{
+    Node n;
+    n.op = Op::Input;
+    n.width = width;
+    n.aux = static_cast<uint32_t>(inputs_.size());
+    NodeId id = pushNode(n);
+    inputs_.push_back({name, width, id});
+    return id;
+}
+
+RegId
+Netlist::addRegister(const std::string &name, uint16_t width,
+                     const BitVec &init)
+{
+    if (init.width() != width)
+        fatal("register %s: init width %u != register width %u",
+              name.c_str(), init.width(), width);
+    RegId id = static_cast<RegId>(regs_.size());
+    regs_.push_back({name, width, init, kNoNode, kNoNode});
+    return id;
+}
+
+RegId
+Netlist::addRegister(const std::string &name, uint16_t width, uint64_t init)
+{
+    return addRegister(name, width, BitVec(width, init));
+}
+
+NodeId
+Netlist::readRegister(RegId reg)
+{
+    Register &r = regs_.at(reg);
+    if (r.read == kNoNode) {
+        Node n;
+        n.op = Op::RegRead;
+        n.width = r.width;
+        n.aux = reg;
+        r.read = pushNode(n);
+    }
+    return r.read;
+}
+
+NodeId
+Netlist::setRegisterNext(RegId reg, NodeId value)
+{
+    Register &r = regs_.at(reg);
+    if (r.next != kNoNode)
+        fatal("register %s driven twice", r.name.c_str());
+    if (widthOf(value) != r.width)
+        fatal("register %s: next width %u != register width %u",
+              r.name.c_str(), widthOf(value), r.width);
+    Node n;
+    n.op = Op::RegNext;
+    n.width = r.width;
+    n.aux = reg;
+    n.operands[0] = value;
+    r.next = pushNode(n);
+    return r.next;
+}
+
+MemId
+Netlist::addMemory(const std::string &name, uint16_t width, uint32_t depth)
+{
+    if (depth == 0)
+        fatal("memory %s has zero depth", name.c_str());
+    MemId id = static_cast<MemId>(mems_.size());
+    Memory m;
+    m.name = name;
+    m.width = width;
+    m.depth = depth;
+    mems_.push_back(std::move(m));
+    return id;
+}
+
+void
+Netlist::initMemory(MemId mem, std::vector<BitVec> image)
+{
+    Memory &m = mems_.at(mem);
+    if (image.size() > m.depth)
+        fatal("memory %s: init image larger than depth", m.name.c_str());
+    for (const auto &v : image)
+        if (v.width() != m.width)
+            fatal("memory %s: init entry width mismatch", m.name.c_str());
+    m.init = std::move(image);
+}
+
+NodeId
+Netlist::readMemory(MemId mem, NodeId addr)
+{
+    Memory &m = mems_.at(mem);
+    Node n;
+    n.op = Op::MemRead;
+    n.width = m.width;
+    n.aux = mem;
+    n.operands[0] = addr;
+    NodeId id = pushNode(n);
+    m.readPorts.push_back(id);
+    return id;
+}
+
+NodeId
+Netlist::writeMemory(MemId mem, NodeId addr, NodeId data, NodeId enable)
+{
+    Memory &m = mems_.at(mem);
+    if (widthOf(data) != m.width)
+        fatal("memory %s: write data width %u != entry width %u",
+              m.name.c_str(), widthOf(data), m.width);
+    if (widthOf(enable) != 1)
+        fatal("memory %s: write enable must be 1 bit", m.name.c_str());
+    Node n;
+    n.op = Op::MemWrite;
+    n.width = m.width;
+    n.aux = mem;
+    n.operands = {addr, data, enable};
+    NodeId id = pushNode(n);
+    m.writePorts.push_back(id);
+    return id;
+}
+
+NodeId
+Netlist::addOutput(const std::string &name, NodeId value)
+{
+    Node n;
+    n.op = Op::Output;
+    n.width = widthOf(value);
+    n.aux = static_cast<uint32_t>(outputs_.size());
+    n.operands[0] = value;
+    NodeId id = pushNode(n);
+    outputs_.push_back({name, n.width, id});
+    return id;
+}
+
+NodeId
+Netlist::addUnary(Op op, NodeId a)
+{
+    Node n;
+    n.op = op;
+    n.operands[0] = a;
+    switch (op) {
+      case Op::Not:
+      case Op::Neg:
+        n.width = widthOf(a);
+        break;
+      case Op::RedAnd:
+      case Op::RedOr:
+      case Op::RedXor:
+        n.width = 1;
+        break;
+      default:
+        fatal("addUnary: %s is not unary", opName(op));
+    }
+    return pushNode(n);
+}
+
+NodeId
+Netlist::addBinary(Op op, NodeId a, NodeId b)
+{
+    uint16_t wa = widthOf(a), wb = widthOf(b);
+    Node n;
+    n.op = op;
+    n.operands[0] = a;
+    n.operands[1] = b;
+    switch (op) {
+      case Op::And:
+      case Op::Or:
+      case Op::Xor:
+      case Op::Add:
+      case Op::Sub:
+      case Op::Mul:
+        if (wa != wb)
+            fatal("%s: operand widths differ (%u vs %u)",
+                  opName(op), wa, wb);
+        n.width = wa;
+        break;
+      case Op::Shl:
+      case Op::Shr:
+      case Op::Sra:
+        n.width = wa; // b is the shift amount, any width
+        break;
+      case Op::Eq:
+      case Op::Ne:
+      case Op::Ult:
+      case Op::Ule:
+      case Op::Slt:
+      case Op::Sle:
+        if (wa != wb)
+            fatal("%s: operand widths differ (%u vs %u)",
+                  opName(op), wa, wb);
+        n.width = 1;
+        break;
+      default:
+        fatal("addBinary: %s is not binary", opName(op));
+    }
+    return pushNode(n);
+}
+
+NodeId
+Netlist::addMux(NodeId sel, NodeId then_v, NodeId else_v)
+{
+    if (widthOf(sel) != 1)
+        fatal("mux: select must be 1 bit, got %u", widthOf(sel));
+    if (widthOf(then_v) != widthOf(else_v))
+        fatal("mux: arm widths differ (%u vs %u)",
+              widthOf(then_v), widthOf(else_v));
+    Node n;
+    n.op = Op::Mux;
+    n.width = widthOf(then_v);
+    n.operands = {sel, then_v, else_v};
+    return pushNode(n);
+}
+
+NodeId
+Netlist::addConcat(NodeId hi, NodeId lo)
+{
+    uint32_t w = uint32_t{widthOf(hi)} + widthOf(lo);
+    if (w > kMaxWidth)
+        fatal("concat result width %u exceeds maximum", w);
+    Node n;
+    n.op = Op::Concat;
+    n.width = static_cast<uint16_t>(w);
+    n.operands = {hi, lo};
+    return pushNode(n);
+}
+
+NodeId
+Netlist::addSlice(NodeId a, uint32_t lsb, uint16_t width)
+{
+    if (lsb + width > widthOf(a))
+        fatal("slice [%u +: %u] out of range for %u-bit value",
+              lsb, width, widthOf(a));
+    Node n;
+    n.op = Op::Slice;
+    n.width = width;
+    n.aux = lsb;
+    n.operands[0] = a;
+    return pushNode(n);
+}
+
+NodeId
+Netlist::addExtend(Op op, NodeId a, uint16_t width)
+{
+    if (op != Op::ZExt && op != Op::SExt)
+        fatal("addExtend: %s is not an extension", opName(op));
+    if (width < widthOf(a))
+        fatal("extend to %u bits narrower than source %u bits",
+              width, widthOf(a));
+    Node n;
+    n.op = op;
+    n.width = width;
+    n.operands[0] = a;
+    return pushNode(n);
+}
+
+RegId
+Netlist::findRegister(const std::string &name) const
+{
+    for (RegId i = 0; i < regs_.size(); ++i)
+        if (regs_[i].name == name)
+            return i;
+    return static_cast<RegId>(regs_.size());
+}
+
+PortId
+Netlist::findInput(const std::string &name) const
+{
+    for (PortId i = 0; i < inputs_.size(); ++i)
+        if (inputs_[i].name == name)
+            return i;
+    return static_cast<PortId>(inputs_.size());
+}
+
+PortId
+Netlist::findOutput(const std::string &name) const
+{
+    for (PortId i = 0; i < outputs_.size(); ++i)
+        if (outputs_[i].name == name)
+            return i;
+    return static_cast<PortId>(outputs_.size());
+}
+
+MemId
+Netlist::findMemory(const std::string &name) const
+{
+    for (MemId i = 0; i < mems_.size(); ++i)
+        if (mems_[i].name == name)
+            return i;
+    return static_cast<MemId>(mems_.size());
+}
+
+void
+Netlist::check() const
+{
+    for (NodeId id = 0; id < nodes_.size(); ++id) {
+        const Node &n = nodes_[id];
+        int arity = opArity(n.op);
+        for (int i = 0; i < arity; ++i) {
+            NodeId opnd = n.operands[i];
+            if (opnd == kNoNode || opnd >= nodes_.size())
+                fatal("node %u (%s): operand %d dangling",
+                      id, opName(n.op), i);
+            if (opnd >= id)
+                fatal("node %u (%s): operand %d does not precede its "
+                      "user (construction order must be topological)",
+                      id, opName(n.op), i);
+            if (isSink(nodes_[opnd].op))
+                fatal("node %u (%s): operand %d is a sink",
+                      id, opName(n.op), i);
+        }
+    }
+    for (RegId r = 0; r < regs_.size(); ++r)
+        if (regs_[r].next == kNoNode)
+            fatal("register %s never driven", regs_[r].name.c_str());
+}
+
+} // namespace parendi::rtl

@@ -1,0 +1,256 @@
+/**
+ * @file
+ * The Parendi RTL intermediate representation: a data dependence graph of
+ * combinational operators between clocked registers and memories
+ * (paper Fig. 3). A Netlist is what design generators and the PNL
+ * frontend produce and what the compiler pipeline consumes.
+ *
+ * Semantics: cycle-accurate, full-cycle evaluation with a single
+ * top-level clock (the paper's supported clocking model, §5.3).
+ *  - RegRead yields the register value at the beginning of the cycle.
+ *  - RegNext supplies the register value for the next cycle.
+ *  - MemRead is a combinational (asynchronous) array read.
+ *  - MemWrite commits at the end of the cycle, ports applied in
+ *    creation order.
+ */
+
+#ifndef PARENDI_RTL_NETLIST_HH
+#define PARENDI_RTL_NETLIST_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rtl/bitvec.hh"
+
+namespace parendi::rtl {
+
+using NodeId = uint32_t;
+constexpr NodeId kNoNode = UINT32_MAX;
+
+using RegId = uint32_t;
+using MemId = uint32_t;
+using PortId = uint32_t;
+
+/** Combinational and sink operators of the data dependence graph. */
+enum class Op : uint8_t {
+    // Sources
+    Const,      ///< aux = constant pool index
+    Input,      ///< aux = input port id
+    RegRead,    ///< aux = register id
+    MemRead,    ///< aux = memory id; a = address
+
+    // Unary
+    Not,
+    Neg,
+    RedAnd,     ///< 1-bit reduction AND
+    RedOr,
+    RedXor,
+
+    // Binary (operand widths equal result width unless noted)
+    And,
+    Or,
+    Xor,
+    Add,
+    Sub,
+    Mul,
+    Shl,        ///< b is the (unsigned) shift amount, any width
+    Shr,        ///< logical right shift
+    Sra,        ///< arithmetic right shift
+
+    // Comparisons (1-bit result; operands equal width)
+    Eq,
+    Ne,
+    Ult,
+    Ule,
+    Slt,
+    Sle,
+
+    // Structural
+    Mux,        ///< a = 1-bit select, b = then, c = else
+    Concat,     ///< a = high part, b = low part
+    Slice,      ///< a = value, aux = LSB offset, node width = slice width
+    ZExt,       ///< zero extend a to node width
+    SExt,       ///< sign extend a to node width
+
+    // Sinks
+    RegNext,    ///< aux = register id; a = next value
+    MemWrite,   ///< aux = memory id; a = addr, b = data, c = 1-bit enable
+    Output,     ///< aux = output port id; a = value
+
+    NumOps,
+};
+
+/** True for ops that terminate a fiber (clocked/externally visible). */
+bool isSink(Op op);
+/** True for ops with no combinational operands. */
+bool isSource(Op op);
+/** Printable mnemonic. */
+const char *opName(Op op);
+/** Number of operands used by @p op (0 to 3). */
+int opArity(Op op);
+
+/** One vertex of the data dependence graph. */
+struct Node
+{
+    Op op;
+    uint16_t width;             ///< result width in bits
+    uint32_t aux = 0;           ///< op-specific: const/reg/mem/port index
+    std::array<NodeId, 3> operands = {kNoNode, kNoNode, kNoNode};
+};
+
+/** A clocked register (one per HDL register bit-vector). */
+struct Register
+{
+    std::string name;
+    uint16_t width;
+    BitVec init;
+    NodeId next = kNoNode;      ///< the RegNext sink driving it
+    NodeId read = kNoNode;      ///< the unique RegRead source (or kNoNode)
+};
+
+/** An RTL array (register file, SRAM bank, ...). */
+struct Memory
+{
+    std::string name;
+    uint16_t width;             ///< bits per entry
+    uint32_t depth;             ///< number of entries
+    std::vector<NodeId> writePorts;
+    std::vector<NodeId> readPorts;
+    std::vector<BitVec> init;   ///< optional initial image (readmemh-like)
+
+    /** Bytes occupied by one full copy of this array. */
+    uint64_t
+    sizeBytes() const
+    {
+        return uint64_t{wordsFor(width)} * 8 * depth;
+    }
+};
+
+struct InputPort
+{
+    std::string name;
+    uint16_t width;
+    NodeId node = kNoNode;
+};
+
+struct OutputPort
+{
+    std::string name;
+    uint16_t width;
+    NodeId node = kNoNode;      ///< the Output sink
+};
+
+/**
+ * The RTL data dependence graph plus its state elements. Node ids are
+ * dense and creation-ordered; builders may create nodes in any order
+ * (analysis passes topologically sort as needed).
+ */
+class Netlist
+{
+  public:
+    explicit Netlist(std::string name = "top") : name_(std::move(name)) {}
+
+    const std::string &name() const { return name_; }
+
+    // -- Construction -----------------------------------------------------
+
+    /** Add a constant node. */
+    NodeId addConst(const BitVec &value);
+    NodeId addConst(uint32_t width, uint64_t value);
+
+    /** Declare an input port and return its source node. */
+    NodeId addInput(const std::string &name, uint16_t width);
+
+    /** Declare a register; its RegRead node is created lazily. */
+    RegId addRegister(const std::string &name, uint16_t width,
+                      const BitVec &init);
+    RegId addRegister(const std::string &name, uint16_t width,
+                      uint64_t init = 0);
+
+    /** The (unique) RegRead node of @p reg. */
+    NodeId readRegister(RegId reg);
+
+    /** Connect the next-cycle value of @p reg; returns the RegNext sink. */
+    NodeId setRegisterNext(RegId reg, NodeId value);
+
+    /** Declare a memory of @p depth entries of @p width bits. */
+    MemId addMemory(const std::string &name, uint16_t width, uint32_t depth);
+
+    /** Set the initial contents of a memory. */
+    void initMemory(MemId mem, std::vector<BitVec> image);
+
+    /** Combinational read port. */
+    NodeId readMemory(MemId mem, NodeId addr);
+
+    /** Clocked write port; returns the MemWrite sink. */
+    NodeId writeMemory(MemId mem, NodeId addr, NodeId data, NodeId enable);
+
+    /** Declare an output port driven by @p value; returns Output sink. */
+    NodeId addOutput(const std::string &name, NodeId value);
+
+    /** Generic operator constructors (width rules checked). */
+    NodeId addUnary(Op op, NodeId a);
+    NodeId addBinary(Op op, NodeId a, NodeId b);
+    NodeId addMux(NodeId sel, NodeId then_v, NodeId else_v);
+    NodeId addConcat(NodeId hi, NodeId lo);
+    NodeId addSlice(NodeId a, uint32_t lsb, uint16_t width);
+    NodeId addExtend(Op op, NodeId a, uint16_t width);
+
+    // -- Access -----------------------------------------------------------
+
+    size_t numNodes() const { return nodes_.size(); }
+    const Node &node(NodeId id) const { return nodes_[id]; }
+    uint16_t widthOf(NodeId id) const { return nodes_[id].width; }
+
+    size_t numRegisters() const { return regs_.size(); }
+    const Register &reg(RegId id) const { return regs_[id]; }
+
+    size_t numMemories() const { return mems_.size(); }
+    const Memory &mem(MemId id) const { return mems_[id]; }
+
+    size_t numInputs() const { return inputs_.size(); }
+    const InputPort &input(PortId id) const { return inputs_[id]; }
+
+    size_t numOutputs() const { return outputs_.size(); }
+    const OutputPort &output(PortId id) const { return outputs_[id]; }
+
+    const BitVec &constValue(uint32_t pool_index) const
+    {
+        return consts_[pool_index];
+    }
+
+    /** All sink nodes (RegNext, MemWrite, Output), creation-ordered. */
+    const std::vector<NodeId> &sinks() const { return sinks_; }
+
+    /** Look up a register by name; returns numRegisters() if absent. */
+    RegId findRegister(const std::string &name) const;
+    /** Look up ports by name; returns num{In,Out}puts() if absent. */
+    PortId findInput(const std::string &name) const;
+    PortId findOutput(const std::string &name) const;
+    /** Look up a memory by name; returns numMemories() if absent. */
+    MemId findMemory(const std::string &name) const;
+
+    /**
+     * Validate structural invariants: every register driven, operand
+     * widths legal, no dangling operands. Calls fatal() on violation.
+     */
+    void check() const;
+
+  private:
+    NodeId pushNode(Node n);
+
+    std::string name_;
+    std::vector<Node> nodes_;
+    std::vector<Register> regs_;
+    std::vector<Memory> mems_;
+    std::vector<InputPort> inputs_;
+    std::vector<OutputPort> outputs_;
+    std::vector<BitVec> consts_;
+    std::vector<NodeId> sinks_;
+};
+
+} // namespace parendi::rtl
+
+#endif // PARENDI_RTL_NETLIST_HH

@@ -1,0 +1,340 @@
+#include "rtl/opt.hh"
+
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "rtl/eval.hh"
+#include "util/logging.hh"
+
+namespace parendi::rtl {
+
+BitVec
+foldConstant(Op op, uint16_t width, uint32_t aux,
+             const std::vector<BitVec> &operands)
+{
+    // Build a one-instruction program: operand values live in the
+    // initial slot image, the instruction computes into a fresh slot.
+    EvalProgram prog;
+    EvalInstr in;
+    in.op = op;
+    in.width = width;
+    in.aux = aux;
+    in.wa = in.wb = 0;
+    in.a = in.b = in.c = 0;
+    uint32_t offsets[3] = {0, 0, 0};
+    for (size_t i = 0; i < operands.size() && i < 3; ++i) {
+        offsets[i] = static_cast<uint32_t>(prog.initSlots.size());
+        for (uint32_t w = 0; w < operands[i].numWords(); ++w)
+            prog.initSlots.push_back(operands[i].word(w));
+    }
+    if (!operands.empty()) {
+        in.a = offsets[0];
+        in.wa = static_cast<uint16_t>(operands[0].width());
+    }
+    if (operands.size() > 1) {
+        in.b = offsets[1];
+        in.wb = static_cast<uint16_t>(operands[1].width());
+    }
+    if (operands.size() > 2)
+        in.c = offsets[2];
+    in.dst = static_cast<uint32_t>(prog.initSlots.size());
+    prog.initSlots.resize(in.dst + wordsFor(width), 0);
+    prog.instrs.push_back(in);
+
+    EvalState state(prog);
+    state.evalComb();
+    return state.readSlot(in.dst, width);
+}
+
+namespace {
+
+/** Is this op pure (foldable when all operands are constant)? */
+bool
+isPure(Op op)
+{
+    switch (op) {
+      case Op::Const:
+      case Op::Input:
+      case Op::RegRead:
+      case Op::MemRead:
+      case Op::RegNext:
+      case Op::MemWrite:
+      case Op::Output:
+        return false;
+      default:
+        return true;
+    }
+}
+
+struct Rebuilder
+{
+    const Netlist &src;
+    Netlist out;
+    OptStats stats;
+
+    std::vector<NodeId> map;           ///< old -> new node id
+    std::vector<bool> live;
+    // CSE table: (op, width, aux, operands) -> new id.
+    std::map<std::tuple<Op, uint16_t, uint32_t, NodeId, NodeId,
+                        NodeId>, NodeId> cse;
+    // Constant pool dedup in the output: (width, hex) -> new id.
+    std::map<std::pair<uint16_t, std::string>, NodeId> constCse;
+
+    explicit Rebuilder(const Netlist &nl)
+        : src(nl), out(nl.name()), map(nl.numNodes(), kNoNode)
+    {}
+
+    void
+    markLive()
+    {
+        live.assign(src.numNodes(), false);
+        std::vector<NodeId> stack(src.sinks().begin(),
+                                  src.sinks().end());
+        for (NodeId id : stack)
+            live[id] = true;
+        while (!stack.empty()) {
+            NodeId id = stack.back();
+            stack.pop_back();
+            const Node &n = src.node(id);
+            for (int i = 0; i < opArity(n.op); ++i) {
+                NodeId o = n.operands[i];
+                if (!live[o]) {
+                    live[o] = true;
+                    stack.push_back(o);
+                }
+            }
+        }
+        for (NodeId id = 0; id < src.numNodes(); ++id)
+            if (!live[id])
+                ++stats.dead;
+    }
+
+    /** Emit (or find) a constant in the output netlist. */
+    NodeId
+    emitConst(const BitVec &v)
+    {
+        auto key = std::make_pair(static_cast<uint16_t>(v.width()),
+                                  v.toHex());
+        auto it = constCse.find(key);
+        if (it != constCse.end())
+            return it->second;
+        NodeId id = out.addConst(v);
+        constCse[key] = id;
+        return id;
+    }
+
+    bool
+    isConst(NodeId new_id, BitVec *value = nullptr) const
+    {
+        const Node &n = out.node(new_id);
+        if (n.op != Op::Const)
+            return false;
+        if (value)
+            *value = out.constValue(n.aux);
+        return true;
+    }
+
+    bool
+    isAllOnes(const BitVec &v) const
+    {
+        for (uint32_t i = 0; i < v.width(); ++i)
+            if (!v.bit(i))
+                return false;
+        return v.width() > 0;
+    }
+
+    /** Try algebraic identities on a remapped node; returns the
+     *  replacement id or kNoNode. */
+    NodeId
+    identity(const Node &n, NodeId a, NodeId b, NodeId c)
+    {
+        BitVec va, vb;
+        bool ca = a != kNoNode && isConst(a, &va);
+        bool cb = b != kNoNode && isConst(b, &vb);
+        switch (n.op) {
+          case Op::Add:
+          case Op::Or:
+          case Op::Xor:
+            if (cb && vb.isZero())
+                return a;
+            if (ca && va.isZero())
+                return b;
+            break;
+          case Op::Sub:
+          case Op::Shl:
+          case Op::Shr:
+          case Op::Sra:
+            if (cb && vb.isZero())
+                return a;
+            break;
+          case Op::And:
+            if ((cb && vb.isZero()) || (ca && va.isZero()))
+                return emitConst(BitVec(n.width, uint64_t{0}));
+            if (cb && isAllOnes(vb))
+                return a;
+            if (ca && isAllOnes(va))
+                return b;
+            break;
+          case Op::Mul:
+            if ((cb && vb.isZero()) || (ca && va.isZero()))
+                return emitConst(BitVec(n.width, uint64_t{0}));
+            if (cb && vb == BitVec(vb.width(), 1))
+                return a;
+            if (ca && va == BitVec(va.width(), 1))
+                return b;
+            break;
+          case Op::Mux: {
+            BitVec vs;
+            if (isConst(a, &vs))
+                return vs.isZero() ? c : b;
+            if (b == c)
+                return b;
+            break;
+          }
+          case Op::Slice:
+            // Full-width slice of the operand.
+            if (n.aux == 0 && n.width == out.widthOf(a))
+                return a;
+            break;
+          case Op::Eq:
+            if (a == b)
+                return emitConst(BitVec(1, 1));
+            break;
+          case Op::Ne:
+          case Op::Ult:
+            if (a == b)
+                return emitConst(BitVec(1, uint64_t{0}));
+            break;
+          default:
+            break;
+        }
+        // x ^ x == 0; x & x == x; x | x == x
+        if (a == b && a != kNoNode) {
+            if (n.op == Op::Xor)
+                return emitConst(BitVec(n.width, uint64_t{0}));
+            if (n.op == Op::And || n.op == Op::Or)
+                return a;
+        }
+        return kNoNode;
+    }
+
+    NodeId
+    rebuildNode(NodeId id)
+    {
+        const Node &n = src.node(id);
+        NodeId a = opArity(n.op) > 0 ? map[n.operands[0]] : kNoNode;
+        NodeId b = opArity(n.op) > 1 ? map[n.operands[1]] : kNoNode;
+        NodeId c = opArity(n.op) > 2 ? map[n.operands[2]] : kNoNode;
+
+        switch (n.op) {
+          case Op::Const:
+            return emitConst(src.constValue(n.aux));
+          case Op::Input:
+            return out.addInput(src.input(n.aux).name, n.width);
+          case Op::RegRead:
+            return out.readRegister(n.aux);
+          case Op::RegNext:
+            return out.setRegisterNext(n.aux, a);
+          case Op::MemRead:
+            return out.readMemory(n.aux, a);
+          case Op::MemWrite:
+            return out.writeMemory(n.aux, a, b, c);
+          case Op::Output:
+            return out.addOutput(src.output(n.aux).name, a);
+          default:
+            break;
+        }
+
+        // Constant folding: all operands constant.
+        bool all_const = true;
+        std::vector<BitVec> vals;
+        for (NodeId o : {a, b, c}) {
+            if (o == kNoNode)
+                break;
+            BitVec v;
+            if (!isConst(o, &v)) {
+                all_const = false;
+                break;
+            }
+            vals.push_back(v);
+        }
+        if (all_const && isPure(n.op)) {
+            ++stats.folded;
+            return emitConst(foldConstant(n.op, n.width, n.aux, vals));
+        }
+
+        NodeId simplified = identity(n, a, b, c);
+        if (simplified != kNoNode) {
+            ++stats.identities;
+            return simplified;
+        }
+
+        auto key = std::make_tuple(n.op, n.width, n.aux, a, b, c);
+        auto it = cse.find(key);
+        if (it != cse.end()) {
+            ++stats.csed;
+            return it->second;
+        }
+
+        NodeId nid;
+        switch (opArity(n.op)) {
+          case 1:
+            nid = n.op == Op::Slice
+                      ? out.addSlice(a, n.aux, n.width)
+                  : (n.op == Op::ZExt || n.op == Op::SExt)
+                      ? out.addExtend(n.op, a, n.width)
+                      : out.addUnary(n.op, a);
+            break;
+          case 2:
+            nid = n.op == Op::Concat ? out.addConcat(a, b)
+                                     : out.addBinary(n.op, a, b);
+            break;
+          default:
+            nid = out.addMux(a, b, c);
+            break;
+        }
+        cse[key] = nid;
+        return nid;
+    }
+
+    Netlist
+    run()
+    {
+        stats.nodesBefore = src.numNodes();
+        markLive();
+        // Pre-create registers and memories so ids are preserved.
+        for (RegId r = 0; r < src.numRegisters(); ++r) {
+            const Register &reg = src.reg(r);
+            out.addRegister(reg.name, reg.width, reg.init);
+        }
+        for (MemId mm = 0; mm < src.numMemories(); ++mm) {
+            const Memory &mem = src.mem(mm);
+            MemId nm = out.addMemory(mem.name, mem.width, mem.depth);
+            if (!mem.init.empty())
+                out.initMemory(nm, mem.init);
+        }
+        for (NodeId id = 0; id < src.numNodes(); ++id) {
+            if (!live[id])
+                continue;
+            map[id] = rebuildNode(id);
+        }
+        stats.nodesAfter = out.numNodes();
+        out.check();
+        return std::move(out);
+    }
+};
+
+} // namespace
+
+Netlist
+optimize(const Netlist &nl, OptStats *stats)
+{
+    Rebuilder rb(nl);
+    Netlist result = rb.run();
+    if (stats)
+        *stats = rb.stats;
+    return result;
+}
+
+} // namespace parendi::rtl

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Netlist optimization passes, in the spirit of the Verilator
+ * optimizations the real Parendi inherits ("-O3", paper §6): constant
+ * folding (using the same evaluation kernel that executes the
+ * simulation, so folds are exact by construction), algebraic identity
+ * simplification, common-subexpression elimination, and dead code
+ * elimination. Architectural state (registers, memories, ports, and
+ * memory write-port order) is always preserved.
+ */
+
+#ifndef PARENDI_RTL_OPT_HH
+#define PARENDI_RTL_OPT_HH
+
+#include <cstddef>
+
+#include "rtl/netlist.hh"
+
+namespace parendi::rtl {
+
+struct OptStats
+{
+    size_t nodesBefore = 0;
+    size_t nodesAfter = 0;
+    size_t folded = 0;      ///< constant-folded nodes
+    size_t identities = 0;  ///< x+0, x&x, mux(1,a,b), ...
+    size_t csed = 0;        ///< common subexpressions merged
+    size_t dead = 0;        ///< nodes unreachable from any sink
+};
+
+/** Evaluate one pure combinational operator on constant operands
+ *  (exactly the simulation kernel's semantics). */
+BitVec foldConstant(Op op, uint16_t width, uint32_t aux,
+                    const std::vector<BitVec> &operands);
+
+/** Run all passes; returns the optimized netlist. */
+Netlist optimize(const Netlist &nl, OptStats *stats = nullptr);
+
+} // namespace parendi::rtl
+
+#endif // PARENDI_RTL_OPT_HH

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * The `parendi` command-line driver: compile a Verilog (.v) or PNL
+ * (.pnl) design for the simulated IPU system and run it.
+ *
+ *   parendi [options] <design.v|design.pnl>
+ *     --cycles N        simulate N cycles (default 1000)
+ *     --tiles N         tiles per chip (default 1472)
+ *     --chips N         IPU chips, 1-4 (default 1)
+ *     --strategy B|H    single-chip partitioning (default B)
+ *     --multi pre|post|none   multi-chip strategy (default pre)
+ *     --no-opt          disable the netlist optimizer
+ *     --no-diff         disable differential array exchange
+ *     --vcd FILE        trace registers/outputs to a VCD file
+ *                       (runs on the reference interpreter)
+ *     --report          print the compile/performance report only
+ *     --peek NAME       print output port NAME after the run
+ *                       (repeatable)
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/compiler.hh"
+#include "core/stats.hh"
+#include "frontend/pnl.hh"
+#include "frontend/verilog.hh"
+#include "rtl/vcd.hh"
+#include "util/logging.hh"
+
+using namespace parendi;
+
+namespace {
+
+struct Args
+{
+    std::string file;
+    uint64_t cycles = 1000;
+    uint32_t tiles = 1472;
+    uint32_t chips = 1;
+    bool hyper = false;
+    std::string multi = "pre";
+    bool optimize = true;
+    bool diffExchange = true;
+    std::string vcdPath;
+    bool reportOnly = false;
+    std::vector<std::string> peeks;
+};
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: parendi [--cycles N] [--tiles N] [--chips N] "
+                 "[--strategy B|H]\n"
+                 "               [--multi pre|post|none] [--no-opt] "
+                 "[--no-diff]\n"
+                 "               [--vcd FILE] [--report] "
+                 "[--peek NAME]... <design.v|design.pnl>\n");
+    std::exit(2);
+}
+
+Args
+parseArgs(int argc, char **argv)
+{
+    Args a;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage();
+            return argv[++i];
+        };
+        if (arg == "--cycles")
+            a.cycles = std::stoull(value());
+        else if (arg == "--tiles")
+            a.tiles = static_cast<uint32_t>(std::stoul(value()));
+        else if (arg == "--chips")
+            a.chips = static_cast<uint32_t>(std::stoul(value()));
+        else if (arg == "--strategy")
+            a.hyper = value() == "H";
+        else if (arg == "--multi")
+            a.multi = value();
+        else if (arg == "--no-opt")
+            a.optimize = false;
+        else if (arg == "--no-diff")
+            a.diffExchange = false;
+        else if (arg == "--vcd")
+            a.vcdPath = value();
+        else if (arg == "--report")
+            a.reportOnly = true;
+        else if (arg == "--peek")
+            a.peeks.push_back(value());
+        else if (arg.rfind("--", 0) == 0)
+            usage();
+        else if (a.file.empty())
+            a.file = arg;
+        else
+            usage();
+    }
+    if (a.file.empty())
+        usage();
+    return a;
+}
+
+bool
+endsWith(const std::string &s, const std::string &suffix)
+{
+    return s.size() >= suffix.size() &&
+        s.compare(s.size() - suffix.size(), suffix.size(), suffix) ==
+            0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Args args = parseArgs(argc, argv);
+    try {
+        rtl::Netlist nl = endsWith(args.file, ".pnl")
+            ? frontend::parsePnlFile(args.file)
+            : frontend::parseVerilogFile(args.file);
+        std::printf("parsed %s: %s\n", args.file.c_str(),
+                    rtl::describe(nl).c_str());
+
+        core::CompilerOptions opt;
+        opt.chips = args.chips;
+        opt.tilesPerChip = args.tiles;
+        opt.optimize = args.optimize;
+        opt.machine.differentialExchange = args.diffExchange;
+        if (args.hyper)
+            opt.single = partition::SingleChipStrategy::Hypergraph;
+        if (args.multi == "post")
+            opt.multi = partition::MultiChipStrategy::Post;
+        else if (args.multi == "none")
+            opt.multi = partition::MultiChipStrategy::None;
+        else if (args.multi != "pre")
+            usage();
+
+        // The VCD path runs the reference interpreter (tracing wants
+        // every register every cycle anyway).
+        if (!args.vcdPath.empty()) {
+            std::ofstream vcd(args.vcdPath);
+            if (!vcd)
+                fatal("cannot write %s", args.vcdPath.c_str());
+            rtl::Interpreter sim(nl);
+            rtl::InterpreterTracer tracer(sim, vcd);
+            tracer.step(args.cycles);
+            std::printf("traced %llu cycles to %s\n",
+                        static_cast<unsigned long long>(args.cycles),
+                        args.vcdPath.c_str());
+            for (const std::string &p : args.peeks)
+                std::printf("%s = 0x%s\n", p.c_str(),
+                            sim.peek(p).toHex().c_str());
+            return 0;
+        }
+
+        auto sim = core::compile(std::move(nl), opt);
+        const core::CompileReport &r = sim->report();
+        std::printf("compiled in %.3fs: %zu fibers -> %zu processes "
+                    "on %u chip(s); optimizer removed %zu of %zu "
+                    "nodes\n",
+                    r.compileSeconds, r.fibers, r.processes, r.chips,
+                    r.optStats.nodesBefore - r.optStats.nodesAfter,
+                    r.optStats.nodesBefore);
+        const ipu::CycleCosts &c = sim->cycleCosts();
+        std::printf("model: %.2f kHz (t_comp=%.0f t_comm=%.0f "
+                    "t_sync=%.0f IPU cycles/RTL cycle); max tile "
+                    "memory %.1f KiB\n",
+                    sim->rateKHz(), c.tComp, c.tComm(), c.tSync,
+                    static_cast<double>(r.maxTileMemBytes) / 1024.0);
+        if (args.reportOnly) {
+            std::printf("%s", core::describeSimulation(*sim).c_str());
+            return 0;
+        }
+
+        sim->step(args.cycles);
+        std::printf("simulated %llu cycles\n",
+                    static_cast<unsigned long long>(args.cycles));
+        for (const std::string &p : args.peeks)
+            std::printf("%s = 0x%s\n", p.c_str(),
+                        sim->machine().peek(p).toHex().c_str());
+        return 0;
+    } catch (const FatalError &) {
+        return 1;
+    }
+}

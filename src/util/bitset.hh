@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Dense bitset used to represent node sharing between fibers and to
+ * evaluate the submodular process cost (paper §5.1: "We use a dense
+ * bitset data structure to represent duplication across fibers and
+ * efficiently compute intersection and union in the submodular cost
+ * function").
+ */
+
+#ifndef PARENDI_UTIL_BITSET_HH
+#define PARENDI_UTIL_BITSET_HH
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace parendi {
+
+/**
+ * A fixed-universe dense bitset with the set algebra needed by the
+ * partitioner: union, intersection size, and weighted population count.
+ */
+class DenseBitset
+{
+  public:
+    DenseBitset() = default;
+
+    /** Create an empty set over a universe of @p universe elements. */
+    explicit DenseBitset(size_t universe)
+        : nbits(universe), words((universe + 63) / 64, 0)
+    {}
+
+    size_t universeSize() const { return nbits; }
+
+    void
+    set(size_t i)
+    {
+        words[i >> 6] |= (uint64_t{1} << (i & 63));
+    }
+
+    void
+    reset(size_t i)
+    {
+        words[i >> 6] &= ~(uint64_t{1} << (i & 63));
+    }
+
+    bool
+    test(size_t i) const
+    {
+        return (words[i >> 6] >> (i & 63)) & 1;
+    }
+
+    /** Number of set bits. */
+    size_t
+    count() const
+    {
+        size_t n = 0;
+        for (uint64_t w : words)
+            n += static_cast<size_t>(std::popcount(w));
+        return n;
+    }
+
+    bool
+    empty() const
+    {
+        for (uint64_t w : words)
+            if (w)
+                return false;
+        return true;
+    }
+
+    /** In-place union. Both sets must share a universe. */
+    DenseBitset &
+    operator|=(const DenseBitset &o)
+    {
+        for (size_t i = 0; i < words.size(); ++i)
+            words[i] |= o.words[i];
+        return *this;
+    }
+
+    /** In-place intersection. */
+    DenseBitset &
+    operator&=(const DenseBitset &o)
+    {
+        for (size_t i = 0; i < words.size(); ++i)
+            words[i] &= o.words[i];
+        return *this;
+    }
+
+    /** |this ∩ o| without materializing the intersection. */
+    size_t
+    intersectCount(const DenseBitset &o) const
+    {
+        size_t n = 0;
+        for (size_t i = 0; i < words.size(); ++i)
+            n += static_cast<size_t>(std::popcount(words[i] & o.words[i]));
+        return n;
+    }
+
+    /** |this ∪ o| without materializing the union. */
+    size_t
+    unionCount(const DenseBitset &o) const
+    {
+        size_t n = 0;
+        for (size_t i = 0; i < words.size(); ++i)
+            n += static_cast<size_t>(std::popcount(words[i] | o.words[i]));
+        return n;
+    }
+
+    /**
+     * Sum of @p weight[i] over elements i in this ∩ o. This is the
+     * τ(f_i ∩ f_j) term of the submodular cost function.
+     */
+    template <typename W>
+    W
+    intersectWeight(const DenseBitset &o, const std::vector<W> &weight) const
+    {
+        W total{};
+        for (size_t wi = 0; wi < words.size(); ++wi) {
+            uint64_t bits = words[wi] & o.words[wi];
+            while (bits) {
+                unsigned b = static_cast<unsigned>(std::countr_zero(bits));
+                total += weight[(wi << 6) + b];
+                bits &= bits - 1;
+            }
+        }
+        return total;
+    }
+
+    /** Sum of @p weight[i] over all elements in the set. */
+    template <typename W>
+    W
+    totalWeight(const std::vector<W> &weight) const
+    {
+        W total{};
+        for (size_t wi = 0; wi < words.size(); ++wi) {
+            uint64_t bits = words[wi];
+            while (bits) {
+                unsigned b = static_cast<unsigned>(std::countr_zero(bits));
+                total += weight[(wi << 6) + b];
+                bits &= bits - 1;
+            }
+        }
+        return total;
+    }
+
+    /** Call @p fn(index) for every set bit, in increasing order. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (size_t wi = 0; wi < words.size(); ++wi) {
+            uint64_t bits = words[wi];
+            while (bits) {
+                unsigned b = static_cast<unsigned>(std::countr_zero(bits));
+                fn((wi << 6) + b);
+                bits &= bits - 1;
+            }
+        }
+    }
+
+    bool
+    operator==(const DenseBitset &o) const
+    {
+        return nbits == o.nbits && words == o.words;
+    }
+
+  private:
+    size_t nbits = 0;
+    std::vector<uint64_t> words;
+};
+
+} // namespace parendi
+
+#endif // PARENDI_UTIL_BITSET_HH

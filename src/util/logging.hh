@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Status and error reporting helpers, following the gem5 convention of
+ * inform/warn for status messages and fatal/panic for errors.
+ *
+ * fatal() is for user errors (bad configuration, malformed input); it
+ * throws a FatalError so library users and tests can recover. panic() is
+ * for internal invariant violations (simulator bugs); it aborts.
+ */
+
+#ifndef PARENDI_UTIL_LOGGING_HH
+#define PARENDI_UTIL_LOGGING_HH
+
+#include <cstdarg>
+#include <stdexcept>
+#include <string>
+
+namespace parendi {
+
+/** Exception thrown by fatal() so callers (and tests) can catch it. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/** Print an informational message to stderr (prefixed "info:"). */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print a warning to stderr (prefixed "warn:"). */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Report a user error: print and throw FatalError. */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report an internal bug: print and abort. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Globally silence inform() (used by benches to keep tables clean). */
+void setQuiet(bool quiet);
+bool isQuiet();
+
+/** printf-style formatting into a std::string. */
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace parendi
+
+#endif // PARENDI_UTIL_LOGGING_HH

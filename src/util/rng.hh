@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generators. xorshift32 is also the
+ * microbenchmark circuit of paper §4.1, so the software version here
+ * doubles as the golden model for the PRNG design generator.
+ */
+
+#ifndef PARENDI_UTIL_RNG_HH
+#define PARENDI_UTIL_RNG_HH
+
+#include <cstdint>
+
+namespace parendi {
+
+/** One step of Marsaglia's xorshift32 (3 XORs and 3 shifts). */
+inline uint32_t
+xorshift32(uint32_t x)
+{
+    x ^= x << 13;
+    x ^= x >> 17;
+    x ^= x << 5;
+    return x;
+}
+
+/** A small deterministic RNG (xorshift64*) for tests and partitioners. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull)
+        : state(seed ? seed : 1)
+    {}
+
+    uint64_t
+    next()
+    {
+        uint64_t x = state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        state = x;
+        return x * 0x2545f4914f6cdd1dull;
+    }
+
+    /** Uniform in [0, bound). @p bound must be nonzero. */
+    uint64_t
+    below(uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+  private:
+    uint64_t state;
+};
+
+} // namespace parendi
+
+#endif // PARENDI_UTIL_RNG_HH

@@ -1,0 +1,93 @@
+#include "util/table.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace parendi {
+
+Table::Table(std::vector<std::string> hdr) : header(std::move(hdr)) {}
+
+Table &
+Table::row()
+{
+    rows.emplace_back();
+    return *this;
+}
+
+Table &
+Table::cell(const std::string &s)
+{
+    if (rows.empty())
+        rows.emplace_back();
+    rows.back().push_back(s);
+    return *this;
+}
+
+Table &
+Table::cell(const char *s)
+{
+    return cell(std::string(s));
+}
+
+Table &
+Table::cell(double v, int precision)
+{
+    return cell(strprintf("%.*f", precision, v));
+}
+
+Table &
+Table::cell(uint64_t v)
+{
+    return cell(strprintf("%llu", static_cast<unsigned long long>(v)));
+}
+
+Table &
+Table::cell(int64_t v)
+{
+    return cell(strprintf("%lld", static_cast<long long>(v)));
+}
+
+Table &
+Table::cell(int v)
+{
+    return cell(static_cast<int64_t>(v));
+}
+
+std::string
+Table::str() const
+{
+    std::vector<size_t> width(header.size(), 0);
+    for (size_t c = 0; c < header.size(); ++c)
+        width[c] = header[c].size();
+    for (const auto &r : rows)
+        for (size_t c = 0; c < r.size() && c < width.size(); ++c)
+            width[c] = std::max(width[c], r[c].size());
+
+    std::ostringstream out;
+    auto emit_row = [&](const std::vector<std::string> &r) {
+        for (size_t c = 0; c < width.size(); ++c) {
+            std::string cell = c < r.size() ? r[c] : "";
+            out << cell << std::string(width[c] - cell.size() + 2, ' ');
+        }
+        out << '\n';
+    };
+    emit_row(header);
+    size_t total = 0;
+    for (size_t w : width)
+        total += w + 2;
+    out << std::string(total, '-') << '\n';
+    for (const auto &r : rows)
+        emit_row(r);
+    return out.str();
+}
+
+void
+Table::print(const std::string &title) const
+{
+    std::printf("\n== %s ==\n%s", title.c_str(), str().c_str());
+    std::fflush(stdout);
+}
+
+} // namespace parendi

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Plain-text table printer used by the benchmark harnesses to emit the
+ * rows/series of each paper table and figure.
+ */
+
+#ifndef PARENDI_UTIL_TABLE_HH
+#define PARENDI_UTIL_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace parendi {
+
+/**
+ * Accumulates rows of string cells and prints them with aligned columns.
+ * Numeric helpers format with a fixed precision so bench output is
+ * stable across runs.
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> header);
+
+    /** Start a new row. Subsequent cell() calls append to it. */
+    Table &row();
+
+    Table &cell(const std::string &s);
+    Table &cell(const char *s);
+    Table &cell(double v, int precision = 2);
+    Table &cell(uint64_t v);
+    Table &cell(int64_t v);
+    Table &cell(int v);
+
+    /** Render to stdout with a title line. */
+    void print(const std::string &title) const;
+
+    /** Render to a string (used in tests). */
+    std::string str() const;
+
+    size_t rowCount() const { return rows.size(); }
+
+  private:
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace parendi
+
+#endif // PARENDI_UTIL_TABLE_HH

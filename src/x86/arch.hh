@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Architectural parameters of the two x86 evaluation machines
+ * (paper Table 2): "ix3" (dual-socket Intel Xeon 6348) and "ae4"
+ * (dual-socket AMD EPYC 9554, chiplet-based). These drive the
+ * Verilator-on-x86 performance model in x86/model.hh.
+ */
+
+#ifndef PARENDI_X86_ARCH_HH
+#define PARENDI_X86_ARCH_HH
+
+#include <cstdint>
+#include <string>
+
+namespace parendi::x86 {
+
+struct X86Arch
+{
+    std::string name;
+    uint32_t coresPerSocket;
+    uint32_t sockets;
+    /** Cores per chiplet (CCX/CCD); equals coresPerSocket when the
+     *  part is monolithic. */
+    uint32_t coresPerChiplet;
+    double clockGHz;
+    /** Sustained instructions per cycle when cache-resident. */
+    double ipc;
+
+    uint64_t l2PerCoreBytes;
+    /** L3 slice shared within one chiplet (whole socket if
+     *  monolithic). */
+    uint64_t l3PerChipletBytes;
+
+    /// Barrier: atomic fetch-and-add user-space barrier, contention
+    /// grows with participating threads (paper §4.1: "a few thousand
+    /// cycles with all 56 threads").
+    double barrierBaseNs = 80.0;
+    double barrierPerThreadNs = 28.0;
+    /// Verilator synchronizes more than twice per cycle (mtask
+    /// dependency levels); effective barrier rounds per RTL cycle.
+    double syncRoundsPerCycle = 3.0;
+
+    /// Per-cacheline transfer costs for producer-consumer sharing.
+    double sameChipletNsPerLine = 1.2;
+    double crossChipletNsPerLine = 6.0;
+    double crossSocketNsPerLine = 14.0;
+
+    /// Execution-time multipliers by where the working set lives.
+    double l2Factor = 1.0;
+    double l3Factor = 1.7;
+    double dramFactor = 3.4;
+
+    uint32_t
+    totalCores() const
+    {
+        return coresPerSocket * sockets;
+    }
+
+    static X86Arch ix3();
+    static X86Arch ae4();
+};
+
+} // namespace parendi::x86
+
+#endif // PARENDI_X86_ARCH_HH

@@ -1,0 +1,186 @@
+#include "x86/model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace parendi::x86 {
+
+X86Arch
+X86Arch::ix3()
+{
+    X86Arch a;
+    a.name = "ix3";
+    a.coresPerSocket = 28;
+    a.sockets = 2;
+    a.coresPerChiplet = 28;     // monolithic die
+    a.clockGHz = 3.5;
+    a.ipc = 3.0;
+    a.l2PerCoreBytes = 1280ull * 1024;            // 1.25 MiB
+    a.l3PerChipletBytes = 42ull * 1024 * 1024;    // 42 MiB per socket
+    return a;
+}
+
+X86Arch
+X86Arch::ae4()
+{
+    X86Arch a;
+    a.name = "ae4";
+    a.coresPerSocket = 64;
+    a.sockets = 2;
+    a.coresPerChiplet = 8;      // Zen 4 CCD
+    a.clockGHz = 3.75;
+    a.ipc = 3.2;
+    a.l2PerCoreBytes = 1024ull * 1024;            // 1 MiB
+    a.l3PerChipletBytes = 32ull * 1024 * 1024;    // 32 MiB per CCD
+    return a;
+}
+
+DesignProfile
+profileDesign(const fiber::FiberSet &fs)
+{
+    DesignProfile p;
+    const rtl::Netlist &nl = fs.netlist();
+    const fiber::CostModel &cm = fs.costModel();
+    // Verilator computes each node exactly once (no duplication):
+    // total is the dedup'd sum, not the sum over fibers.
+    for (rtl::NodeId id = 0; id < nl.numNodes(); ++id) {
+        fiber::NodeCost c = cm.nodeCost(nl, id);
+        p.totalInstrs += c.x86Instrs;
+        p.codeBytes += c.codeBytes;
+        p.dataBytes += uint64_t{rtl::wordsFor(nl.widthOf(id))} * 8;
+    }
+    for (size_t i = 0; i < fs.size(); ++i)
+        p.maxFiberInstrs = std::max(p.maxFiberInstrs, fs[i].totalX86);
+    for (rtl::MemId m = 0; m < nl.numMemories(); ++m)
+        p.dataBytes += nl.mem(m).sizeBytes();
+    // Producer-consumer traffic: every register is written once and
+    // read by its consumers. Fine-grained mtask scheduling spreads
+    // consumers over threads, so the cacheline moves roughly once per
+    // reading task (fanout-weighted), not once per register.
+    std::vector<uint32_t> readers(nl.numRegisters(), 0);
+    for (size_t i = 0; i < fs.size(); ++i)
+        for (rtl::RegId r : fs[i].regsRead)
+            ++readers[r];
+    for (rtl::RegId r = 0; r < nl.numRegisters(); ++r)
+        p.commBytes += uint64_t{fs.regBytes(r)} * readers[r];
+    return p;
+}
+
+namespace {
+
+/** Execution-time multiplier for a per-thread working set. */
+double
+cacheFactor(const X86Arch &arch, uint64_t ws_per_thread,
+            uint32_t threads)
+{
+    // Aggregate L3 available to the threads in use.
+    uint32_t chiplets_used =
+        (threads + arch.coresPerChiplet - 1) / arch.coresPerChiplet;
+    uint64_t l3_share =
+        (uint64_t{arch.l3PerChipletBytes} * chiplets_used) /
+        std::max(threads, 1u);
+    // Capacity model: with a working set of ws bytes streamed once
+    // per RTL cycle, roughly l2/ws of the accesses hit the private
+    // L2, the next l3_share/ws hit the chiplet L3, and the remainder
+    // goes to DRAM; the factor is the access-weighted blend.
+    double ws = static_cast<double>(ws_per_thread);
+    double l2 = static_cast<double>(arch.l2PerCoreBytes);
+    double l3 = static_cast<double>(l3_share);
+    if (ws <= l2)
+        return arch.l2Factor;
+    double f_l2 = l2 / ws;
+    double f_l3 = std::min(1.0 - f_l2, l3 / ws);
+    double f_dram = std::max(0.0, 1.0 - f_l2 - f_l3);
+    return f_l2 * arch.l2Factor + f_l3 * arch.l3Factor +
+        f_dram * arch.dramFactor;
+}
+
+/** Fraction of inter-task traffic crossing chiplet/socket boundaries
+ *  under a balanced random placement of tasks on cores. */
+void
+boundaryFractions(const X86Arch &arch, uint32_t threads,
+                  double &same_chiplet, double &cross_chiplet,
+                  double &cross_socket)
+{
+    uint32_t per_socket = arch.coresPerSocket;
+    uint32_t sockets_used = (threads + per_socket - 1) / per_socket;
+    uint32_t chiplets_used =
+        (threads + arch.coresPerChiplet - 1) / arch.coresPerChiplet;
+    // Uniform traffic between thread pairs.
+    cross_socket = sockets_used > 1
+        ? 1.0 - 1.0 / static_cast<double>(sockets_used) : 0.0;
+    double cross_chiplet_total = chiplets_used > 1
+        ? 1.0 - 1.0 / static_cast<double>(chiplets_used) : 0.0;
+    cross_chiplet = std::max(0.0, cross_chiplet_total - cross_socket);
+    same_chiplet = 1.0 - cross_chiplet - cross_socket;
+}
+
+} // namespace
+
+X86Perf
+modelVerilator(const X86Arch &arch, const DesignProfile &prof,
+               uint32_t threads)
+{
+    if (threads == 0 || threads > arch.totalCores())
+        fatal("modelVerilator: %u threads outside machine (max %u)",
+              threads, arch.totalCores());
+    X86Perf perf;
+
+    // t_comp: Verilator slices at mtask granularity, finer than
+    // fibers, so the makespan approaches total/threads with a small
+    // packing overhead; the largest fiber is not a hard bound but
+    // large tasks still resist balancing slightly.
+    double instrs = static_cast<double>(prof.totalInstrs) / threads;
+    if (threads > 1) {
+        instrs *= 1.05; // scheduling/packing overhead
+        instrs = std::max(
+            instrs, static_cast<double>(prof.maxFiberInstrs) * 0.5);
+    }
+    uint64_t ws = (prof.codeBytes + prof.dataBytes) / threads;
+    perf.cacheFactor = cacheFactor(arch, ws, threads);
+    perf.tCompNs = instrs / (arch.ipc * arch.clockGHz) *
+        perf.cacheFactor;
+
+    if (threads == 1)
+        return perf;
+
+    // t_sync: several contended barriers per simulated cycle.
+    perf.tSyncNs = arch.syncRoundsPerCycle *
+        (arch.barrierBaseNs + arch.barrierPerThreadNs * threads);
+
+    // t_comm: producer-consumer cachelines crossing boundaries. With
+    // more threads, a larger share of edges is cut.
+    double cut_share = 1.0 - 1.0 / static_cast<double>(threads);
+    double lines = cut_share *
+        static_cast<double>(prof.commBytes) / 64.0;
+    double same, chiplet, socket;
+    boundaryFractions(arch, threads, same, chiplet, socket);
+    double ns_per_line = same * arch.sameChipletNsPerLine +
+        chiplet * arch.crossChipletNsPerLine +
+        socket * arch.crossSocketNsPerLine;
+    // Transfers are spread over the participating threads.
+    perf.tCommNs = lines * ns_per_line / threads;
+    return perf;
+}
+
+BestThreads
+bestVerilator(const X86Arch &arch, const DesignProfile &prof,
+              uint32_t max_threads)
+{
+    BestThreads best;
+    best.threads = 1;
+    best.perf = modelVerilator(arch, prof, 1);
+    for (uint32_t t = 2;
+         t <= std::min(max_threads, arch.totalCores()); t += 2) {
+        X86Perf p = modelVerilator(arch, prof, t);
+        if (p.totalNs() < best.perf.totalNs()) {
+            best.threads = t;
+            best.perf = p;
+        }
+    }
+    return best;
+}
+
+} // namespace parendi::x86

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Analytic performance model of Verilator-style multithreaded RTL
+ * simulation on x86 (the paper's baseline). Functional correctness of
+ * the x86 path is provided by rtl::Interpreter (exact, single thread);
+ * this model supplies the timing: computation with a cache-capacity
+ * factor, fine-grained synchronization, and non-uniform communication
+ * across chiplet and socket boundaries (paper §4, §6.2).
+ */
+
+#ifndef PARENDI_X86_MODEL_HH
+#define PARENDI_X86_MODEL_HH
+
+#include <cstdint>
+
+#include "fiber/fiber.hh"
+#include "x86/arch.hh"
+
+namespace parendi::x86 {
+
+/** Aggregate design features the model consumes. */
+struct DesignProfile
+{
+    uint64_t totalInstrs = 0;    ///< x86 instructions per RTL cycle
+    uint64_t maxFiberInstrs = 0; ///< largest single task
+    uint64_t codeBytes = 0;      ///< generated code footprint
+    uint64_t dataBytes = 0;      ///< signal + array state
+    uint64_t commBytes = 0;      ///< register bytes crossing tasks
+};
+
+/** Extract a profile from the fiber decomposition. */
+DesignProfile profileDesign(const fiber::FiberSet &fs);
+
+/** Modeled per-RTL-cycle timing on x86. */
+struct X86Perf
+{
+    double tCompNs = 0;
+    double tSyncNs = 0;
+    double tCommNs = 0;
+    double cacheFactor = 1;      ///< working-set multiplier applied
+
+    double
+    totalNs() const
+    {
+        return tCompNs + tSyncNs + tCommNs;
+    }
+
+    double
+    rateKHz() const
+    {
+        return 1e6 / totalNs();
+    }
+};
+
+/**
+ * Model Verilator with @p threads threads on @p arch. threads == 1
+ * means the single-threaded simulator (no sync/comm cost).
+ */
+X86Perf modelVerilator(const X86Arch &arch, const DesignProfile &prof,
+                       uint32_t threads);
+
+/**
+ * Sweep 1..max_threads (even counts beyond 1, like the paper's
+ * methodology) and return the best-performing thread count.
+ */
+struct BestThreads
+{
+    uint32_t threads = 1;
+    X86Perf perf;
+};
+BestThreads bestVerilator(const X86Arch &arch, const DesignProfile &prof,
+                          uint32_t max_threads = 32);
+
+} // namespace parendi::x86
+
+#endif // PARENDI_X86_MODEL_HH

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Unit tests for the BitVec value type.
+ */
+
+#include <gtest/gtest.h>
+
+#include "rtl/bitvec.hh"
+#include "util/logging.hh"
+
+using namespace parendi;
+using namespace parendi::rtl;
+
+TEST(BitVec, ConstructionNormalizes)
+{
+    BitVec v(5, 0xff);
+    EXPECT_EQ(v.toUint64(), 0x1fu);
+    EXPECT_EQ(v.width(), 5u);
+    EXPECT_EQ(v.numWords(), 1u);
+}
+
+TEST(BitVec, WideConstruction)
+{
+    BitVec v(130, {~0ull, ~0ull, ~0ull});
+    EXPECT_EQ(v.numWords(), 3u);
+    EXPECT_EQ(v.word(0), ~0ull);
+    EXPECT_EQ(v.word(1), ~0ull);
+    EXPECT_EQ(v.word(2), 3ull); // normalized to 2 bits
+}
+
+TEST(BitVec, BitAccess)
+{
+    BitVec v(70, 0);
+    v.setBit(0, true);
+    v.setBit(69, true);
+    EXPECT_TRUE(v.bit(0));
+    EXPECT_TRUE(v.bit(69));
+    EXPECT_FALSE(v.bit(35));
+    v.setBit(69, false);
+    EXPECT_FALSE(v.bit(69));
+}
+
+TEST(BitVec, IsZeroAndEquality)
+{
+    EXPECT_TRUE(BitVec(64, 0).isZero());
+    EXPECT_FALSE(BitVec(64, 1).isZero());
+    EXPECT_EQ(BitVec(32, 5), BitVec(32, 5));
+    EXPECT_NE(BitVec(32, 5), BitVec(33, 5));
+    EXPECT_NE(BitVec(32, 5), BitVec(32, 6));
+}
+
+TEST(BitVec, HexRoundTrip)
+{
+    BitVec v(100, {0x0123456789abcdefull, 0xfedcba98ull});
+    BitVec w = BitVec::fromHex(100, v.toHex());
+    EXPECT_EQ(v, w);
+}
+
+TEST(BitVec, HexLeadingZeros)
+{
+    EXPECT_EQ(BitVec(32, 0).toHex(), "0");
+    EXPECT_EQ(BitVec(32, 0xab).toHex(), "ab");
+    EXPECT_EQ(BitVec::fromHex(32, "00ab"), BitVec(32, 0xab));
+}
+
+TEST(BitVec, FromHexUppercase)
+{
+    EXPECT_EQ(BitVec::fromHex(16, "AbCd"), BitVec(16, 0xabcd));
+}
+
+TEST(BitVec, FromHexBadDigit)
+{
+    EXPECT_THROW(BitVec::fromHex(16, "12g4"), FatalError);
+}
+
+TEST(BitVec, FromHexTruncatesToWidth)
+{
+    EXPECT_EQ(BitVec::fromHex(8, "1ff"), BitVec(8, 0xff));
+}
+
+TEST(BitVec, WidthLimit)
+{
+    EXPECT_THROW(BitVec(kMaxWidth + 1, 0), FatalError);
+    EXPECT_NO_THROW(BitVec(kMaxWidth, 0));
+}
+
+TEST(BitVec, HexCrossesWordBoundary)
+{
+    // A nibble straddling bit 62..65.
+    BitVec v = BitVec::fromHex(68, "fedcba98765432100");
+    EXPECT_EQ(v.word(0), 0xedcba98765432100ull);
+    EXPECT_EQ(v.word(1), 0xfull);
+}

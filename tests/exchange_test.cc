@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Unit/property tests for the IPU architecture cost models: the
+ * barrier, the on-/off-chip exchange curves (paper §4.1/§4.2
+ * behaviours must hold by construction), and the rate conversion.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ipu/exchange.hh"
+
+using namespace parendi::ipu;
+
+TEST(Barrier, GrowsSlowlyWithTiles)
+{
+    IpuArch arch;
+    double b64 = arch.barrierCycles(64, 1);
+    double b1472 = arch.barrierCycles(1472, 1);
+    EXPECT_GT(b1472, b64);
+    // "a few hundred IPU cycles".
+    EXPECT_LT(b1472, 600.0);
+    EXPECT_GT(b1472, 100.0);
+    // Logarithmic, not linear: 23x tiles, far less than 2x cost.
+    EXPECT_LT(b1472 / b64, 2.0);
+}
+
+TEST(Barrier, CrossChipCostsMore)
+{
+    IpuArch arch;
+    EXPECT_GT(arch.barrierCycles(2944, 2),
+              arch.barrierCycles(1472, 1));
+    EXPECT_GT(arch.barrierCycles(5888, 4),
+              arch.barrierCycles(2944, 2));
+}
+
+TEST(Exchange, OnChipDependsOnBytesNotTiles)
+{
+    IpuArch arch;
+    // Fix per-tile bytes, grow tiles: near-flat (paper Fig. 5 left).
+    double c64 = pairwiseExchangeCycles(arch, 64, 256, false);
+    double c736 = pairwiseExchangeCycles(arch, 736, 256, false);
+    EXPECT_LT(c736 / c64, 1.3);
+    // Fix tiles, grow bytes: strong growth.
+    double b4 = pairwiseExchangeCycles(arch, 368, 4, false);
+    double b2048 = pairwiseExchangeCycles(arch, 368, 2048, false);
+    EXPECT_GT(b2048 / b4, 3.0);
+}
+
+TEST(Exchange, OffChipDependsOnProduct)
+{
+    IpuArch arch;
+    double base = pairwiseExchangeCycles(arch, 64, 64, true);
+    double more_tiles = pairwiseExchangeCycles(arch, 736, 64, true);
+    double more_bytes = pairwiseExchangeCycles(arch, 64, 736, true);
+    EXPECT_GT(more_tiles, 1.15 * base); // grows with m ...
+    EXPECT_GT(more_bytes, 1.15 * base); // ... and with b
+    // Doubling both roughly doubles the volume-dominated part.
+    double both = pairwiseExchangeCycles(arch, 736, 512, true);
+    EXPECT_GT(both, pairwiseExchangeCycles(arch, 736, 256, true));
+}
+
+TEST(Exchange, OffChipIsMuchSlowerThanOnChip)
+{
+    IpuArch arch;
+    for (uint32_t b : {16u, 256u, 2048u})
+        EXPECT_GT(pairwiseExchangeCycles(arch, 368, b, true),
+                  2 * pairwiseExchangeCycles(arch, 368, b, false));
+}
+
+TEST(Exchange, ZeroTrafficIsFree)
+{
+    IpuArch arch;
+    EXPECT_EQ(onChipExchangeCycles(arch, 0, 0), 0.0);
+    EXPECT_EQ(offChipExchangeCycles(arch, 0), 0.0);
+    ExchangeTraffic t;
+    EXPECT_EQ(exchangeCycles(arch, t), 0.0);
+}
+
+TEST(Exchange, CongestionKicksInNearFabricLimit)
+{
+    IpuArch arch;
+    // Same per-tile max, hugely different aggregate volume.
+    double quiet = onChipExchangeCycles(arch, 1024, 1024);
+    double busy = onChipExchangeCycles(
+        arch, 1024, static_cast<uint64_t>(
+            arch.onChipFabricBytesPerCycle * 1024));
+    EXPECT_GT(busy, quiet);
+}
+
+TEST(Exchange, TrafficSummaryAddsComponents)
+{
+    IpuArch arch;
+    ExchangeTraffic t;
+    t.maxTileOnChipBytes = 512;
+    t.totalOnChipBytes = 512 * 100;
+    t.totalOffChipBytes = 4096;
+    t.chips = 2;
+    double total = exchangeCycles(arch, t);
+    double on = onChipExchangeCycles(arch, 512, 512 * 100 / 2);
+    double off = offChipExchangeCycles(arch, 4096);
+    EXPECT_DOUBLE_EQ(total, on + off);
+}
+
+TEST(Arch, RateConversion)
+{
+    IpuArch arch;
+    // 1325 cycles at 1.325 GHz = 1 us per RTL cycle = 1000 kHz.
+    EXPECT_NEAR(arch.rateKHz(1325.0), 1000.0, 1e-6);
+}
+
+TEST(Arch, DefaultsMatchPaperHardware)
+{
+    IpuArch arch;
+    EXPECT_EQ(arch.tilesPerChip, 1472u);
+    EXPECT_EQ(arch.maxChips, 4u);
+    EXPECT_EQ(arch.tileMemoryBytes, 624u * 1024);
+    // 6200 B/cycle at 1.325 GHz ~ 7.7 TiB/s measured on-chip BW.
+    EXPECT_NEAR(arch.onChipFabricBytesPerCycle * arch.clockGHz,
+                7.7 * 1100, 800); // GiB/s within slack
+    // 87 B/cycle at 1.325 GHz ~ 107 GiB/s measured off-chip BW.
+    EXPECT_NEAR(arch.offChipBytesPerCycle * arch.clockGHz * 1e9 /
+                    (1024.0 * 1024 * 1024),
+                107.0, 10.0);
+}

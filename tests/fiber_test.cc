@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Tests for fiber extraction and the submodular cost machinery:
+ * cone/cost invariants, the shared-node universe, and the identity
+ * τ(f_i ∪ f_j) = t_i + t_j − τ(f_i ∩ f_j).
+ */
+
+#include <gtest/gtest.h>
+
+#include "designs/designs.hh"
+#include "fiber/fiber.hh"
+#include "partition/process.hh"
+#include "rtl/analysis.hh"
+#include "rtl/dsl.hh"
+
+using namespace parendi;
+using namespace parendi::fiber;
+using namespace parendi::rtl;
+using partition::Process;
+
+namespace {
+
+/** Two registers sharing a sizable common cone, plus one independent. */
+Netlist
+sharedConeDesign()
+{
+    Design d("shared");
+    auto a = d.reg("a", 32, 1);
+    auto b = d.reg("b", 32, 2);
+    auto c = d.reg("c", 32, 3);
+    Wire av = d.read(a), bv = d.read(b), cv = d.read(c);
+    // The shared subexpression (paper Fig. 3's a3).
+    Wire common = (av * bv) + (av ^ bv);
+    d.next(a, common + d.lit(32, 1));
+    d.next(b, common ^ d.lit(32, 7));
+    d.next(c, cv + d.lit(32, 1)); // independent fiber
+    return d.finish();
+}
+
+} // namespace
+
+TEST(Fiber, OneFiberPerSink)
+{
+    Netlist nl = sharedConeDesign();
+    FiberSet fs(nl);
+    EXPECT_EQ(fs.size(), nl.sinks().size());
+    EXPECT_EQ(fs.size(), 3u);
+}
+
+TEST(Fiber, SharedUniverseContainsCommonNodes)
+{
+    Netlist nl = sharedConeDesign();
+    FiberSet fs(nl);
+    // Fibers 0 and 1 share the `common` cone; fiber 2 shares nothing.
+    EXPECT_GT(fs.numShared(), 0u);
+    EXPECT_GT(fs[0].shared.intersectCount(fs[1].shared), 0u);
+    EXPECT_EQ(fs[0].shared.intersectCount(fs[2].shared), 0u);
+    EXPECT_TRUE(fs[2].shared.empty());
+}
+
+TEST(Fiber, TotalEqualsExclusivePlusShared)
+{
+    Netlist nl = sharedConeDesign();
+    FiberSet fs(nl);
+    for (size_t i = 0; i < fs.size(); ++i) {
+        uint64_t shared_w = fs[i].shared.totalWeight(fs.sharedIpu());
+        EXPECT_EQ(fs[i].totalIpu, fs[i].exclIpu + shared_w) << i;
+    }
+}
+
+TEST(Fiber, SubmodularIdentity)
+{
+    Netlist nl = sharedConeDesign();
+    FiberSet fs(nl);
+    Process p0 = Process::fromFiber(fs, 0);
+    Process p1 = Process::fromFiber(fs, 1);
+    Process m = Process::merged(fs, p0, p1);
+    uint64_t overlap =
+        p0.shared.intersectWeight(p1.shared, fs.sharedIpu());
+    EXPECT_EQ(m.ipuCost, p0.ipuCost + p1.ipuCost - overlap);
+    EXPECT_EQ(m.ipuCost, partition::mergedIpuCost(fs, p0, p1));
+    EXPECT_LT(m.ipuCost, p0.ipuCost + p1.ipuCost); // real overlap
+}
+
+TEST(Fiber, MergedMemBytesMatchesMaterialized)
+{
+    Netlist nl = designs::makeSr(2);
+    FiberSet fs(nl);
+    for (uint32_t i = 0; i + 1 < std::min<size_t>(fs.size(), 20);
+         i += 2) {
+        Process a = Process::fromFiber(fs, i);
+        Process b = Process::fromFiber(fs, i + 1);
+        Process m = Process::merged(fs, a, b);
+        EXPECT_EQ(partition::mergedMemBytes(fs, a, b), m.memBytes(fs))
+            << i;
+    }
+}
+
+TEST(Fiber, RegsReadMatchCone)
+{
+    Netlist nl = sharedConeDesign();
+    FiberSet fs(nl);
+    EXPECT_EQ(fs[0].regsRead, (std::vector<RegId>{0, 1}));
+    EXPECT_EQ(fs[1].regsRead, (std::vector<RegId>{0, 1}));
+    EXPECT_EQ(fs[2].regsRead, (std::vector<RegId>{2}));
+}
+
+TEST(Fiber, WriterMapAndStraggler)
+{
+    Netlist nl = sharedConeDesign();
+    FiberSet fs(nl);
+    for (RegId r = 0; r < nl.numRegisters(); ++r) {
+        uint32_t w = fs.writerOfReg(r);
+        ASSERT_LT(w, fs.size());
+        EXPECT_EQ(fs[w].kind, SinkKind::Register);
+        EXPECT_EQ(fs[w].target, r);
+    }
+    uint64_t straggler = fs.maxFiberIpu();
+    for (size_t i = 0; i < fs.size(); ++i)
+        EXPECT_LE(fs[i].totalIpu, straggler);
+    EXPECT_GT(straggler, 0u);
+}
+
+TEST(Fiber, RegBytesGranularity)
+{
+    Design d("w");
+    auto a = d.reg("a", 1, 0);
+    auto b = d.reg("b", 33, 0);
+    auto c = d.reg("c", 64, 0);
+    d.next(a, d.read(a));
+    d.next(b, d.read(b));
+    d.next(c, d.read(c));
+    Netlist nl = d.finish();
+    FiberSet fs(nl);
+    EXPECT_EQ(fs.regBytes(0), 4u);   // 1 bit -> one 4-byte granule
+    EXPECT_EQ(fs.regBytes(1), 8u);   // 33 bits -> two granules
+    EXPECT_EQ(fs.regBytes(2), 8u);
+}
+
+TEST(Fiber, MemoryWriteFibersTrackArrays)
+{
+    Netlist nl = designs::makePico(designs::defaultCoreConfig());
+    FiberSet fs(nl);
+    const Netlist &n2 = fs.netlist();
+    bool found_ram_writer = false;
+    for (size_t i = 0; i < fs.size(); ++i) {
+        if (fs[i].kind != SinkKind::MemoryWrite)
+            continue;
+        found_ram_writer = true;
+        // The write fiber must list the array among its memsUsed.
+        EXPECT_TRUE(std::binary_search(fs[i].memsUsed.begin(),
+                                       fs[i].memsUsed.end(),
+                                       fs[i].target));
+    }
+    EXPECT_TRUE(found_ram_writer);
+    (void)n2;
+}
+
+TEST(Fiber, CostModelScalesWithWidth)
+{
+    CostModel cm;
+    Design d("w");
+    Wire a = d.input("a", 32);
+    Wire b = d.input("b", 32);
+    Wire wide_a = d.input("wa", 256);
+    Wire wide_b = d.input("wb", 256);
+    Wire n1 = a + b;
+    Wire n2 = wide_a + wide_b;
+    Wire m1 = a * b;
+    d.output("o1", n1);
+    d.output("o2", n2);
+    d.output("o3", m1);
+    const Netlist &nl = d.netlist();
+    NodeCost narrow = cm.nodeCost(nl, n1.id());
+    NodeCost wide = cm.nodeCost(nl, n2.id());
+    NodeCost mul = cm.nodeCost(nl, m1.id());
+    EXPECT_GT(wide.ipuCycles, narrow.ipuCycles);
+    EXPECT_GT(wide.x86Instrs, narrow.x86Instrs);
+    EXPECT_GT(mul.ipuCycles, narrow.ipuCycles); // mul is pricier
+    // Sources are free.
+    EXPECT_EQ(cm.nodeCost(nl, a.id()).ipuCycles, 0u);
+}

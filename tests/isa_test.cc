@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Tests for the P16 ISA encoder and golden instruction simulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "designs/isa.hh"
+#include "util/logging.hh"
+
+using namespace parendi::designs;
+
+TEST(Isa, EncodeFields)
+{
+    uint32_t w = encode(Isa::Add, 3, 5, 9, -2);
+    EXPECT_EQ(w & 0xf, static_cast<uint32_t>(Isa::Add));
+    EXPECT_EQ((w >> 4) & 0xf, 3u);
+    EXPECT_EQ((w >> 8) & 0xf, 5u);
+    EXPECT_EQ((w >> 12) & 0xf, 9u);
+    EXPECT_EQ(static_cast<int16_t>(w >> 16), -2);
+    EXPECT_THROW(encode(Isa::Add, 16, 0, 0, 0), parendi::FatalError);
+}
+
+TEST(Isa, SumProgram)
+{
+    IsaSim sim(programSum(10), 64);
+    sim.run(1000);
+    EXPECT_TRUE(sim.halted());
+    EXPECT_EQ(sim.ram(0), 55u);
+}
+
+TEST(Isa, MemoryProgram)
+{
+    IsaSim sim(programMemory(), 64);
+    sim.run(10000);
+    EXPECT_TRUE(sim.halted());
+    uint32_t sum = 0;
+    for (uint32_t i = 0; i < 16; ++i) {
+        EXPECT_EQ(sim.ram(i), i * i + 7) << "i=" << i;
+        sum += i * i + 7;
+    }
+    EXPECT_EQ(sim.ram(16), sum);
+}
+
+TEST(Isa, ChurnNeverHalts)
+{
+    IsaSim sim(programChurn(), 64);
+    uint64_t n = sim.run(5000);
+    EXPECT_EQ(n, 5000u);
+    EXPECT_FALSE(sim.halted());
+}
+
+TEST(Isa, ArithSemantics)
+{
+    std::vector<uint32_t> prog = {
+        asmAddi(1, 0, 100),      // r1 = 100
+        asmAddi(2, 0, -3),       // r2 = -3
+        asmAdd(3, 1, 2),         // r3 = 97
+        asmSub(4, 1, 2),         // r4 = 103
+        asmXor(5, 1, 2),
+        asmAnd(6, 1, 2),
+        asmOr(7, 1, 2),
+        asmAddi(8, 0, 33),       // shift amount 33 -> 1 (mod 32)
+        asmSll(9, 1, 8),
+        asmSrl(10, 2, 8),
+        asmLui(11, 0x7fff),
+        asmHalt(),
+    };
+    IsaSim sim(prog, 64);
+    sim.run(100);
+    EXPECT_TRUE(sim.halted());
+    EXPECT_EQ(sim.reg(3), 97u);
+    EXPECT_EQ(sim.reg(4), 103u);
+    EXPECT_EQ(sim.reg(5), 100u ^ 0xfffffffdu);
+    EXPECT_EQ(sim.reg(6), 100u & 0xfffffffdu);
+    EXPECT_EQ(sim.reg(7), 100u | 0xfffffffdu);
+    EXPECT_EQ(sim.reg(9), 100u << 1);
+    EXPECT_EQ(sim.reg(10), 0xfffffffdu >> 1);
+    EXPECT_EQ(sim.reg(11), 0x7fffu << 16);
+}
+
+TEST(Isa, JalLinksAndJumps)
+{
+    std::vector<uint32_t> prog = {
+        asmJal(1, 3),   // pc 0 -> 3, r1 = 1
+        asmAddi(2, 0, 99),  // skipped
+        asmHalt(),          // skipped
+        asmAddi(3, 0, 5),   // executed
+        asmHalt(),
+    };
+    IsaSim sim(prog, 64);
+    sim.run(100);
+    EXPECT_TRUE(sim.halted());
+    EXPECT_EQ(sim.reg(1), 1u);
+    EXPECT_EQ(sim.reg(2), 0u);
+    EXPECT_EQ(sim.reg(3), 5u);
+    EXPECT_EQ(sim.pc(), 4u);
+}
+
+TEST(Isa, RandomProgramsTerminate)
+{
+    for (uint64_t seed = 1; seed <= 30; ++seed) {
+        IsaSim sim(programRandom(seed, 40), 64);
+        sim.run(100000);
+        EXPECT_TRUE(sim.halted()) << "seed=" << seed;
+    }
+}

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Unit tests for the Netlist IR: builder width rules, structural
+ * checks, analyses (topological order, loop detection, cones,
+ * metrics).
+ */
+
+#include <gtest/gtest.h>
+
+#include "rtl/analysis.hh"
+#include "rtl/dsl.hh"
+#include "util/logging.hh"
+
+using namespace parendi;
+using namespace parendi::rtl;
+
+TEST(Netlist, WidthRulesEnforced)
+{
+    Netlist nl("t");
+    NodeId a = nl.addConst(8, 1);
+    NodeId b = nl.addConst(16, 1);
+    EXPECT_THROW(nl.addBinary(Op::Add, a, b), FatalError);
+    EXPECT_THROW(nl.addBinary(Op::Eq, a, b), FatalError);
+    NodeId sel = nl.addConst(2, 1);
+    NodeId c8 = nl.addConst(8, 2);
+    EXPECT_THROW(nl.addMux(sel, a, c8), FatalError);
+    EXPECT_THROW(nl.addSlice(a, 4, 8), FatalError);
+    EXPECT_THROW(nl.addExtend(Op::ZExt, a, 4), FatalError);
+    // Shifts allow mismatched operand widths.
+    EXPECT_NO_THROW(nl.addBinary(Op::Shl, a, b));
+}
+
+TEST(Netlist, RegisterRules)
+{
+    Netlist nl("t");
+    RegId r = nl.addRegister("r", 8, 0x5);
+    NodeId v = nl.addConst(8, 1);
+    nl.setRegisterNext(r, v);
+    EXPECT_THROW(nl.setRegisterNext(r, v), FatalError); // double drive
+    NodeId wide = nl.addConst(16, 1);
+    RegId r2 = nl.addRegister("r2", 8, 0);
+    EXPECT_THROW(nl.setRegisterNext(r2, wide), FatalError);
+}
+
+TEST(Netlist, UndrivenRegisterFailsCheck)
+{
+    Netlist nl("t");
+    nl.addRegister("r", 8, 0);
+    EXPECT_THROW(nl.check(), FatalError);
+}
+
+TEST(Netlist, RegReadIsUnique)
+{
+    Netlist nl("t");
+    RegId r = nl.addRegister("r", 8, 0);
+    EXPECT_EQ(nl.readRegister(r), nl.readRegister(r));
+}
+
+TEST(Netlist, MemoryRules)
+{
+    Netlist nl("t");
+    MemId m = nl.addMemory("m", 32, 16);
+    NodeId addr = nl.addConst(4, 3);
+    NodeId data8 = nl.addConst(8, 1);
+    NodeId en = nl.addConst(1, 1);
+    EXPECT_THROW(nl.writeMemory(m, addr, data8, en), FatalError);
+    NodeId data = nl.addConst(32, 1);
+    NodeId en2 = nl.addConst(2, 1);
+    EXPECT_THROW(nl.writeMemory(m, addr, data, en2), FatalError);
+    EXPECT_NO_THROW(nl.writeMemory(m, addr, data, en));
+    EXPECT_EQ(nl.mem(m).writePorts.size(), 1u);
+    EXPECT_EQ(nl.mem(m).sizeBytes(), 16u * 8);
+    EXPECT_THROW(nl.addMemory("z", 8, 0), FatalError);
+}
+
+TEST(Netlist, FindByName)
+{
+    Design d("t");
+    d.reg("alpha", 8);
+    auto r = d.reg("beta", 8);
+    d.next(r, d.lit(8, 0));
+    d.netlist().setRegisterNext(d.netlist().findRegister("alpha"),
+                                d.lit(8, 1).id());
+    d.input("in0", 4);
+    d.output("out0", d.lit(9, 0));
+    d.memory("m0", 8, 4);
+    const Netlist &nl = d.netlist();
+    EXPECT_EQ(nl.findRegister("beta"), 1u);
+    EXPECT_EQ(nl.findRegister("nope"), nl.numRegisters());
+    EXPECT_EQ(nl.findInput("in0"), 0u);
+    EXPECT_EQ(nl.findOutput("out0"), 0u);
+    EXPECT_EQ(nl.findMemory("m0"), 0u);
+}
+
+TEST(Analysis, TopoOrderRespectsOperands)
+{
+    Design d("t");
+    auto r = d.reg("r", 8);
+    Wire x = d.read(r);
+    d.next(r, (x + d.lit(8, 1)) ^ x.shl(2));
+    Netlist nl = d.finish();
+    std::vector<NodeId> order = topoOrder(nl);
+    EXPECT_EQ(order.size(), nl.numNodes());
+    std::vector<size_t> pos(nl.numNodes());
+    for (size_t i = 0; i < order.size(); ++i)
+        pos[order[i]] = i;
+    for (NodeId id = 0; id < nl.numNodes(); ++id)
+        for (int i = 0; i < opArity(nl.node(id).op); ++i)
+            EXPECT_LT(pos[nl.node(id).operands[i]], pos[id]);
+}
+
+TEST(Analysis, ConstructionOrderIsTopological)
+{
+    // The builder API cannot reference a node before it exists, a
+    // property the tile-program builder relies on.
+    Design d("t");
+    auto r = d.reg("r", 16);
+    d.next(r, d.read(r) * d.lit(16, 3) + d.lit(16, 7));
+    Netlist nl = d.finish();
+    for (NodeId id = 0; id < nl.numNodes(); ++id)
+        for (int i = 0; i < opArity(nl.node(id).op); ++i)
+            EXPECT_LT(nl.node(id).operands[i], id);
+}
+
+TEST(Analysis, BackwardConeStopsAtRegisters)
+{
+    Design d("t");
+    auto a = d.reg("a", 8);
+    auto b = d.reg("b", 8);
+    Wire av = d.read(a), bv = d.read(b);
+    d.next(a, av + d.lit(8, 1));      // fiber A: small
+    d.next(b, (av ^ bv) + d.lit(8, 3)); // fiber B: reads both
+    Netlist nl = d.finish();
+    NodeId sink_b = nl.reg(1).next;
+    std::vector<NodeId> cone = backwardCone(nl, sink_b);
+    // The cone must contain the RegReads but not fiber A's adder.
+    NodeId a_next_val = nl.node(nl.reg(0).next).operands[0];
+    EXPECT_EQ(std::count(cone.begin(), cone.end(), a_next_val), 0);
+    EXPECT_EQ(std::count(cone.begin(), cone.end(), nl.reg(0).read), 1);
+    EXPECT_EQ(std::count(cone.begin(), cone.end(), nl.reg(1).read), 1);
+}
+
+TEST(Analysis, Metrics)
+{
+    Design d("t");
+    auto r = d.reg("r", 12);
+    d.next(r, d.read(r) + d.lit(12, 1));
+    d.memory("m", 32, 8);
+    d.output("o", d.read(r));
+    Netlist nl = d.netlist();
+    NetlistMetrics m = computeMetrics(nl);
+    EXPECT_EQ(m.registers, 1u);
+    EXPECT_EQ(m.regBits, 12u);
+    EXPECT_EQ(m.memories, 1u);
+    EXPECT_EQ(m.memBytes, 8u * 8);
+    EXPECT_EQ(m.sinks, 2u);
+    EXPECT_FALSE(describe(nl).empty());
+}
+
+TEST(Analysis, NoLoopInWellFormedDesign)
+{
+    Design d("t");
+    auto r = d.reg("r", 8);
+    d.next(r, d.read(r) + d.lit(8, 1));
+    EXPECT_FALSE(hasCombinationalLoop(d.netlist()));
+}

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Parameterized invariant sweeps over the partitioning stack: for a
+ * matrix of (design, tile target, chip count, seed), the partitioner
+ * must keep every structural invariant — completeness, tile budget,
+ * per-tile memory, the stage-3 straggler bound when reachable, and
+ * cost-accounting consistency between the merged process and a
+ * freshly materialized one.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "designs/designs.hh"
+#include "partition/merge.hh"
+#include "partition/strategy.hh"
+#include "util/logging.hh"
+
+using namespace parendi;
+using namespace parendi::partition;
+using fiber::FiberSet;
+
+namespace {
+
+rtl::Netlist
+designByIndex(int which)
+{
+    switch (which) {
+      case 0: return designs::makeSr(2);
+      case 1: return designs::makeSr(3);
+      case 2: return designs::makeLr(2);
+      case 3: return designs::makeBitcoin({3, 16});
+      case 4: return designs::makeMc({16, 32, 100 << 16, 105 << 16});
+      default: return designs::makeVta({4, 4, 16});
+    }
+}
+
+const char *kDesignNames[] = {"sr2", "sr3", "lr2", "btc", "mc", "vta"};
+
+} // namespace
+
+using SweepParam = std::tuple<int, uint32_t, uint32_t, uint64_t>;
+
+class PartitionSweep : public ::testing::TestWithParam<SweepParam>
+{
+};
+
+TEST_P(PartitionSweep, AllInvariantsHold)
+{
+    auto [which, tiles, chips, seed] = GetParam();
+    rtl::Netlist nl = designByIndex(which);
+    FiberSet fs(nl);
+
+    PartitionOptions opt;
+    opt.chips = chips;
+    opt.tilesPerChip = tiles;
+    opt.merge.seed = seed;
+    MergeStats stats;
+    Partitioning p = partitionDesign(fs, opt, &stats);
+
+    // Completeness (panics internally on violation).
+    p.checkComplete(fs);
+
+    // Tile budget per chip.
+    std::vector<size_t> per_chip(chips, 0);
+    for (const Process &proc : p.processes) {
+        ASSERT_GE(proc.chip, 0);
+        ASSERT_LT(static_cast<uint32_t>(proc.chip), chips);
+        ++per_chip[proc.chip];
+    }
+    for (size_t n : per_chip)
+        EXPECT_LE(n, tiles);
+
+    // Memory budget and cached-cost consistency.
+    for (const Process &proc : p.processes) {
+        EXPECT_LE(proc.memBytes(fs), opt.merge.tileMemoryBytes);
+        Process rebuilt = Process::fromFiber(fs, proc.fibers[0]);
+        for (size_t i = 1; i < proc.fibers.size(); ++i)
+            rebuilt = Process::merged(
+                fs, rebuilt, Process::fromFiber(fs, proc.fibers[i]));
+        EXPECT_EQ(rebuilt.ipuCost, proc.ipuCost);
+        EXPECT_EQ(rebuilt.dataBytes, proc.dataBytes);
+    }
+
+    // The makespan can never be below the straggler fiber.
+    EXPECT_GE(p.makespanIpu(), stats.stragglerIpu);
+    // ... and the merge stats agree with the result.
+    EXPECT_EQ(stats.afterStage4, p.processes.size());
+    EXPECT_EQ(stats.finalMakespanIpu, p.makespanIpu());
+}
+
+namespace {
+
+std::string
+sweepName(const ::testing::TestParamInfo<SweepParam> &info)
+{
+    auto [which, tiles, chips, seed] = info.param;
+    return std::string(kDesignNames[which]) + "_t" +
+        std::to_string(tiles) + "_c" + std::to_string(chips) + "_s" +
+        std::to_string(seed);
+}
+
+} // namespace
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, PartitionSweep,
+    ::testing::Combine(::testing::Range(0, 6),
+                       ::testing::Values(8u, 64u),
+                       ::testing::Values(1u, 4u),
+                       ::testing::Values(1ull, 77ull)),
+    sweepName);
+
+TEST(PartitionSweep, SeedChangesPartitionNotCorrectness)
+{
+    rtl::Netlist nl = designs::makeSr(3);
+    FiberSet fs(nl);
+    PartitionOptions a, b;
+    a.chips = b.chips = 2;
+    a.tilesPerChip = b.tilesPerChip = 48;
+    a.merge.seed = 1;
+    b.merge.seed = 999;
+    Partitioning pa = partitionDesign(fs, a);
+    Partitioning pb = partitionDesign(fs, b);
+    pa.checkComplete(fs);
+    pb.checkComplete(fs);
+    // Different seeds may produce different cuts, but both stay in
+    // the same cost ballpark (within 3x of each other).
+    uint64_t ca = offChipCutBytes(fs, pa.processes);
+    uint64_t cb = offChipCutBytes(fs, pb.processes);
+    if (ca && cb) {
+        EXPECT_LT(ca, 3 * cb + 1024);
+        EXPECT_LT(cb, 3 * ca + 1024);
+    }
+}
+
+TEST(PartitionSweep, StragglerBoundRespectedInStage3Regime)
+{
+    // When fibers fit comfortably (mean << straggler), stage 3 must
+    // deliver exactly the straggler as the makespan.
+    rtl::Netlist nl = designs::makeSr(4);
+    FiberSet fs(nl);
+    Partitioning p = bottomUpPartition(fs, 1, 512);
+    EXPECT_EQ(p.makespanIpu(), fs.maxFiberIpu());
+}
+
+TEST(PartitionSweep, DeterministicForFixedSeed)
+{
+    rtl::Netlist nl = designs::makeLr(2);
+    FiberSet fs(nl);
+    PartitionOptions opt;
+    opt.chips = 2;
+    opt.tilesPerChip = 32;
+    Partitioning a = partitionDesign(fs, opt);
+    Partitioning b = partitionDesign(fs, opt);
+    ASSERT_EQ(a.processes.size(), b.processes.size());
+    for (size_t i = 0; i < a.processes.size(); ++i) {
+        EXPECT_EQ(a.processes[i].fibers, b.processes[i].fibers);
+        EXPECT_EQ(a.processes[i].chip, b.processes[i].chip);
+    }
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Tests for the simulation statistics/reporting module.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/stats.hh"
+#include "designs/designs.hh"
+
+using namespace parendi;
+using namespace parendi::core;
+
+TEST(Stats, LoadStatsAreOrdered)
+{
+    auto sim = compile(designs::makeSr(3), CompilerOptions{});
+    LoadStats s = computeLoadStats(*sim);
+    EXPECT_GT(s.tiles, 0u);
+    EXPECT_LE(s.minLoad, s.p50);
+    EXPECT_LE(s.p50, s.p90);
+    EXPECT_LE(s.p90, s.maxLoad);
+    EXPECT_GE(s.imbalance, 1.0);
+    EXPECT_GT(s.mean, 0.0);
+}
+
+TEST(Stats, MaxLoadIsTheModeledStraggler)
+{
+    auto sim = compile(designs::makeBitcoin({2, 16}),
+                       CompilerOptions{});
+    LoadStats s = computeLoadStats(*sim);
+    // t_comp = straggler + per-tile loop overhead.
+    double overhead =
+        sim->machine().architecture().tileLoopOverhead;
+    EXPECT_DOUBLE_EQ(sim->cycleCosts().tComp,
+                     static_cast<double>(s.maxLoad) + overhead);
+}
+
+TEST(Stats, LoadsMatchPartitioning)
+{
+    auto sim = compile(designs::makeSr(2), CompilerOptions{});
+    auto loads = tileLoads(*sim);
+    EXPECT_EQ(loads.size(), sim->partitioning().processes.size());
+    EXPECT_EQ(loads.size(), sim->machine().tilesUsed());
+}
+
+TEST(Stats, ReportMentionsAllSections)
+{
+    auto sim = compile(designs::makeMc({8, 16, 100 << 16, 105 << 16}),
+                       CompilerOptions{});
+    std::string rep = describeSimulation(*sim);
+    for (const char *needle :
+         {"== design ==", "== partitioning ==", "== tile loads",
+          "== exchange ==", "== modeled cycle budget ==",
+          "straggler", "kHz"})
+        EXPECT_NE(rep.find(needle), std::string::npos) << needle;
+}

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * An end-to-end "bring your own SoC in Verilog" test: a token-ring
+ * SoC is described hierarchically in Verilog (a worker module
+ * instantiated N times, connected in a ring), parsed, optimized,
+ * partitioned, and executed on the simulated IPU — checked cycle by
+ * cycle against the reference interpreter and against an analytic
+ * model of the ring.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/compiler.hh"
+#include "frontend/verilog.hh"
+#include "rtl/interp.hh"
+
+using namespace parendi;
+using frontend::parseVerilog;
+using rtl::Interpreter;
+using rtl::Netlist;
+
+namespace {
+
+/** Generate Verilog for an N-node token ring of accumulators. Each
+ *  node adds its id to the token when it holds it and forwards it. */
+std::string
+ringVerilog(unsigned n)
+{
+    std::ostringstream v;
+    v << R"(
+module worker(input clk, input [15:0] tok_in, input vld_in,
+              input [7:0] my_id, output [15:0] tok_out,
+              output vld_out, output [31:0] work_count);
+  reg [15:0] tok = 0;
+  reg vld = 0;
+  reg [31:0] count = 0;
+  assign tok_out = tok;
+  assign vld_out = vld;
+  assign work_count = count;
+  always @(posedge clk) begin
+    vld <= vld_in;
+    tok <= tok_in + {8'd0, my_id};
+    if (vld_in)
+      count <= count + 32'd1;
+  end
+endmodule
+
+module top(input clk, output [15:0] token, output [31:0] total);
+)";
+    // A generator node injects a valid token once at startup.
+    v << "  reg started = 0;\n";
+    v << "  always @(posedge clk) started <= 1'd1;\n";
+    for (unsigned i = 0; i < n; ++i) {
+        v << "  wire [15:0] t" << i << ";\n";
+        v << "  wire v" << i << ";\n";
+        v << "  wire [31:0] c" << i << ";\n";
+    }
+    for (unsigned i = 0; i < n; ++i) {
+        unsigned prev = (i + n - 1) % n;
+        v << "  worker w" << i << "(.clk(clk), ";
+        if (i == 0) {
+            // Node 0 receives from the tail, with the startup pulse
+            // ORed into valid.
+            v << ".tok_in(t" << prev << "), .vld_in(v" << prev
+              << " | !started), ";
+        } else {
+            v << ".tok_in(t" << prev << "), .vld_in(v" << prev
+              << "), ";
+        }
+        v << ".my_id(8'd" << (i + 1) << "), .tok_out(t" << i
+          << "), .vld_out(v" << i << "), .work_count(c" << i
+          << "));\n";
+    }
+    v << "  assign token = t" << (n - 1) << ";\n";
+    v << "  assign total = ";
+    for (unsigned i = 0; i < n; ++i)
+        v << (i ? " + " : "") << "c" << i;
+    v << ";\n";
+    v << "endmodule\n";
+    return v.str();
+}
+
+} // namespace
+
+class VerilogSoc : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(VerilogSoc, RingCompilesAndRunsOnIpu)
+{
+    unsigned n = GetParam();
+    Netlist nl = parseVerilog(ringVerilog(n));
+    EXPECT_EQ(nl.numRegisters(), 3 * n + 1);
+
+    Interpreter ref(nl);
+    core::CompilerOptions opt;
+    opt.chips = n >= 6 ? 2 : 1;
+    opt.tilesPerChip = 16;
+    auto sim = core::compile(std::move(nl), opt);
+
+    uint64_t cycles = 6 * n;
+    for (uint64_t c = 0; c < cycles; ++c) {
+        sim->step();
+        ref.step();
+        ASSERT_EQ(sim->machine().peek("token"), ref.peek("token"))
+            << "cycle " << c;
+        ASSERT_EQ(sim->machine().peek("total"), ref.peek("total"));
+    }
+
+    // Analytic check: the startup pulse is high until `started`
+    // latches, so a burst of valid tokens circulates; each node's
+    // count grows by one per lap of each token in the burst. At
+    // minimum, after k laps the total is >= n (every node worked).
+    EXPECT_GE(sim->machine().peek("total").toUint64(),
+              static_cast<uint64_t>(n));
+    // The token accumulates node ids as it travels: it is never zero
+    // once the ring is warm.
+    EXPECT_GT(sim->machine().peek("token").toUint64(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rings, VerilogSoc,
+                         ::testing::Values(2u, 4u, 8u, 12u));
+
+TEST(VerilogSoc, ScalesToManyInstances)
+{
+    // 32 workers: exercises the flattener at a realistic scale.
+    Netlist nl = parseVerilog(ringVerilog(32));
+    EXPECT_EQ(nl.numRegisters(), 97u);
+    core::CompilerOptions opt;
+    opt.tilesPerChip = 64;
+    auto sim = core::compile(std::move(nl), opt);
+    EXPECT_GT(sim->report().fibers, 96u);
+    sim->step(100);
+    EXPECT_GT(sim->machine().peek("total").toUint64(), 0u);
+}

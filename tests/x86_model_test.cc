@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Sanity tests for the Verilator-on-x86 performance model: the
+ * qualitative behaviours the paper measures (sync collapse on small
+ * designs, cache-capacity superlinearity, chiplet/socket boundary
+ * penalties) must emerge from the model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "designs/designs.hh"
+#include "fiber/fiber.hh"
+#include "util/logging.hh"
+#include "x86/model.hh"
+
+using namespace parendi;
+using namespace parendi::x86;
+using fiber::FiberSet;
+
+namespace {
+
+DesignProfile
+profileOf(rtl::Netlist nl)
+{
+    FiberSet fs(nl);
+    return profileDesign(fs);
+}
+
+} // namespace
+
+TEST(X86Arch, MachineShapes)
+{
+    X86Arch ix3 = X86Arch::ix3();
+    X86Arch ae4 = X86Arch::ae4();
+    EXPECT_EQ(ix3.totalCores(), 56u);
+    EXPECT_EQ(ae4.totalCores(), 128u);
+    EXPECT_EQ(ix3.coresPerChiplet, ix3.coresPerSocket); // monolithic
+    EXPECT_LT(ae4.coresPerChiplet, ae4.coresPerSocket); // chiplets
+}
+
+TEST(X86Model, SingleThreadHasNoParallelCosts)
+{
+    DesignProfile p = profileOf(designs::makeSr(2));
+    X86Perf perf = modelVerilator(X86Arch::ix3(), p, 1);
+    EXPECT_EQ(perf.tSyncNs, 0.0);
+    EXPECT_EQ(perf.tCommNs, 0.0);
+    EXPECT_GT(perf.tCompNs, 0.0);
+    EXPECT_GT(perf.rateKHz(), 0.0);
+}
+
+TEST(X86Model, SyncGrowsWithThreads)
+{
+    DesignProfile p = profileOf(designs::makeSr(2));
+    X86Arch arch = X86Arch::ix3();
+    double prev = 0;
+    for (uint32_t t : {2u, 8u, 32u, 56u}) {
+        X86Perf perf = modelVerilator(arch, p, t);
+        EXPECT_GT(perf.tSyncNs, prev);
+        prev = perf.tSyncNs;
+    }
+}
+
+TEST(X86Model, SmallDesignsStopScaling)
+{
+    // Paper Fig. 8: for a tiny design the sync cost swamps the gains.
+    DesignProfile tiny = profileOf(designs::makePrngBank(64));
+    X86Arch arch = X86Arch::ix3();
+    double t1 = modelVerilator(arch, tiny, 1).totalNs();
+    double t32 = modelVerilator(arch, tiny, 32).totalNs();
+    EXPECT_GT(t32, t1) << "a 64-PRNG bank must not profit from 32 "
+                          "threads";
+    BestThreads best = bestVerilator(arch, tiny);
+    EXPECT_LE(best.threads, 4u);
+}
+
+TEST(X86Model, LargeDesignsScaleWell)
+{
+    DesignProfile big = profileOf(designs::makeSr(6));
+    X86Arch arch = X86Arch::ix3();
+    double t1 = modelVerilator(arch, big, 1).totalNs();
+    BestThreads best = bestVerilator(arch, big);
+    EXPECT_GE(best.threads, 8u);
+    EXPECT_GT(t1 / best.perf.totalNs(), 4.0);
+}
+
+TEST(X86Model, CacheFactorShrinksWithThreads)
+{
+    // Per-thread working sets shrink with more threads, producing the
+    // (super)linear region of paper Fig. 10.
+    DesignProfile big = profileOf(designs::makeSr(6));
+    X86Arch arch = X86Arch::ae4();
+    double f1 = modelVerilator(arch, big, 1).cacheFactor;
+    double f16 = modelVerilator(arch, big, 16).cacheFactor;
+    EXPECT_GT(f1, f16);
+    EXPECT_GE(f16, 1.0);
+}
+
+TEST(X86Model, SuperlinearRegionExists)
+{
+    // Some thread count must beat perfect scaling vs 1 thread for a
+    // design whose working set exceeds one core's caches.
+    DesignProfile big = profileOf(designs::makeSr(8));
+    X86Arch arch = X86Arch::ae4();
+    double t1 = modelVerilator(arch, big, 1).totalNs();
+    bool superlinear = false;
+    for (uint32_t t = 2; t <= 16; t += 2) {
+        double sp = t1 / modelVerilator(arch, big, t).totalNs();
+        if (sp > t)
+            superlinear = true;
+    }
+    EXPECT_TRUE(superlinear);
+}
+
+TEST(X86Model, BoundaryCrossingRaisesCommCost)
+{
+    DesignProfile big = profileOf(designs::makeSr(5));
+    // ae4: staying inside one 8-core chiplet is cheap; spilling into
+    // a second chiplet raises the per-line cost.
+    X86Arch ae4 = X86Arch::ae4();
+    X86Perf in_chiplet = modelVerilator(ae4, big, 8);
+    X86Perf across = modelVerilator(ae4, big, 10);
+    double per_line_in =
+        in_chiplet.tCommNs * 8 / (1.0 - 1.0 / 8.0);
+    double per_line_across =
+        across.tCommNs * 10 / (1.0 - 1.0 / 10.0);
+    EXPECT_GT(per_line_across, per_line_in);
+
+    // ix3: crossing the socket at >28 threads.
+    X86Arch ix3 = X86Arch::ix3();
+    X86Perf in_socket = modelVerilator(ix3, big, 28);
+    X86Perf cross_socket = modelVerilator(ix3, big, 30);
+    double norm_in = in_socket.tCommNs * 28;
+    double norm_cross = cross_socket.tCommNs * 30;
+    EXPECT_GT(norm_cross, 1.5 * norm_in);
+}
+
+TEST(X86Model, ProfileCountsAreConsistent)
+{
+    rtl::Netlist nl = designs::makeBitcoin({2, 16});
+    FiberSet fs(nl);
+    DesignProfile p = profileDesign(fs);
+    EXPECT_GT(p.totalInstrs, 0u);
+    EXPECT_GT(p.codeBytes, 0u);
+    EXPECT_GT(p.dataBytes, 0u);
+    EXPECT_GT(p.commBytes, 0u);
+    // Dedup'd total is at most the sum over fibers.
+    uint64_t sum = 0;
+    for (size_t i = 0; i < fs.size(); ++i)
+        sum += fs[i].totalX86;
+    EXPECT_LE(p.totalInstrs, sum);
+    EXPECT_GE(p.maxFiberInstrs, 1u);
+}
+
+TEST(X86Model, RejectsBadThreadCounts)
+{
+    DesignProfile p = profileOf(designs::makePrngBank(4));
+    EXPECT_THROW(modelVerilator(X86Arch::ix3(), p, 0), FatalError);
+    EXPECT_THROW(modelVerilator(X86Arch::ix3(), p, 57), FatalError);
+}
