@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_sync.dir/fig04_sync.cc.o"
+  "CMakeFiles/fig04_sync.dir/fig04_sync.cc.o.d"
+  "fig04_sync"
+  "fig04_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

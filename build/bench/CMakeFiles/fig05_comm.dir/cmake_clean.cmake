@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_comm.dir/fig05_comm.cc.o"
+  "CMakeFiles/fig05_comm.dir/fig05_comm.cc.o.d"
+  "fig05_comm"
+  "fig05_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

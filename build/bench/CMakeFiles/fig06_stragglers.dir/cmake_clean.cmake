@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_stragglers.dir/fig06_stragglers.cc.o"
+  "CMakeFiles/fig06_stragglers.dir/fig06_stragglers.cc.o.d"
+  "fig06_stragglers"
+  "fig06_stragglers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_stragglers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_vsmall.dir/fig08_vsmall.cc.o"
+  "CMakeFiles/fig08_vsmall.dir/fig08_vsmall.cc.o.d"
+  "fig08_vsmall"
+  "fig08_vsmall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_vsmall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_boundaries.dir/fig09_boundaries.cc.o"
+  "CMakeFiles/fig09_boundaries.dir/fig09_boundaries.cc.o.d"
+  "fig09_boundaries"
+  "fig09_boundaries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_boundaries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_arch.dir/fig10_arch.cc.o"
+  "CMakeFiles/fig10_arch.dir/fig10_arch.cc.o.d"
+  "fig10_arch"
+  "fig10_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

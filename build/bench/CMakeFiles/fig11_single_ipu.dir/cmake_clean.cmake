@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_single_ipu.dir/fig11_single_ipu.cc.o"
+  "CMakeFiles/fig11_single_ipu.dir/fig11_single_ipu.cc.o.d"
+  "fig11_single_ipu"
+  "fig11_single_ipu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_single_ipu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_multi_ipu.dir/fig12_multi_ipu.cc.o"
+  "CMakeFiles/fig12_multi_ipu.dir/fig12_multi_ipu.cc.o.d"
+  "fig12_multi_ipu"
+  "fig12_multi_ipu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_multi_ipu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

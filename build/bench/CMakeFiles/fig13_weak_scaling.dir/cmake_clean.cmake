@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_weak_scaling.dir/fig13_weak_scaling.cc.o"
+  "CMakeFiles/fig13_weak_scaling.dir/fig13_weak_scaling.cc.o.d"
+  "fig13_weak_scaling"
+  "fig13_weak_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_weak_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

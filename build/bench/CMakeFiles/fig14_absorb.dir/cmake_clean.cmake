@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_absorb.dir/fig14_absorb.cc.o"
+  "CMakeFiles/fig14_absorb.dir/fig14_absorb.cc.o.d"
+  "fig14_absorb"
+  "fig14_absorb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_absorb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_partition_cmp.dir/fig15_partition_cmp.cc.o"
+  "CMakeFiles/fig15_partition_cmp.dir/fig15_partition_cmp.cc.o.d"
+  "fig15_partition_cmp"
+  "fig15_partition_cmp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_partition_cmp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_multi_strategy.dir/fig16_multi_strategy.cc.o"
+  "CMakeFiles/fig16_multi_strategy.dir/fig16_multi_strategy.cc.o.d"
+  "fig16_multi_strategy"
+  "fig16_multi_strategy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_multi_strategy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/host_throughput.dir/host_throughput.cc.o"
+  "CMakeFiles/host_throughput.dir/host_throughput.cc.o.d"
+  "host_throughput"
+  "host_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/host_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec3_activity.dir/sec3_activity.cc.o"
+  "CMakeFiles/sec3_activity.dir/sec3_activity.cc.o.d"
+  "sec3_activity"
+  "sec3_activity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec3_activity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

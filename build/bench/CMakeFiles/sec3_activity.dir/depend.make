@@ -1,0 +1,2 @@
+# Empty dependencies file for sec3_activity.
+# This may be replaced when dependencies are built.

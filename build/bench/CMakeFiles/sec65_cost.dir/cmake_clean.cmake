@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec65_cost.dir/sec65_cost.cc.o"
+  "CMakeFiles/sec65_cost.dir/sec65_cost.cc.o.d"
+  "sec65_cost"
+  "sec65_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec65_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

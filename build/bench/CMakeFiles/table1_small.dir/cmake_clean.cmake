@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_small.dir/table1_small.cc.o"
+  "CMakeFiles/table1_small.dir/table1_small.cc.o.d"
+  "table1_small"
+  "table1_small.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_small.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

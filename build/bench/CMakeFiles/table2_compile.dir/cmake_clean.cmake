@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_compile.dir/table2_compile.cc.o"
+  "CMakeFiles/table2_compile.dir/table2_compile.cc.o.d"
+  "table2_compile"
+  "table2_compile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_compile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_netlist.dir/custom_netlist.cpp.o"
+  "CMakeFiles/custom_netlist.dir/custom_netlist.cpp.o.d"
+  "custom_netlist"
+  "custom_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

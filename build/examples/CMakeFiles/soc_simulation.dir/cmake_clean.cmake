@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soc_simulation.dir/soc_simulation.cpp.o"
+  "CMakeFiles/soc_simulation.dir/soc_simulation.cpp.o.d"
+  "soc_simulation"
+  "soc_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soc_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

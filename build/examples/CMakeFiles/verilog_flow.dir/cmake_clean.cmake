@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verilog_flow.dir/verilog_flow.cpp.o"
+  "CMakeFiles/verilog_flow.dir/verilog_flow.cpp.o.d"
+  "verilog_flow"
+  "verilog_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verilog_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

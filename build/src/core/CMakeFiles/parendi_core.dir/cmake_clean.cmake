@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parendi_core.dir/compiler.cc.o"
+  "CMakeFiles/parendi_core.dir/compiler.cc.o.d"
+  "CMakeFiles/parendi_core.dir/stats.cc.o"
+  "CMakeFiles/parendi_core.dir/stats.cc.o.d"
+  "libparendi_core.a"
+  "libparendi_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parendi_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

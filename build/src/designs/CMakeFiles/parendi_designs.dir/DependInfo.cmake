@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/designs/bitcoin.cc" "src/designs/CMakeFiles/parendi_designs.dir/bitcoin.cc.o" "gcc" "src/designs/CMakeFiles/parendi_designs.dir/bitcoin.cc.o.d"
+  "/root/repo/src/designs/isa.cc" "src/designs/CMakeFiles/parendi_designs.dir/isa.cc.o" "gcc" "src/designs/CMakeFiles/parendi_designs.dir/isa.cc.o.d"
+  "/root/repo/src/designs/mc.cc" "src/designs/CMakeFiles/parendi_designs.dir/mc.cc.o" "gcc" "src/designs/CMakeFiles/parendi_designs.dir/mc.cc.o.d"
+  "/root/repo/src/designs/noc.cc" "src/designs/CMakeFiles/parendi_designs.dir/noc.cc.o" "gcc" "src/designs/CMakeFiles/parendi_designs.dir/noc.cc.o.d"
+  "/root/repo/src/designs/pico.cc" "src/designs/CMakeFiles/parendi_designs.dir/pico.cc.o" "gcc" "src/designs/CMakeFiles/parendi_designs.dir/pico.cc.o.d"
+  "/root/repo/src/designs/prng.cc" "src/designs/CMakeFiles/parendi_designs.dir/prng.cc.o" "gcc" "src/designs/CMakeFiles/parendi_designs.dir/prng.cc.o.d"
+  "/root/repo/src/designs/rocket.cc" "src/designs/CMakeFiles/parendi_designs.dir/rocket.cc.o" "gcc" "src/designs/CMakeFiles/parendi_designs.dir/rocket.cc.o.d"
+  "/root/repo/src/designs/vta.cc" "src/designs/CMakeFiles/parendi_designs.dir/vta.cc.o" "gcc" "src/designs/CMakeFiles/parendi_designs.dir/vta.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rtl/CMakeFiles/parendi_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/parendi_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

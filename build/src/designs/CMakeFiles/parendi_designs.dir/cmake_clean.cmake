@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parendi_designs.dir/bitcoin.cc.o"
+  "CMakeFiles/parendi_designs.dir/bitcoin.cc.o.d"
+  "CMakeFiles/parendi_designs.dir/isa.cc.o"
+  "CMakeFiles/parendi_designs.dir/isa.cc.o.d"
+  "CMakeFiles/parendi_designs.dir/mc.cc.o"
+  "CMakeFiles/parendi_designs.dir/mc.cc.o.d"
+  "CMakeFiles/parendi_designs.dir/noc.cc.o"
+  "CMakeFiles/parendi_designs.dir/noc.cc.o.d"
+  "CMakeFiles/parendi_designs.dir/pico.cc.o"
+  "CMakeFiles/parendi_designs.dir/pico.cc.o.d"
+  "CMakeFiles/parendi_designs.dir/prng.cc.o"
+  "CMakeFiles/parendi_designs.dir/prng.cc.o.d"
+  "CMakeFiles/parendi_designs.dir/rocket.cc.o"
+  "CMakeFiles/parendi_designs.dir/rocket.cc.o.d"
+  "CMakeFiles/parendi_designs.dir/vta.cc.o"
+  "CMakeFiles/parendi_designs.dir/vta.cc.o.d"
+  "libparendi_designs.a"
+  "libparendi_designs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parendi_designs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fiber/cost.cc" "src/fiber/CMakeFiles/parendi_fiber.dir/cost.cc.o" "gcc" "src/fiber/CMakeFiles/parendi_fiber.dir/cost.cc.o.d"
+  "/root/repo/src/fiber/fiber.cc" "src/fiber/CMakeFiles/parendi_fiber.dir/fiber.cc.o" "gcc" "src/fiber/CMakeFiles/parendi_fiber.dir/fiber.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rtl/CMakeFiles/parendi_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/parendi_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parendi_fiber.dir/cost.cc.o"
+  "CMakeFiles/parendi_fiber.dir/cost.cc.o.d"
+  "CMakeFiles/parendi_fiber.dir/fiber.cc.o"
+  "CMakeFiles/parendi_fiber.dir/fiber.cc.o.d"
+  "libparendi_fiber.a"
+  "libparendi_fiber.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parendi_fiber.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

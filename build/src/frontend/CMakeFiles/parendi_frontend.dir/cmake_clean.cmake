@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parendi_frontend.dir/pnl.cc.o"
+  "CMakeFiles/parendi_frontend.dir/pnl.cc.o.d"
+  "CMakeFiles/parendi_frontend.dir/verilog.cc.o"
+  "CMakeFiles/parendi_frontend.dir/verilog.cc.o.d"
+  "libparendi_frontend.a"
+  "libparendi_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parendi_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

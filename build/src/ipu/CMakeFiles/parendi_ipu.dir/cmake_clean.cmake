@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parendi_ipu.dir/exchange.cc.o"
+  "CMakeFiles/parendi_ipu.dir/exchange.cc.o.d"
+  "CMakeFiles/parendi_ipu.dir/machine.cc.o"
+  "CMakeFiles/parendi_ipu.dir/machine.cc.o.d"
+  "libparendi_ipu.a"
+  "libparendi_ipu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parendi_ipu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libparendi_ipu.a"
+)

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for parendi_ipu.
+# This may be replaced when dependencies are built.

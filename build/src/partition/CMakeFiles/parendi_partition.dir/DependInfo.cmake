@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/partition/hypergraph.cc" "src/partition/CMakeFiles/parendi_partition.dir/hypergraph.cc.o" "gcc" "src/partition/CMakeFiles/parendi_partition.dir/hypergraph.cc.o.d"
+  "/root/repo/src/partition/makespan.cc" "src/partition/CMakeFiles/parendi_partition.dir/makespan.cc.o" "gcc" "src/partition/CMakeFiles/parendi_partition.dir/makespan.cc.o.d"
+  "/root/repo/src/partition/merge.cc" "src/partition/CMakeFiles/parendi_partition.dir/merge.cc.o" "gcc" "src/partition/CMakeFiles/parendi_partition.dir/merge.cc.o.d"
+  "/root/repo/src/partition/process.cc" "src/partition/CMakeFiles/parendi_partition.dir/process.cc.o" "gcc" "src/partition/CMakeFiles/parendi_partition.dir/process.cc.o.d"
+  "/root/repo/src/partition/strategy.cc" "src/partition/CMakeFiles/parendi_partition.dir/strategy.cc.o" "gcc" "src/partition/CMakeFiles/parendi_partition.dir/strategy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fiber/CMakeFiles/parendi_fiber.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/parendi_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/parendi_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

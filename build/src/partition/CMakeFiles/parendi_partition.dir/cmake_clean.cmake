@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parendi_partition.dir/hypergraph.cc.o"
+  "CMakeFiles/parendi_partition.dir/hypergraph.cc.o.d"
+  "CMakeFiles/parendi_partition.dir/makespan.cc.o"
+  "CMakeFiles/parendi_partition.dir/makespan.cc.o.d"
+  "CMakeFiles/parendi_partition.dir/merge.cc.o"
+  "CMakeFiles/parendi_partition.dir/merge.cc.o.d"
+  "CMakeFiles/parendi_partition.dir/process.cc.o"
+  "CMakeFiles/parendi_partition.dir/process.cc.o.d"
+  "CMakeFiles/parendi_partition.dir/strategy.cc.o"
+  "CMakeFiles/parendi_partition.dir/strategy.cc.o.d"
+  "libparendi_partition.a"
+  "libparendi_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parendi_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rtl/analysis.cc" "src/rtl/CMakeFiles/parendi_rtl.dir/analysis.cc.o" "gcc" "src/rtl/CMakeFiles/parendi_rtl.dir/analysis.cc.o.d"
+  "/root/repo/src/rtl/bitvec.cc" "src/rtl/CMakeFiles/parendi_rtl.dir/bitvec.cc.o" "gcc" "src/rtl/CMakeFiles/parendi_rtl.dir/bitvec.cc.o.d"
+  "/root/repo/src/rtl/eval.cc" "src/rtl/CMakeFiles/parendi_rtl.dir/eval.cc.o" "gcc" "src/rtl/CMakeFiles/parendi_rtl.dir/eval.cc.o.d"
+  "/root/repo/src/rtl/event.cc" "src/rtl/CMakeFiles/parendi_rtl.dir/event.cc.o" "gcc" "src/rtl/CMakeFiles/parendi_rtl.dir/event.cc.o.d"
+  "/root/repo/src/rtl/interp.cc" "src/rtl/CMakeFiles/parendi_rtl.dir/interp.cc.o" "gcc" "src/rtl/CMakeFiles/parendi_rtl.dir/interp.cc.o.d"
+  "/root/repo/src/rtl/netlist.cc" "src/rtl/CMakeFiles/parendi_rtl.dir/netlist.cc.o" "gcc" "src/rtl/CMakeFiles/parendi_rtl.dir/netlist.cc.o.d"
+  "/root/repo/src/rtl/opt.cc" "src/rtl/CMakeFiles/parendi_rtl.dir/opt.cc.o" "gcc" "src/rtl/CMakeFiles/parendi_rtl.dir/opt.cc.o.d"
+  "/root/repo/src/rtl/vcd.cc" "src/rtl/CMakeFiles/parendi_rtl.dir/vcd.cc.o" "gcc" "src/rtl/CMakeFiles/parendi_rtl.dir/vcd.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/parendi_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

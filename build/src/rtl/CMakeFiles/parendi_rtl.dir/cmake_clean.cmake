@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parendi_rtl.dir/analysis.cc.o"
+  "CMakeFiles/parendi_rtl.dir/analysis.cc.o.d"
+  "CMakeFiles/parendi_rtl.dir/bitvec.cc.o"
+  "CMakeFiles/parendi_rtl.dir/bitvec.cc.o.d"
+  "CMakeFiles/parendi_rtl.dir/eval.cc.o"
+  "CMakeFiles/parendi_rtl.dir/eval.cc.o.d"
+  "CMakeFiles/parendi_rtl.dir/event.cc.o"
+  "CMakeFiles/parendi_rtl.dir/event.cc.o.d"
+  "CMakeFiles/parendi_rtl.dir/interp.cc.o"
+  "CMakeFiles/parendi_rtl.dir/interp.cc.o.d"
+  "CMakeFiles/parendi_rtl.dir/netlist.cc.o"
+  "CMakeFiles/parendi_rtl.dir/netlist.cc.o.d"
+  "CMakeFiles/parendi_rtl.dir/opt.cc.o"
+  "CMakeFiles/parendi_rtl.dir/opt.cc.o.d"
+  "CMakeFiles/parendi_rtl.dir/vcd.cc.o"
+  "CMakeFiles/parendi_rtl.dir/vcd.cc.o.d"
+  "libparendi_rtl.a"
+  "libparendi_rtl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parendi_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

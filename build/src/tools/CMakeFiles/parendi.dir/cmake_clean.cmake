@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parendi.dir/parendi_main.cc.o"
+  "CMakeFiles/parendi.dir/parendi_main.cc.o.d"
+  "parendi"
+  "parendi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parendi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

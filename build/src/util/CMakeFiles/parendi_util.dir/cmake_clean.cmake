@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parendi_util.dir/logging.cc.o"
+  "CMakeFiles/parendi_util.dir/logging.cc.o.d"
+  "CMakeFiles/parendi_util.dir/table.cc.o"
+  "CMakeFiles/parendi_util.dir/table.cc.o.d"
+  "libparendi_util.a"
+  "libparendi_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parendi_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

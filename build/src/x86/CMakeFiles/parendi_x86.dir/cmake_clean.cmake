@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parendi_x86.dir/model.cc.o"
+  "CMakeFiles/parendi_x86.dir/model.cc.o.d"
+  "libparendi_x86.a"
+  "libparendi_x86.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parendi_x86.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for parendi_x86.
+# This may be replaced when dependencies are built.

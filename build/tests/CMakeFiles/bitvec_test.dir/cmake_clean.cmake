@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitvec_test.dir/bitvec_test.cc.o"
+  "CMakeFiles/bitvec_test.dir/bitvec_test.cc.o.d"
+  "bitvec_test"
+  "bitvec_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitvec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cores_test.dir/cores_test.cc.o"
+  "CMakeFiles/cores_test.dir/cores_test.cc.o.d"
+  "cores_test"
+  "cores_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cores_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/designs_test.dir/designs_test.cc.o"
+  "CMakeFiles/designs_test.dir/designs_test.cc.o.d"
+  "designs_test"
+  "designs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/designs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

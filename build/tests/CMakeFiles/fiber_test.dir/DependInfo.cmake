@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fiber_test.cc" "tests/CMakeFiles/fiber_test.dir/fiber_test.cc.o" "gcc" "tests/CMakeFiles/fiber_test.dir/fiber_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/parendi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/designs/CMakeFiles/parendi_designs.dir/DependInfo.cmake"
+  "/root/repo/build/src/ipu/CMakeFiles/parendi_ipu.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/parendi_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/x86/CMakeFiles/parendi_x86.dir/DependInfo.cmake"
+  "/root/repo/build/src/fiber/CMakeFiles/parendi_fiber.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/parendi_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/parendi_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/parendi_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

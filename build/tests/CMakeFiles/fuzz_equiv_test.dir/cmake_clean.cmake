@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_equiv_test.dir/fuzz_equiv_test.cc.o"
+  "CMakeFiles/fuzz_equiv_test.dir/fuzz_equiv_test.cc.o.d"
+  "fuzz_equiv_test"
+  "fuzz_equiv_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_equiv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

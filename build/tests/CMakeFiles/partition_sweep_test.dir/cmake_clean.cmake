@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partition_sweep_test.dir/partition_sweep_test.cc.o"
+  "CMakeFiles/partition_sweep_test.dir/partition_sweep_test.cc.o.d"
+  "partition_sweep_test"
+  "partition_sweep_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partition_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

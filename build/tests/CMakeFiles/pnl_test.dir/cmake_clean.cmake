@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pnl_test.dir/pnl_test.cc.o"
+  "CMakeFiles/pnl_test.dir/pnl_test.cc.o.d"
+  "pnl_test"
+  "pnl_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pnl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcd_test.dir/vcd_test.cc.o"
+  "CMakeFiles/vcd_test.dir/vcd_test.cc.o.d"
+  "vcd_test"
+  "vcd_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verilog_hier_test.dir/verilog_hier_test.cc.o"
+  "CMakeFiles/verilog_hier_test.dir/verilog_hier_test.cc.o.d"
+  "verilog_hier_test"
+  "verilog_hier_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verilog_hier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/x86_model_test.dir/x86_model_test.cc.o"
+  "CMakeFiles/x86_model_test.dir/x86_model_test.cc.o.d"
+  "x86_model_test"
+  "x86_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/x86_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
