@@ -31,6 +31,18 @@ BM_InterpPico(benchmark::State &state)
 BENCHMARK(BM_InterpPico);
 
 void
+BM_InterpPicoUnfused(benchmark::State &state)
+{
+    rtl::Interpreter sim(
+        designs::makePico(designs::defaultCoreConfig()),
+        rtl::LowerOptions::none());
+    for (auto _ : state)
+        sim.step();
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InterpPicoUnfused);
+
+void
 BM_InterpBitcoin(benchmark::State &state)
 {
     rtl::Interpreter sim(designs::makeBitcoin({2, 16}));
@@ -39,6 +51,29 @@ BM_InterpBitcoin(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_InterpBitcoin);
+
+void
+BM_InterpBitcoinUnfused(benchmark::State &state)
+{
+    rtl::Interpreter sim(designs::makeBitcoin({2, 16}),
+                         rtl::LowerOptions::none());
+    for (auto _ : state)
+        sim.step();
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InterpBitcoinUnfused);
+
+void
+BM_InterpBitcoinSpecializedOnly(benchmark::State &state)
+{
+    rtl::LowerOptions lower;
+    lower.fuse = false;
+    rtl::Interpreter sim(designs::makeBitcoin({2, 16}), lower);
+    for (auto _ : state)
+        sim.step();
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InterpBitcoinSpecializedOnly);
 
 void
 BM_InterpMesh(benchmark::State &state)

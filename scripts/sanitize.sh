@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Configure, build and run the test suite under ASan + UBSan.
+# Usage: scripts/sanitize.sh [ctest args...]
+# Extra arguments are forwarded to ctest, e.g.
+#   scripts/sanitize.sh -R fuzz_equiv_test
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR=${BUILD_DIR:-build-asan}
+
+cmake -B "$BUILD_DIR" -S . \
+    -DPARENDI_SANITIZE=ON \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j"$(nproc)"
+
+export ASAN_OPTIONS=${ASAN_OPTIONS:-detect_leaks=1:strict_string_checks=1}
+export UBSAN_OPTIONS=${UBSAN_OPTIONS:-print_stacktrace=1}
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)" "$@"

@@ -44,8 +44,10 @@ Simulation::Simulation(rtl::Netlist nl, const CompilerOptions &opt)
                                         &report_.mergeStats);
 
     ipu::IpuArch arch = opt.arch;
+    ipu::MachineOptions mopt = opt.machine;
+    mopt.lower = opt.lower;
     machine_ = std::make_unique<ipu::IpuMachine>(*fibers_, parts_, arch,
-                                                 opt.machine);
+                                                 mopt);
 
     auto end = std::chrono::steady_clock::now();
     report_.metrics = rtl::computeMetrics(nl_);

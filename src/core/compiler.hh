@@ -34,6 +34,11 @@ struct CompilerOptions
     /** Run the netlist optimizer (constant folding, CSE, identities,
      *  DCE — the Verilator "-O3" heritage) before partitioning. */
     bool optimize = true;
+    /** Evaluation-program lowering applied to every engine consuming
+     *  the compiled EvalProgram form (tile programs). Disable fusion
+     *  or specialization here for A/B comparisons; functional
+     *  behaviour is identical either way. */
+    rtl::LowerOptions lower;
     partition::SingleChipStrategy single =
         partition::SingleChipStrategy::BottomUp;
     partition::MultiChipStrategy multi =

@@ -67,6 +67,7 @@ IpuMachine::buildTiles(const FiberSet &fs, const Partitioning &parts)
         for (NodeId id : nodes)
             builder.addNode(id);
         t.prog = builder.build();
+        lowerProgram(t.prog, opt.lower);
         t.computeCycles =
             p.ipuCost + static_cast<uint64_t>(arch.tileLoopOverhead);
 

@@ -68,6 +68,10 @@ struct MachineOptions
      *  makes this trivially safe: tiles only touch private state
      *  between barriers). 0 = sequential execution. */
     uint32_t hostThreads = 0;
+
+    /** Lowering (specialization/fusion) applied to every tile
+     *  program; functional behaviour is unchanged by construction. */
+    rtl::LowerOptions lower;
 };
 
 /** One tile's compiled program and run state. */

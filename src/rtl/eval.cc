@@ -193,7 +193,342 @@ isZeroVal(const uint64_t *a, uint16_t width)
     return true;
 }
 
+// -- Single-word (W tier) kernels ---------------------------------------
+//
+// Invariant: every slot value is normalized (bits above its width are
+// zero), maintained by all kernels, writeSlot(), and the init images.
+// Kernels whose operands may be wider than the result (the truncating
+// fused forms) mask the result explicitly.
+
+/** Sign-extend the low @p w bits of @p v to 64 bits (1 <= w <= 64). */
+inline int64_t
+sextWord(uint64_t v, uint16_t w)
+{
+    unsigned sh = 64u - w;
+    return static_cast<int64_t>(v << sh) >> sh;
+}
+
+inline void
+kNotW(const EvalInstr &in, uint64_t *s)
+{
+    s[in.dst] = ~s[in.a] & topMask(in.width);
+}
+
+inline void
+kNegW(const EvalInstr &in, uint64_t *s)
+{
+    s[in.dst] = (0 - s[in.a]) & topMask(in.width);
+}
+
+inline void
+kRedAndW(const EvalInstr &in, uint64_t *s)
+{
+    s[in.dst] = s[in.a] == topMask(in.wa);
+}
+
+inline void
+kRedOrW(const EvalInstr &in, uint64_t *s)
+{
+    s[in.dst] = s[in.a] != 0;
+}
+
+inline void
+kRedXorW(const EvalInstr &in, uint64_t *s)
+{
+    s[in.dst] = static_cast<uint64_t>(std::popcount(s[in.a])) & 1;
+}
+
+inline void
+kAndW(const EvalInstr &in, uint64_t *s)
+{
+    s[in.dst] = (s[in.a] & s[in.b]) & topMask(in.width);
+}
+
+inline void
+kOrW(const EvalInstr &in, uint64_t *s)
+{
+    s[in.dst] = (s[in.a] | s[in.b]) & topMask(in.width);
+}
+
+inline void
+kXorW(const EvalInstr &in, uint64_t *s)
+{
+    s[in.dst] = (s[in.a] ^ s[in.b]) & topMask(in.width);
+}
+
+inline void
+kAddW(const EvalInstr &in, uint64_t *s)
+{
+    s[in.dst] = (s[in.a] + s[in.b]) & topMask(in.width);
+}
+
+inline void
+kSubW(const EvalInstr &in, uint64_t *s)
+{
+    s[in.dst] = (s[in.a] - s[in.b]) & topMask(in.width);
+}
+
+inline void
+kMulW(const EvalInstr &in, uint64_t *s)
+{
+    s[in.dst] = (s[in.a] * s[in.b]) & topMask(in.width);
+}
+
+inline void
+kShlW(const EvalInstr &in, uint64_t *s)
+{
+    uint64_t amt = s[in.b];
+    s[in.dst] = amt >= in.width
+        ? 0 : (s[in.a] << amt) & topMask(in.width);
+}
+
+inline void
+kShrW(const EvalInstr &in, uint64_t *s)
+{
+    uint64_t amt = s[in.b];
+    s[in.dst] = amt >= in.width ? 0 : s[in.a] >> amt;
+}
+
+inline void
+kSraW(const EvalInstr &in, uint64_t *s)
+{
+    uint64_t amt = s[in.b];
+    int64_t v = sextWord(s[in.a], in.width);
+    if (amt >= in.width)
+        amt = in.width - 1u;
+    s[in.dst] = static_cast<uint64_t>(v >> amt) & topMask(in.width);
+}
+
+inline void
+kEqW(const EvalInstr &in, uint64_t *s)
+{
+    s[in.dst] = s[in.a] == s[in.b];
+}
+
+inline void
+kNeW(const EvalInstr &in, uint64_t *s)
+{
+    s[in.dst] = s[in.a] != s[in.b];
+}
+
+inline void
+kUltW(const EvalInstr &in, uint64_t *s)
+{
+    s[in.dst] = s[in.a] < s[in.b];
+}
+
+inline void
+kUleW(const EvalInstr &in, uint64_t *s)
+{
+    s[in.dst] = s[in.a] <= s[in.b];
+}
+
+inline void
+kSltW(const EvalInstr &in, uint64_t *s)
+{
+    s[in.dst] = sextWord(s[in.a], in.wa) < sextWord(s[in.b], in.wa);
+}
+
+inline void
+kSleW(const EvalInstr &in, uint64_t *s)
+{
+    s[in.dst] = sextWord(s[in.a], in.wa) <= sextWord(s[in.b], in.wa);
+}
+
+inline void
+kMuxW(const EvalInstr &in, uint64_t *s)
+{
+    s[in.dst] = (s[in.a] & 1) ? s[in.b] : s[in.c];
+}
+
+inline void
+kConcatW(const EvalInstr &in, uint64_t *s)
+{
+    s[in.dst] = (s[in.a] << in.wb) | s[in.b];
+}
+
+inline void
+kSliceW(const EvalInstr &in, uint64_t *s)
+{
+    uint32_t ws = in.aux >> 6;
+    uint32_t bs = in.aux & 63;
+    uint32_t na = nw(in.wa);
+    const uint64_t *a = s + in.a;
+    uint64_t lo = a[ws];
+    uint64_t hi = (bs && ws + 1 < na) ? a[ws + 1] : 0;
+    uint64_t v = bs ? (lo >> bs) | (hi << (64 - bs)) : lo;
+    s[in.dst] = v & topMask(in.width);
+}
+
+inline void
+kZExtW(const EvalInstr &in, uint64_t *s)
+{
+    s[in.dst] = s[in.a];
+}
+
+inline void
+kSExtW(const EvalInstr &in, uint64_t *s)
+{
+    s[in.dst] = static_cast<uint64_t>(sextWord(s[in.a], in.wa)) &
+        topMask(in.width);
+}
+
+inline void
+kAndNotW(const EvalInstr &in, uint64_t *s)
+{
+    s[in.dst] = (s[in.a] & ~s[in.b]) & topMask(in.width);
+}
+
+inline void
+kOrNotW(const EvalInstr &in, uint64_t *s)
+{
+    s[in.dst] = (s[in.a] | ~s[in.b]) & topMask(in.width);
+}
+
+inline void
+kXorNotW(const EvalInstr &in, uint64_t *s)
+{
+    s[in.dst] = (s[in.a] ^ ~s[in.b]) & topMask(in.width);
+}
+
+inline void
+kEqMuxW(const EvalInstr &in, uint64_t *s)
+{
+    s[in.dst] = s[in.a] == s[in.b] ? s[in.c] : s[in.aux];
+}
+
+inline void
+kNeMuxW(const EvalInstr &in, uint64_t *s)
+{
+    s[in.dst] = s[in.a] != s[in.b] ? s[in.c] : s[in.aux];
+}
+
+inline void
+kUltMuxW(const EvalInstr &in, uint64_t *s)
+{
+    s[in.dst] = s[in.a] < s[in.b] ? s[in.c] : s[in.aux];
+}
+
+inline void
+kUleMuxW(const EvalInstr &in, uint64_t *s)
+{
+    s[in.dst] = s[in.a] <= s[in.b] ? s[in.c] : s[in.aux];
+}
+
+inline void
+kSltMuxW(const EvalInstr &in, uint64_t *s)
+{
+    s[in.dst] = sextWord(s[in.a], in.wa) < sextWord(s[in.b], in.wa)
+        ? s[in.c] : s[in.aux];
+}
+
+inline void
+kSleMuxW(const EvalInstr &in, uint64_t *s)
+{
+    s[in.dst] = sextWord(s[in.a], in.wa) <= sextWord(s[in.b], in.wa)
+        ? s[in.c] : s[in.aux];
+}
+
 } // namespace
+
+const char *
+evalOpName(EvalOp op)
+{
+    if (isGenericEvalOp(op))
+        return opName(static_cast<Op>(op));
+    switch (op) {
+      case EvalOp::NotW: return "not.w";
+      case EvalOp::NegW: return "neg.w";
+      case EvalOp::RedAndW: return "redand.w";
+      case EvalOp::RedOrW: return "redor.w";
+      case EvalOp::RedXorW: return "redxor.w";
+      case EvalOp::AndW: return "and.w";
+      case EvalOp::OrW: return "or.w";
+      case EvalOp::XorW: return "xor.w";
+      case EvalOp::AddW: return "add.w";
+      case EvalOp::SubW: return "sub.w";
+      case EvalOp::MulW: return "mul.w";
+      case EvalOp::ShlW: return "shl.w";
+      case EvalOp::ShrW: return "shr.w";
+      case EvalOp::SraW: return "sra.w";
+      case EvalOp::EqW: return "eq.w";
+      case EvalOp::NeW: return "ne.w";
+      case EvalOp::UltW: return "ult.w";
+      case EvalOp::UleW: return "ule.w";
+      case EvalOp::SltW: return "slt.w";
+      case EvalOp::SleW: return "sle.w";
+      case EvalOp::MuxW: return "mux.w";
+      case EvalOp::ConcatW: return "concat.w";
+      case EvalOp::SliceW: return "slice.w";
+      case EvalOp::ZExtW: return "zext.w";
+      case EvalOp::SExtW: return "sext.w";
+      case EvalOp::MemReadW: return "memread.w";
+      case EvalOp::AndNotW: return "andnot.w";
+      case EvalOp::OrNotW: return "ornot.w";
+      case EvalOp::XorNotW: return "xornot.w";
+      case EvalOp::EqMuxW: return "eqmux.w";
+      case EvalOp::NeMuxW: return "nemux.w";
+      case EvalOp::UltMuxW: return "ultmux.w";
+      case EvalOp::UleMuxW: return "ulemux.w";
+      case EvalOp::SltMuxW: return "sltmux.w";
+      case EvalOp::SleMuxW: return "slemux.w";
+      default: return "?";
+    }
+}
+
+int
+evalInstrOperands(const EvalInstr &in, uint32_t ops[4])
+{
+    if (isGenericEvalOp(in.op)) {
+        int arity = opArity(static_cast<Op>(in.op));
+        if (arity >= 1)
+            ops[0] = in.a;
+        if (arity >= 2)
+            ops[1] = in.b;
+        if (arity >= 3)
+            ops[2] = in.c;
+        return arity;
+    }
+    switch (in.op) {
+      case EvalOp::NotW:
+      case EvalOp::NegW:
+      case EvalOp::RedAndW:
+      case EvalOp::RedOrW:
+      case EvalOp::RedXorW:
+      case EvalOp::SliceW:
+      case EvalOp::ZExtW:
+      case EvalOp::SExtW:
+      case EvalOp::MemReadW:
+        ops[0] = in.a;
+        return 1;
+      case EvalOp::MuxW:
+        ops[0] = in.a;
+        ops[1] = in.b;
+        ops[2] = in.c;
+        return 3;
+      case EvalOp::EqMuxW:
+      case EvalOp::NeMuxW:
+      case EvalOp::UltMuxW:
+      case EvalOp::UleMuxW:
+      case EvalOp::SltMuxW:
+      case EvalOp::SleMuxW:
+        ops[0] = in.a;
+        ops[1] = in.b;
+        ops[2] = in.c;
+        ops[3] = in.aux;
+        return 4;
+      default: // remaining W forms are binary
+        ops[0] = in.a;
+        ops[1] = in.b;
+        return 2;
+    }
+}
+
+bool
+evalReadsMemory(EvalOp op)
+{
+    return op == EvalOp::MemRead || op == EvalOp::MemReadW;
+}
 
 uint64_t
 EvalProgram::dataBytes() const
@@ -313,9 +648,9 @@ ProgramBuilder::addNode(NodeId id)
         break;
     }
 
-    // Pure combinational operator: emit an instruction.
+    // Pure combinational operator: emit a generic-tier instruction.
     EvalInstr in;
-    in.op = n.op;
+    in.op = toEvalOp(n.op);
     in.width = n.width;
     in.aux = n.aux;
     in.wa = 0;
@@ -408,15 +743,183 @@ EvalState::writeSlot(uint32_t slot, const BitVec &v)
         slots_[slot + i] = v.word(i);
 }
 
+// Computed-goto dispatch removes the per-instruction bounds check and
+// branch mispredictions of a switch: each kernel jumps directly to the
+// next instruction's kernel. Define PARENDI_SWITCH_DISPATCH to force
+// the portable switch loop (also used by non-GNU compilers).
+#if defined(__GNUC__) && !defined(PARENDI_SWITCH_DISPATCH)
+#define PARENDI_COMPUTED_GOTO 1
+#else
+#define PARENDI_COMPUTED_GOTO 0
+#endif
+
 void
 EvalState::evalComb()
 {
-    for (const EvalInstr &in : prog_.instrs)
-        evalOne(in);
+    const EvalInstr *ip = prog_.instrs.data();
+    const EvalInstr *const end = ip + prog_.instrs.size();
+    if (ip == end)
+        return;
+#if PARENDI_COMPUTED_GOTO
+    uint64_t *s = slots_.data();
+    // One entry per EvalOp value, in enum order. Source/sink opcodes
+    // never appear in instrs; they trap via op_bad.
+    static const void *const jump[] = {
+        // Generic tier (mirrors rtl::Op).
+        &&op_bad, &&op_bad, &&op_bad, &&op_generic,      // Const..MemRead
+        &&op_generic, &&op_generic, &&op_generic,        // Not..RedAnd
+        &&op_generic, &&op_generic,                      // RedOr, RedXor
+        &&op_generic, &&op_generic, &&op_generic,        // And, Or, Xor
+        &&op_generic, &&op_generic, &&op_generic,        // Add, Sub, Mul
+        &&op_generic, &&op_generic, &&op_generic,        // Shl, Shr, Sra
+        &&op_generic, &&op_generic, &&op_generic,        // Eq, Ne, Ult
+        &&op_generic, &&op_generic, &&op_generic,        // Ule, Slt, Sle
+        &&op_generic, &&op_generic, &&op_generic,        // Mux..Slice
+        &&op_generic, &&op_generic,                      // ZExt, SExt
+        &&op_bad, &&op_bad, &&op_bad,                    // RegNext..Output
+        // Specialized single-word tier.
+        &&op_NotW, &&op_NegW, &&op_RedAndW, &&op_RedOrW, &&op_RedXorW,
+        &&op_AndW, &&op_OrW, &&op_XorW, &&op_AddW, &&op_SubW, &&op_MulW,
+        &&op_ShlW, &&op_ShrW, &&op_SraW,
+        &&op_EqW, &&op_NeW, &&op_UltW, &&op_UleW, &&op_SltW, &&op_SleW,
+        &&op_MuxW, &&op_ConcatW, &&op_SliceW, &&op_ZExtW, &&op_SExtW,
+        &&op_MemReadW,
+        // Fused superinstructions.
+        &&op_AndNotW, &&op_OrNotW, &&op_XorNotW,
+        &&op_EqMuxW, &&op_NeMuxW, &&op_UltMuxW, &&op_UleMuxW,
+        &&op_SltMuxW, &&op_SleMuxW,
+    };
+    static_assert(sizeof(jump) / sizeof(jump[0]) ==
+                      static_cast<size_t>(EvalOp::NumEvalOps),
+                  "jump table must cover every EvalOp");
+
+#define PARENDI_DISPATCH()                                              \
+    do {                                                                \
+        if (++ip == end)                                                \
+            return;                                                     \
+        goto *jump[static_cast<size_t>(ip->op)];                        \
+    } while (0)
+
+    goto *jump[static_cast<size_t>(ip->op)];
+
+  op_generic:
+    execGeneric(*ip);
+    PARENDI_DISPATCH();
+#define PARENDI_LABEL(name)                                             \
+  op_##name:                                                            \
+    k##name(*ip, s);                                                    \
+    PARENDI_DISPATCH()
+    PARENDI_LABEL(NotW);
+    PARENDI_LABEL(NegW);
+    PARENDI_LABEL(RedAndW);
+    PARENDI_LABEL(RedOrW);
+    PARENDI_LABEL(RedXorW);
+    PARENDI_LABEL(AndW);
+    PARENDI_LABEL(OrW);
+    PARENDI_LABEL(XorW);
+    PARENDI_LABEL(AddW);
+    PARENDI_LABEL(SubW);
+    PARENDI_LABEL(MulW);
+    PARENDI_LABEL(ShlW);
+    PARENDI_LABEL(ShrW);
+    PARENDI_LABEL(SraW);
+    PARENDI_LABEL(EqW);
+    PARENDI_LABEL(NeW);
+    PARENDI_LABEL(UltW);
+    PARENDI_LABEL(UleW);
+    PARENDI_LABEL(SltW);
+    PARENDI_LABEL(SleW);
+    PARENDI_LABEL(MuxW);
+    PARENDI_LABEL(ConcatW);
+    PARENDI_LABEL(SliceW);
+    PARENDI_LABEL(ZExtW);
+    PARENDI_LABEL(SExtW);
+    PARENDI_LABEL(AndNotW);
+    PARENDI_LABEL(OrNotW);
+    PARENDI_LABEL(XorNotW);
+    PARENDI_LABEL(EqMuxW);
+    PARENDI_LABEL(NeMuxW);
+    PARENDI_LABEL(UltMuxW);
+    PARENDI_LABEL(UleMuxW);
+    PARENDI_LABEL(SltMuxW);
+    PARENDI_LABEL(SleMuxW);
+#undef PARENDI_LABEL
+  op_MemReadW:
+    execMemReadW(*ip);
+    PARENDI_DISPATCH();
+  op_bad:
+    panic("evalComb: non-executable opcode %s", evalOpName(ip->op));
+#undef PARENDI_DISPATCH
+#else
+    for (; ip != end; ++ip)
+        evalOne(*ip);
+#endif
 }
 
 void
 EvalState::evalOne(const EvalInstr &in)
+{
+    if (isGenericEvalOp(in.op))
+        execGeneric(in);
+    else
+        execSpecial(in);
+}
+
+void
+EvalState::execSpecial(const EvalInstr &in)
+{
+    uint64_t *s = slots_.data();
+    switch (in.op) {
+      case EvalOp::NotW: kNotW(in, s); break;
+      case EvalOp::NegW: kNegW(in, s); break;
+      case EvalOp::RedAndW: kRedAndW(in, s); break;
+      case EvalOp::RedOrW: kRedOrW(in, s); break;
+      case EvalOp::RedXorW: kRedXorW(in, s); break;
+      case EvalOp::AndW: kAndW(in, s); break;
+      case EvalOp::OrW: kOrW(in, s); break;
+      case EvalOp::XorW: kXorW(in, s); break;
+      case EvalOp::AddW: kAddW(in, s); break;
+      case EvalOp::SubW: kSubW(in, s); break;
+      case EvalOp::MulW: kMulW(in, s); break;
+      case EvalOp::ShlW: kShlW(in, s); break;
+      case EvalOp::ShrW: kShrW(in, s); break;
+      case EvalOp::SraW: kSraW(in, s); break;
+      case EvalOp::EqW: kEqW(in, s); break;
+      case EvalOp::NeW: kNeW(in, s); break;
+      case EvalOp::UltW: kUltW(in, s); break;
+      case EvalOp::UleW: kUleW(in, s); break;
+      case EvalOp::SltW: kSltW(in, s); break;
+      case EvalOp::SleW: kSleW(in, s); break;
+      case EvalOp::MuxW: kMuxW(in, s); break;
+      case EvalOp::ConcatW: kConcatW(in, s); break;
+      case EvalOp::SliceW: kSliceW(in, s); break;
+      case EvalOp::ZExtW: kZExtW(in, s); break;
+      case EvalOp::SExtW: kSExtW(in, s); break;
+      case EvalOp::MemReadW: execMemReadW(in); break;
+      case EvalOp::AndNotW: kAndNotW(in, s); break;
+      case EvalOp::OrNotW: kOrNotW(in, s); break;
+      case EvalOp::XorNotW: kXorNotW(in, s); break;
+      case EvalOp::EqMuxW: kEqMuxW(in, s); break;
+      case EvalOp::NeMuxW: kNeMuxW(in, s); break;
+      case EvalOp::UltMuxW: kUltMuxW(in, s); break;
+      case EvalOp::UleMuxW: kUleMuxW(in, s); break;
+      case EvalOp::SltMuxW: kSltMuxW(in, s); break;
+      case EvalOp::SleMuxW: kSleMuxW(in, s); break;
+      default:
+        panic("execSpecial: unexpected op %s", evalOpName(in.op));
+    }
+}
+
+void
+EvalState::execMemReadW(const EvalInstr &in)
+{
+    const ProgMem &pm = prog_.mems[in.aux];
+    uint64_t addr = slots_[in.a];
+    slots_[in.dst] = addr < pm.depth ? mems_[in.aux][addr] : 0;
+}
+
+void
+EvalState::execGeneric(const EvalInstr &in)
 {
     uint64_t *s = slots_.data();
     {
@@ -424,7 +927,7 @@ EvalState::evalOne(const EvalInstr &in)
         const uint64_t *a = s + in.a;
         const uint64_t *b = s + in.b;
         uint32_t n = nw(in.width);
-        switch (in.op) {
+        switch (static_cast<Op>(in.op)) {
           case Op::Not:
             for (uint32_t i = 0; i < n; ++i)
                 d[i] = ~a[i];
@@ -581,7 +1084,7 @@ EvalState::evalOne(const EvalInstr &in)
             break;
           }
           default:
-            panic("evalComb: unexpected op %s", opName(in.op));
+            panic("execGeneric: unexpected op %s", evalOpName(in.op));
         }
     }
 }

@@ -28,10 +28,71 @@
 
 namespace parendi::rtl {
 
+/**
+ * Opcodes of the lowered instruction stream. Three tiers:
+ *
+ *  - Generic: numerically identical to rtl::Op, operates on
+ *    arbitrary-width multi-word values. ProgramBuilder emits only this
+ *    tier, so an unlowered program is the straightforward translation
+ *    of the netlist.
+ *  - Specialized (suffix W): produced by lowerProgram() for
+ *    instructions whose result fits one 64-bit slot word; the kernels
+ *    are branch-light straight-line word operations.
+ *  - Fused superinstructions: common adjacent pairs collapsed by the
+ *    lowerProgram() peephole (compare feeding a mux select, a bitwise
+ *    op with an inverted operand, an op truncated by a zero-LSB
+ *    slice). CmpMux forms carry a fourth operand slot in `aux`.
+ */
+enum class EvalOp : uint8_t {
+    // -- Generic tier (must mirror rtl::Op exactly) --
+    Const, Input, RegRead, MemRead,
+    Not, Neg, RedAnd, RedOr, RedXor,
+    And, Or, Xor, Add, Sub, Mul, Shl, Shr, Sra,
+    Eq, Ne, Ult, Ule, Slt, Sle,
+    Mux, Concat, Slice, ZExt, SExt,
+    RegNext, MemWrite, Output,
+
+    // -- Specialized single-word tier --
+    NotW, NegW, RedAndW, RedOrW, RedXorW,
+    AndW, OrW, XorW, AddW, SubW, MulW, ShlW, ShrW, SraW,
+    EqW, NeW, UltW, UleW, SltW, SleW,
+    MuxW, ConcatW, SliceW, ZExtW, SExtW, MemReadW,
+
+    // -- Fused superinstructions (single-word results) --
+    AndNotW,    ///< d = a & ~b
+    OrNotW,     ///< d = (a | ~b) masked to width
+    XorNotW,    ///< d = (a ^ ~b) masked to width
+    EqMuxW,     ///< d = (a == b) ? s[c] : s[aux]
+    NeMuxW, UltMuxW, UleMuxW, SltMuxW, SleMuxW,
+
+    NumEvalOps,
+};
+
+/** Lift a netlist op into the generic tier (same encoding). */
+constexpr EvalOp
+toEvalOp(Op op)
+{
+    return static_cast<EvalOp>(op);
+}
+
+static_assert(static_cast<unsigned>(EvalOp::Output) ==
+                  static_cast<unsigned>(Op::Output),
+              "generic EvalOp tier must mirror rtl::Op");
+
+/** True for opcodes in the generic (netlist-mirroring) tier. */
+constexpr bool
+isGenericEvalOp(EvalOp op)
+{
+    return static_cast<unsigned>(op) < static_cast<unsigned>(Op::NumOps);
+}
+
+/** Printable mnemonic for any tier. */
+const char *evalOpName(EvalOp op);
+
 /** One lowered combinational operation on slot storage. */
 struct EvalInstr
 {
-    Op op;
+    EvalOp op;
     uint16_t width;     ///< result width (bits)
     uint16_t wa;        ///< width of operand a (bits)
     uint16_t wb;        ///< width of operand b (bits)
@@ -39,8 +100,15 @@ struct EvalInstr
     uint32_t a;         ///< operand word offsets
     uint32_t b;
     uint32_t c;
-    uint32_t aux;       ///< slice LSB or program-local memory index
+    uint32_t aux;       ///< slice LSB, memory index, or 4th operand
 };
+
+/** Source slot offsets read by @p in (fused CmpMux forms read a 4th
+ *  operand from aux); returns the operand count (0 to 4). */
+int evalInstrOperands(const EvalInstr &in, uint32_t ops[4]);
+
+/** True for instructions reading a memory image (aux = memory index). */
+bool evalReadsMemory(EvalOp op);
 
 /** A register's slot bindings within one program. */
 struct ProgReg
@@ -82,6 +150,31 @@ struct ProgPort
 
 constexpr uint32_t kNoSlot = UINT32_MAX;
 
+/** Knobs of the post-build lowering stage (lowerProgram). */
+struct LowerOptions
+{
+    /** Rewrite eligible instructions into the single-word W tier. */
+    bool specialize = true;
+    /** Run the peephole pass that fuses adjacent pairs into
+     *  superinstructions (implies rewriting the pair into the W tier). */
+    bool fuse = true;
+
+    /** Fully generic program (the A side of A/B comparisons). */
+    static LowerOptions
+    none()
+    {
+        return {false, false};
+    }
+};
+
+/** What lowerProgram did, for reporting and modeling. */
+struct LowerStats
+{
+    uint32_t specialized = 0;   ///< instructions moved to the W tier
+    uint32_t fusedPairs = 0;    ///< peephole fusions performed
+    uint32_t removedInstrs = 0; ///< instructions eliminated by fusion
+};
+
 /**
  * An immutable compiled program: instructions, slot layout, and initial
  * images. Instantiate with EvalState to run.
@@ -97,6 +190,9 @@ struct EvalProgram
     std::vector<ProgPort> inputs;
     std::vector<ProgPort> outputs;
 
+    bool lowered = false;       ///< lowerProgram() has run
+    LowerStats lowerStats;
+
     /** node id -> slot word offset, for cross-referencing by the host. */
     std::unordered_map<NodeId, uint32_t> slotOf;
 
@@ -106,6 +202,21 @@ struct EvalProgram
     /** Approximate data bytes this program needs on a tile. */
     uint64_t dataBytes() const;
 };
+
+/**
+ * Lower @p prog in place: width-class specialization into the W tier
+ * and peephole fusion of adjacent pairs into superinstructions.
+ *
+ * The slot layout is never changed — fused-away intermediate slots
+ * simply stop being written — so checkpoints, port/register/memory
+ * bindings, and slotOf cross-references remain valid, and a lowered
+ * program is bit-for-bit functionally equivalent to the generic one.
+ * Slots that are externally observable (register current/next values,
+ * write-port operands, ports) are never fused away. Idempotent.
+ */
+void lowerProgram(EvalProgram &prog,
+                  const LowerOptions &opt = LowerOptions{},
+                  LowerStats *stats = nullptr);
 
 /**
  * Incrementally lowers a subset of a netlist into an EvalProgram.
@@ -196,6 +307,13 @@ class EvalState
     void restore(std::istream &in);
 
   private:
+    /** Generic-tier kernels (the original multi-word switch). */
+    void execGeneric(const EvalInstr &in);
+    /** Specialized/fused-tier kernels (switch fallback path). */
+    void execSpecial(const EvalInstr &in);
+    /** Single-word memory read (needs the memory images). */
+    void execMemReadW(const EvalInstr &in);
+
     const EvalProgram &prog_;
     std::vector<uint64_t> slots_;
     std::vector<std::vector<uint64_t>> mems_;

@@ -7,12 +7,14 @@
 
 namespace parendi::rtl {
 
-EventInterpreter::EventInterpreter(Netlist netlist)
+EventInterpreter::EventInterpreter(Netlist netlist,
+                                   const LowerOptions &lower)
     : nl(std::move(netlist))
 {
     ProgramBuilder builder(nl);
     builder.addAll();
     prog = builder.build();
+    lowerProgram(prog, lower);
     state = std::make_unique<EvalState>(prog);
 
     // Producer (dst slot) -> instruction index.
@@ -23,9 +25,8 @@ EventInterpreter::EventInterpreter(Netlist netlist)
     std::unordered_map<uint32_t, std::vector<uint32_t>> consumers;
     users.assign(prog.instrs.size(), {});
     for (uint32_t i = 0; i < prog.instrs.size(); ++i) {
-        const EvalInstr &in = prog.instrs[i];
-        int arity = opArity(in.op);
-        uint32_t ops[3] = {in.a, in.b, in.c};
+        uint32_t ops[4];
+        int arity = evalInstrOperands(prog.instrs[i], ops);
         for (int k = 0; k < arity; ++k) {
             consumers[ops[k]].push_back(i);
             auto it = producer.find(ops[k]);
@@ -42,7 +43,7 @@ EventInterpreter::EventInterpreter(Netlist netlist)
     }
     memUsers.assign(prog.mems.size(), {});
     for (uint32_t i = 0; i < prog.instrs.size(); ++i)
-        if (prog.instrs[i].op == Op::MemRead)
+        if (evalReadsMemory(prog.instrs[i].op))
             memUsers[prog.instrs[i].aux].push_back(i);
 
     dirty.assign(prog.instrs.size(), 0);

@@ -25,7 +25,13 @@ namespace parendi::rtl {
 class EventInterpreter
 {
   public:
-    explicit EventInterpreter(Netlist nl);
+    /** Defaults to the generic (unlowered) program form so it remains
+     *  an independently derived witness for differential testing of
+     *  the specialized/fused kernels; pass other LowerOptions to run
+     *  the event engine on a lowered program. */
+    explicit EventInterpreter(Netlist nl,
+                              const LowerOptions &lower =
+                                  LowerOptions::none());
 
     /** Simulate @p n cycles with selective evaluation. */
     void step(size_t n = 1);

@@ -7,11 +7,13 @@
 
 namespace parendi::rtl {
 
-Interpreter::Interpreter(Netlist netlist) : nl(std::move(netlist))
+Interpreter::Interpreter(Netlist netlist, const LowerOptions &lower)
+    : nl(std::move(netlist))
 {
     ProgramBuilder builder(nl);
     builder.addAll();
     prog = builder.build();
+    lowerProgram(prog, lower);
     state = std::make_unique<EvalState>(prog);
     // Evaluate combinational logic once so outputs are observable
     // before the first clock edge.

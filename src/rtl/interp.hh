@@ -26,8 +26,11 @@ class Interpreter
 {
   public:
     /** Takes the netlist by value (copy or move) so the interpreter
-     *  owns its design and temporaries are safe to pass. */
-    explicit Interpreter(Netlist nl);
+     *  owns its design and temporaries are safe to pass. The compiled
+     *  program is lowered (specialized + fused) by default; pass
+     *  LowerOptions::none() for the fully generic A/B baseline. */
+    explicit Interpreter(Netlist nl,
+                         const LowerOptions &lower = LowerOptions{});
 
     // The state holds a reference to the program member; the object
     // must stay put.

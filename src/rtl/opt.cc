@@ -17,7 +17,7 @@ foldConstant(Op op, uint16_t width, uint32_t aux,
     // initial slot image, the instruction computes into a fresh slot.
     EvalProgram prog;
     EvalInstr in;
-    in.op = op;
+    in.op = toEvalOp(op);
     in.width = width;
     in.aux = aux;
     in.wa = in.wb = 0;

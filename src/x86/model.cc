@@ -68,6 +68,32 @@ profileDesign(const fiber::FiberSet &fs)
     return p;
 }
 
+DesignProfile
+profileDesign(const fiber::FiberSet &fs, const rtl::LowerOptions &lower)
+{
+    DesignProfile p = profileDesign(fs);
+    rtl::ProgramBuilder builder(fs.netlist());
+    builder.addAll();
+    rtl::EvalProgram prog = builder.build();
+    p.evalInstrs = prog.instrs.size();
+    rtl::lowerProgram(prog, lower);
+    p.loweredInstrs = prog.instrs.size();
+    if (p.evalInstrs && p.loweredInstrs < p.evalInstrs) {
+        // Fusion shrinks the straight-line kernel; specialization
+        // changes per-instruction cost, already captured by the cost
+        // model's word-count terms.
+        double r = static_cast<double>(p.loweredInstrs) /
+            static_cast<double>(p.evalInstrs);
+        p.totalInstrs = static_cast<uint64_t>(
+            static_cast<double>(p.totalInstrs) * r + 0.5);
+        p.maxFiberInstrs = static_cast<uint64_t>(
+            static_cast<double>(p.maxFiberInstrs) * r + 0.5);
+        p.codeBytes = static_cast<uint64_t>(
+            static_cast<double>(p.codeBytes) * r + 0.5);
+    }
+    return p;
+}
+
 namespace {
 
 /** Execution-time multiplier for a per-thread working set. */

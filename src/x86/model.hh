@@ -14,6 +14,7 @@
 #include <cstdint>
 
 #include "fiber/fiber.hh"
+#include "rtl/eval.hh"
 #include "x86/arch.hh"
 
 namespace parendi::x86 {
@@ -26,10 +27,22 @@ struct DesignProfile
     uint64_t codeBytes = 0;      ///< generated code footprint
     uint64_t dataBytes = 0;      ///< signal + array state
     uint64_t commBytes = 0;      ///< register bytes crossing tasks
+    uint64_t evalInstrs = 0;     ///< generic EvalProgram instructions
+    uint64_t loweredInstrs = 0;  ///< after specialization + fusion
 };
 
 /** Extract a profile from the fiber decomposition. */
 DesignProfile profileDesign(const fiber::FiberSet &fs);
+
+/**
+ * Like profileDesign, but model a simulator emitting the lowered
+ * (specialized + fused) kernel form: the whole-design EvalProgram is
+ * lowered with @p lower and the compute/code terms are scaled by the
+ * resulting instruction-count ratio (Verilator's generated C++ fuses
+ * expressions the same way; the generic interpreter does not).
+ */
+DesignProfile profileDesign(const fiber::FiberSet &fs,
+                            const rtl::LowerOptions &lower);
 
 /** Modeled per-RTL-cycle timing on x86. */
 struct X86Perf

@@ -7,6 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+
 #include "rtl/dsl.hh"
 #include "rtl/interp.hh"
 #include "util/rng.hh"
@@ -289,6 +292,80 @@ TEST(EvalStructure, ConcatSliceExtend)
         EXPECT_TRUE(sx.bit(bit));
 }
 
+namespace {
+
+BitVec
+allOnesBits(uint32_t width)
+{
+    std::vector<uint64_t> words(wordsFor(width), ~0ull);
+    if (width % 64)
+        words.back() &= ~0ull >> (64 - width % 64);
+    return BitVec(width, std::move(words));
+}
+
+bool
+programHasOp(const Interpreter &in, EvalOp op)
+{
+    for (const EvalInstr &i : in.program().instrs)
+        if (i.op == op)
+            return true;
+    return false;
+}
+
+/**
+ * Directed fused-vs-generic harness: build a 4-input design, compile
+ * it once with full lowering and once fully generic, drive both with
+ * identical stimulus (random plus corner values), and require
+ * bit-identical outputs. When @p expect is not NumEvalOps, also
+ * require that the fused program really contains that superinstruction
+ * so the test provably exercises the fused kernel.
+ */
+template <typename BuildFn>
+void
+checkFusedDirected(uint32_t w, BuildFn build,
+                   EvalOp expect = EvalOp::NumEvalOps)
+{
+    Design d("fuse" + std::to_string(w));
+    Wire a = d.input("a", static_cast<uint16_t>(w));
+    Wire b = d.input("b", static_cast<uint16_t>(w));
+    Wire x = d.input("x", static_cast<uint16_t>(w));
+    Wire y = d.input("y", static_cast<uint16_t>(w));
+    d.output("out", build(d, a, b, x, y));
+    Netlist nl = d.finish();
+    Interpreter fused(nl);
+    Interpreter generic(nl, LowerOptions::none());
+    if (expect != EvalOp::NumEvalOps) {
+        EXPECT_TRUE(programHasOp(fused, expect))
+            << "w=" << w << ": program lacks "
+            << evalOpName(expect);
+    }
+
+    Rng rng(w * 1699 + 29);
+    const char *ports[] = {"a", "b", "x", "y"};
+    for (int i = 0; i < 40; ++i) {
+        for (const char *p : ports) {
+            BitVec v = randomBits(rng, w);
+            if (i == 0)
+                v = BitVec(w, 0);                 // all zero
+            if (i == 1)
+                v = allOnesBits(w);
+            fused.poke(p, v);
+            generic.poke(p, v);
+        }
+        if (i == 2) { // equal operands hit the Eq/Ne boundary
+            BitVec v = randomBits(rng, w);
+            fused.poke("a", v);
+            generic.poke("a", v);
+            fused.poke("b", v);
+            generic.poke("b", v);
+        }
+        ASSERT_EQ(fused.peek("out"), generic.peek("out"))
+            << "w=" << w << " iter=" << i;
+    }
+}
+
+} // namespace
+
 TEST(EvalStructure, MuxSelectsAndPropagates)
 {
     Design d("t");
@@ -306,4 +383,173 @@ TEST(EvalStructure, MuxSelectsAndPropagates)
     EXPECT_EQ(in.peek("y"), av);
     in.poke("s", BitVec(1, 0));
     EXPECT_EQ(in.peek("y"), bv);
+}
+
+/**
+ * Directed coverage for every superinstruction the lowering pass can
+ * emit, at the width boundaries that matter for the single-word fast
+ * path: 1, 63, 64 (fusable) and 65, 128 (multi-word operands, where
+ * either no fusion happens or only a truncating form applies).
+ */
+class FusionDirected : public ::testing::TestWithParam<uint32_t>
+{
+  protected:
+    bool
+    fits()
+    {
+        return GetParam() <= 64;
+    }
+
+    EvalOp
+    expectIf(EvalOp op)
+    {
+        return fits() ? op : EvalOp::NumEvalOps;
+    }
+};
+
+TEST_P(FusionDirected, CmpMux)
+{
+    uint32_t w = GetParam();
+    checkFusedDirected(w, [](Design &d, Wire a, Wire b, Wire x, Wire y) {
+        return d.mux(a == b, x, y);
+    }, expectIf(EvalOp::EqMuxW));
+    checkFusedDirected(w, [](Design &d, Wire a, Wire b, Wire x, Wire y) {
+        return d.mux(a != b, x, y);
+    }, expectIf(EvalOp::NeMuxW));
+    checkFusedDirected(w, [](Design &d, Wire a, Wire b, Wire x, Wire y) {
+        return d.mux(a.ult(b), x, y);
+    }, expectIf(EvalOp::UltMuxW));
+    checkFusedDirected(w, [](Design &d, Wire a, Wire b, Wire x, Wire y) {
+        return d.mux(a.ule(b), x, y);
+    }, expectIf(EvalOp::UleMuxW));
+    checkFusedDirected(w, [](Design &d, Wire a, Wire b, Wire x, Wire y) {
+        return d.mux(a.slt(b), x, y);
+    }, expectIf(EvalOp::SltMuxW));
+    checkFusedDirected(w, [](Design &d, Wire a, Wire b, Wire x, Wire y) {
+        return d.mux(a.sle(b), x, y);
+    }, expectIf(EvalOp::SleMuxW));
+}
+
+TEST_P(FusionDirected, OpWithInvertedOperand)
+{
+    uint32_t w = GetParam();
+    checkFusedDirected(w, [](Design &, Wire a, Wire b, Wire, Wire) {
+        return a & ~b;
+    }, expectIf(EvalOp::AndNotW));
+    checkFusedDirected(w, [](Design &, Wire a, Wire b, Wire, Wire) {
+        return ~a & b; // commuted: inversion on the left operand
+    }, expectIf(EvalOp::AndNotW));
+    checkFusedDirected(w, [](Design &, Wire a, Wire b, Wire, Wire) {
+        return a | ~b;
+    }, expectIf(EvalOp::OrNotW));
+    checkFusedDirected(w, [](Design &, Wire a, Wire b, Wire, Wire) {
+        return a ^ ~b;
+    }, expectIf(EvalOp::XorNotW));
+}
+
+TEST_P(FusionDirected, InvertedMuxSelect)
+{
+    // mux(~s, a, b) lowers to mux(s, b, a): no new opcode, but the Not
+    // disappears, so the fused program must be strictly shorter.
+    uint32_t w = GetParam();
+    Design d("nm" + std::to_string(w));
+    Wire s = d.input("s", 1);
+    Wire a = d.input("a", static_cast<uint16_t>(w));
+    Wire b = d.input("b", static_cast<uint16_t>(w));
+    d.output("out", d.mux(~s, a, b));
+    Netlist nl = d.finish();
+    Interpreter fused(nl);
+    Interpreter generic(nl, LowerOptions::none());
+    EXPECT_LT(fused.program().instrs.size(),
+              generic.program().instrs.size());
+    Rng rng(w * 271 + 3);
+    for (int i = 0; i < 20; ++i) {
+        BitVec av = randomBits(rng, w), bv = randomBits(rng, w);
+        BitVec sv(1, i & 1);
+        for (Interpreter *in : {&fused, &generic}) {
+            in->poke("a", av);
+            in->poke("b", bv);
+            in->poke("s", sv);
+        }
+        ASSERT_EQ(fused.peek("out"), generic.peek("out"))
+            << "w=" << w << " s=" << (i & 1);
+        ASSERT_EQ(fused.peek("out"), (i & 1) ? bv : av);
+    }
+}
+
+TEST_P(FusionDirected, OpThenTruncate)
+{
+    // (a op b).slice(0, w2): truncation-stable producers are narrowed
+    // into a single-word op at the slice width, even when the inputs
+    // themselves are wider than 64 bits.
+    uint32_t w = GetParam();
+    uint32_t w2 = std::min(w, 64u) - (w > 1 ? 1 : 0);
+    if (w2 == 0)
+        w2 = 1;
+    auto slice_of = [w2](Wire v) { return v.slice(0, static_cast<uint16_t>(w2)); };
+    checkFusedDirected(w, [&](Design &, Wire a, Wire b, Wire, Wire) {
+        return slice_of(a + b);
+    }, EvalOp::AddW);
+    checkFusedDirected(w, [&](Design &, Wire a, Wire b, Wire, Wire) {
+        return slice_of(a - b);
+    }, EvalOp::SubW);
+    checkFusedDirected(w, [&](Design &, Wire a, Wire b, Wire, Wire) {
+        return slice_of(a & b);
+    }, EvalOp::AndW);
+    checkFusedDirected(w, [&](Design &, Wire a, Wire, Wire, Wire) {
+        return slice_of(~a);
+    }, EvalOp::NotW);
+    checkFusedDirected(w, [&](Design &, Wire a, Wire b, Wire, Wire) {
+        return slice_of(a * b); // low bits of a product never depend
+                                // on the discarded high bits
+    }, EvalOp::MulW);
+}
+
+INSTANTIATE_TEST_SUITE_P(WidthBoundaries, FusionDirected,
+                         ::testing::Values(1u, 63u, 64u, 65u, 128u));
+
+TEST(EvalMemory, WritePortOrderOnCollision)
+{
+    // Two ports writing the same address in the same cycle: ports
+    // commit in creation order (netlist.hh), so the last *enabled*
+    // port wins. Checked fused and generic.
+    Design d("wports");
+    MemId m = d.memory("m", 32, 8);
+    Wire addr = d.input("addr", 3);
+    Wire d0 = d.input("d0", 32);
+    Wire d1 = d.input("d1", 32);
+    Wire e0 = d.input("e0", 1);
+    Wire e1 = d.input("e1", 1);
+    d.memWrite(m, addr, d0, e0);
+    d.memWrite(m, addr, d1, e1);
+    d.output("probe", d.memRead(m, addr));
+    Netlist nl = d.finish();
+
+    for (bool lowered : {true, false}) {
+        Interpreter in(nl, lowered ? LowerOptions{}
+                                   : LowerOptions::none());
+        auto cycle = [&](uint64_t a, uint32_t v0, uint32_t v1,
+                         bool en0, bool en1) {
+            in.poke("addr", BitVec(3, a));
+            in.poke("d0", BitVec(32, v0));
+            in.poke("d1", BitVec(32, v1));
+            in.poke("e0", BitVec(1, en0));
+            in.poke("e1", BitVec(1, en1));
+            in.step();
+        };
+        // Both enabled: port 1 (created last) must win.
+        cycle(3, 0x11111111, 0x22222222, true, true);
+        EXPECT_EQ(in.peekMemory("m", 3), BitVec(32, 0x22222222))
+            << (lowered ? "fused" : "generic");
+        // Only port 0 enabled: its data lands even though port 1
+        // carries different data.
+        cycle(4, 0x33333333, 0x44444444, true, false);
+        EXPECT_EQ(in.peekMemory("m", 4), BitVec(32, 0x33333333));
+        // Only port 1 enabled.
+        cycle(5, 0x55555555, 0x66666666, false, true);
+        EXPECT_EQ(in.peekMemory("m", 5), BitVec(32, 0x66666666));
+        // Neither enabled: entry keeps its previous value.
+        cycle(3, 0x77777777, 0x88888888, false, false);
+        EXPECT_EQ(in.peekMemory("m", 3), BitVec(32, 0x22222222));
+    }
 }

@@ -115,10 +115,20 @@ randomNetlist(uint64_t seed, const RandomNetlistConfig &cfg =
     for (RegId r : regs)
         d.next(r, pick_w(d.netlist().reg(r).width));
     for (MemId m : mems) {
-        uint32_t ports = 1 + rng.below(2);
-        for (uint32_t p = 0; p < ports; ++p)
-            d.memWrite(m, pick_w(8),
-                       pick_w(d.netlist().mem(m).width), pick_w(1));
+        // Up to three ports, and about half of them reuse one shared
+        // address wire so several enabled ports hit the same entry in
+        // the same cycle. MemWrite ports commit in creation order
+        // (netlist.hh), i.e. the last enabled port wins; generating
+        // collisions on purpose keeps every engine honest about that.
+        uint32_t ports = 1 + rng.below(3);
+        Wire shared_addr = pick_w(8);
+        for (uint32_t p = 0; p < ports; ++p) {
+            Wire addr = rng.below(2) ? shared_addr : pick_w(8);
+            // Constant-true enables guarantee the collision actually
+            // fires instead of depending on a random 1-bit wire.
+            Wire en = rng.below(4) == 0 ? d.lit(1, 1) : pick_w(1);
+            d.memWrite(m, addr, pick_w(d.netlist().mem(m).width), en);
+        }
     }
     for (uint32_t i = 0; i < cfg.outputs; ++i)
         d.output("o" + std::to_string(i), pick());

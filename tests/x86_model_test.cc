@@ -151,6 +151,27 @@ TEST(X86Model, ProfileCountsAreConsistent)
     EXPECT_GE(p.maxFiberInstrs, 1u);
 }
 
+TEST(X86Model, LoweredProfileShrinksComputeTerms)
+{
+    rtl::Netlist nl = designs::makeBitcoin({2, 16});
+    FiberSet fs(nl);
+    DesignProfile generic = profileDesign(fs);
+    DesignProfile lowered = profileDesign(fs, rtl::LowerOptions{});
+    EXPECT_GT(lowered.evalInstrs, 0u);
+    EXPECT_LT(lowered.loweredInstrs, lowered.evalInstrs)
+        << "fusion found nothing to fuse in bitcoin";
+    EXPECT_LT(lowered.totalInstrs, generic.totalInstrs);
+    EXPECT_LT(lowered.codeBytes, generic.codeBytes);
+    // Data/traffic terms describe state, not code: unchanged.
+    EXPECT_EQ(lowered.dataBytes, generic.dataBytes);
+    EXPECT_EQ(lowered.commBytes, generic.commBytes);
+
+    // A no-op lowering must leave the profile untouched.
+    DesignProfile nop = profileDesign(fs, rtl::LowerOptions::none());
+    EXPECT_EQ(nop.totalInstrs, generic.totalInstrs);
+    EXPECT_EQ(nop.evalInstrs, nop.loweredInstrs);
+}
+
 TEST(X86Model, RejectsBadThreadCounts)
 {
     DesignProfile p = profileOf(designs::makePrngBank(4));
