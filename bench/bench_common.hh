@@ -8,7 +8,9 @@
 #ifndef PARENDI_BENCH_COMMON_HH
 #define PARENDI_BENCH_COMMON_HH
 
+#include <cmath>
 #include <cstdlib>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
@@ -133,6 +135,65 @@ gmean(const std::vector<double> &v)
     for (double x : v)
         acc += std::log(x);
     return std::exp(acc / static_cast<double>(v.size()));
+}
+
+// -- Machine-readable results (--json FILE) ------------------------------
+
+/** One measured host-throughput data point. */
+struct PerfRecord
+{
+    std::string design;
+    std::string engine;     ///< "interp", "ipu", "ipu-spawn", "par", ...
+    uint32_t threads = 0;
+    double cyclesPerSec = 0;
+};
+
+/**
+ * Pull `--json FILE` out of argv (so the remaining arguments can go
+ * to google-benchmark untouched); returns the FILE, or "" if the
+ * flag is absent.
+ */
+inline std::string
+extractJsonFlag(int &argc, char **argv)
+{
+    std::string path;
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--json" && i + 1 < argc) {
+            path = argv[++i];
+            continue;
+        }
+        if (arg.rfind("--json=", 0) == 0) {
+            path = arg.substr(7);
+            continue;
+        }
+        argv[out++] = argv[i];
+    }
+    argc = out;
+    return path;
+}
+
+/** Write records as a JSON array of objects; fatal() on I/O error. */
+inline void
+writePerfJson(const std::string &path,
+              const std::vector<PerfRecord> &records)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot write %s", path.c_str());
+    out << "[\n";
+    for (size_t i = 0; i < records.size(); ++i) {
+        const PerfRecord &r = records[i];
+        out << "  {\"design\": \"" << r.design << "\", "
+            << "\"engine\": \"" << r.engine << "\", "
+            << "\"threads\": " << r.threads << ", "
+            << "\"cycles_per_sec\": " << r.cyclesPerSec << "}"
+            << (i + 1 < records.size() ? "," : "") << "\n";
+    }
+    out << "]\n";
+    if (!out)
+        fatal("error writing %s", path.c_str());
 }
 
 } // namespace parendi::bench

@@ -6,14 +6,29 @@
  * and the compiler itself. These are engineering benchmarks for the
  * simulator (not paper figures): they track regressions in the
  * evaluation kernel and compile pipeline.
+ *
+ * `--json FILE` additionally runs a fixed engine matrix (reference
+ * interpreter, IpuMachine with the persistent pool and with the
+ * legacy per-cycle thread spawn, ParallelInterpreter at several
+ * thread counts) on bitcoin and writes the measured cycles/s as a
+ * JSON array of {design, engine, threads, cycles_per_sec} records.
+ * Combine with --benchmark_filter=NONE to skip the google-benchmark
+ * suite and only emit the matrix. PARENDI_BENCH_FAST=1 trims the
+ * measured cycle counts.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+
+#include "bench_common.hh"
 #include "core/compiler.hh"
+#include "core/engine.hh"
 #include "designs/designs.hh"
 #include "rtl/interp.hh"
 #include "util/logging.hh"
+#include "x86/parallel.hh"
 
 using namespace parendi;
 
@@ -100,6 +115,53 @@ BM_MachineStepMesh(benchmark::State &state)
 }
 BENCHMARK(BM_MachineStepMesh)->Arg(2)->Arg(3);
 
+std::unique_ptr<core::Simulation>
+compileBitcoin(uint32_t host_threads, bool persistent_pool)
+{
+    setQuiet(true);
+    core::CompilerOptions opt;
+    opt.tilesPerChip = 256;
+    opt.machine.hostThreads = host_threads;
+    opt.machine.persistentPool = persistent_pool;
+    return core::compile(designs::makeBitcoin({4, 16}), opt);
+}
+
+void
+BM_MachineStepBitcoinPool(benchmark::State &state)
+{
+    auto sim = compileBitcoin(
+        static_cast<uint32_t>(state.range(0)), true);
+    for (auto _ : state)
+        sim->step();
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MachineStepBitcoinPool)->Arg(1)->Arg(8);
+
+void
+BM_MachineStepBitcoinSpawn(benchmark::State &state)
+{
+    // The seed's host execution: threads spawned per compute phase,
+    // sequential exchange — the baseline the persistent pool replaces.
+    auto sim = compileBitcoin(
+        static_cast<uint32_t>(state.range(0)), false);
+    for (auto _ : state)
+        sim->step();
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MachineStepBitcoinSpawn)->Arg(8);
+
+void
+BM_ParInterpBitcoin(benchmark::State &state)
+{
+    rtl::ParallelInterpreter sim(
+        designs::makeBitcoin({2, 16}),
+        static_cast<uint32_t>(state.range(0)));
+    for (auto _ : state)
+        sim.step();
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ParInterpBitcoin)->Arg(1)->Arg(2)->Arg(8);
+
 void
 BM_CompileMesh(benchmark::State &state)
 {
@@ -129,6 +191,65 @@ BM_FiberExtraction(benchmark::State &state)
 BENCHMARK(BM_FiberExtraction)->Arg(2)->Arg(4)
     ->Unit(benchmark::kMillisecond);
 
+// -- --json engine matrix ------------------------------------------------
+
+double
+measureCyclesPerSec(core::SimEngine &engine, size_t cycles)
+{
+    using clock = std::chrono::steady_clock;
+    engine.step(std::max<size_t>(cycles / 10, 8)); // warm up
+    auto t0 = clock::now();
+    engine.step(cycles);
+    auto t1 = clock::now();
+    double secs = std::chrono::duration<double>(t1 - t0).count();
+    return secs > 0 ? static_cast<double>(cycles) / secs : 0;
+}
+
+std::vector<bench::PerfRecord>
+runEngineMatrix()
+{
+    const std::string design = "bitcoin";
+    const size_t cycles = bench::fastMode() ? 200 : 2000;
+    std::vector<bench::PerfRecord> recs;
+    auto record = [&](const std::string &engine_name, uint32_t threads,
+                      core::SimEngine &engine) {
+        recs.push_back({design, engine_name, threads,
+                        measureCyclesPerSec(engine, cycles)});
+    };
+
+    {
+        rtl::Interpreter sim(bench::makeOptimized(design));
+        record("interp", 1, sim);
+    }
+    for (uint32_t threads : {1u, 8u}) {
+        auto sim = compileBitcoin(threads, true);
+        record("ipu", threads, sim->machine());
+    }
+    {
+        // The seed's per-cycle-spawn baseline at the same thread count.
+        auto sim = compileBitcoin(8, false);
+        record("ipu-spawn", 8, sim->machine());
+    }
+    for (uint32_t threads : {1u, 2u, 8u}) {
+        rtl::ParallelInterpreter sim(bench::makeOptimized(design),
+                                     threads);
+        record("par", threads, sim);
+    }
+    return recs;
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    std::string json_path = bench::extractJsonFlag(argc, argv);
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    if (!json_path.empty())
+        bench::writePerfJson(json_path, runEngineMatrix());
+    return 0;
+}

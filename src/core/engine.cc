@@ -1,0 +1,108 @@
+#include "core/engine.hh"
+
+#include <utility>
+
+#include "core/compiler.hh"
+#include "rtl/event.hh"
+#include "rtl/interp.hh"
+#include "util/logging.hh"
+#include "x86/parallel.hh"
+
+namespace parendi::core {
+
+EngineKind
+parseEngineKind(const std::string &name)
+{
+    if (name == "interp")
+        return EngineKind::Interp;
+    if (name == "event")
+        return EngineKind::Event;
+    if (name == "ipu")
+        return EngineKind::Ipu;
+    if (name == "par")
+        return EngineKind::Par;
+    fatal("unknown engine '%s' (expected interp|event|ipu|par)",
+          name.c_str());
+}
+
+namespace {
+
+/**
+ * The ipu engine owns a whole compiled Simulation (fibers +
+ * partitioning + machine); the machine is itself the SimEngine.
+ */
+class CompiledIpuEngine : public SimEngine
+{
+  public:
+    explicit CompiledIpuEngine(std::unique_ptr<Simulation> sim)
+        : sim_(std::move(sim))
+    {
+    }
+
+    const char *engineName() const override { return "ipu"; }
+    const rtl::Netlist &
+    netlist() const override
+    {
+        return sim_->netlist();
+    }
+    void step(size_t n = 1) override { sim_->machine().step(n); }
+    void reset() override { sim_->machine().reset(); }
+    uint64_t cycles() const override { return sim_->machine().cycles(); }
+    void
+    poke(const std::string &input, const rtl::BitVec &value) override
+    {
+        sim_->machine().poke(input, value);
+    }
+    void
+    poke(const std::string &input, uint64_t value) override
+    {
+        sim_->machine().poke(input, value);
+    }
+    rtl::BitVec
+    peek(const std::string &output) const override
+    {
+        return sim_->machine().peek(output);
+    }
+    rtl::BitVec
+    peekRegister(const std::string &reg) const override
+    {
+        return sim_->machine().peekRegister(reg);
+    }
+    rtl::BitVec
+    peekMemory(const std::string &mem, uint64_t index) const override
+    {
+        return sim_->machine().peekMemory(mem, index);
+    }
+
+  private:
+    std::unique_ptr<Simulation> sim_;
+};
+
+} // namespace
+
+std::unique_ptr<SimEngine>
+makeEngine(rtl::Netlist nl, const EngineOptions &opt)
+{
+    switch (opt.kind) {
+      case EngineKind::Interp:
+        return std::make_unique<rtl::Interpreter>(std::move(nl),
+                                                  opt.lower);
+      case EngineKind::Event:
+        return std::make_unique<rtl::EventInterpreter>(std::move(nl),
+                                                       opt.lower);
+      case EngineKind::Par:
+        return std::make_unique<rtl::ParallelInterpreter>(
+            std::move(nl), opt.threads, opt.lower);
+      case EngineKind::Ipu: {
+        CompilerOptions copt;
+        copt.lower = opt.lower;
+        copt.machine.lower = opt.lower;
+        copt.machine.hostThreads = opt.threads;
+        return std::make_unique<CompiledIpuEngine>(
+            compile(std::move(nl), copt));
+      }
+    }
+    panic("unhandled engine kind");
+}
+
+} // namespace parendi::core

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * SimEngine: the uniform host-facing surface of every functional RTL
+ * engine in the tree — the reference interpreter, the event-driven
+ * interpreter, the simulated IPU machine, and the parallel host
+ * interpreter. Test harnesses, the VCD tracer, and the CLI driver
+ * operate on this interface so any engine can be swapped in; the
+ * engines are bit-identical by construction (they all execute lowered
+ * EvalPrograms of the same netlist), so "same stimulus in, same values
+ * out" holds across the whole matrix.
+ *
+ * This header is intentionally free of any core-library dependency
+ * (everything is inline) so the rtl/ipu/x86 libraries can implement
+ * the interface without linking parendi_core. The makeEngine factory,
+ * which needs the whole compiler, lives in engine.cc inside
+ * parendi_core.
+ */
+
+#ifndef PARENDI_CORE_ENGINE_HH
+#define PARENDI_CORE_ENGINE_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "rtl/eval.hh"
+#include "rtl/netlist.hh"
+
+namespace parendi::core {
+
+class SimEngine
+{
+  public:
+    virtual ~SimEngine() = default;
+
+    /** Stable identifier ("interp", "event", "ipu", "par"). */
+    virtual const char *engineName() const = 0;
+
+    /** The design this engine simulates. */
+    virtual const rtl::Netlist &netlist() const = 0;
+
+    /** Simulate @p n full RTL cycles. */
+    virtual void step(size_t n = 1) = 0;
+
+    /** Restore initial state (cycle count returns to 0). */
+    virtual void reset() = 0;
+
+    /** Cycles simulated since construction/reset. */
+    virtual uint64_t cycles() const = 0;
+
+    /** Drive an input port; combinationally visible immediately. */
+    virtual void poke(const std::string &input,
+                      const rtl::BitVec &value) = 0;
+    virtual void poke(const std::string &input, uint64_t value) = 0;
+
+    /** Sample an output port. */
+    virtual rtl::BitVec peek(const std::string &output) const = 0;
+
+    /** Read a register's current value by name. */
+    virtual rtl::BitVec peekRegister(const std::string &reg) const = 0;
+
+    /** Read one memory entry by memory name. */
+    virtual rtl::BitVec peekMemory(const std::string &mem,
+                                   uint64_t index) const = 0;
+};
+
+/** Which engine makeEngine() instantiates. */
+enum class EngineKind { Interp, Event, Ipu, Par };
+
+/** Parse "interp" / "event" / "ipu" / "par"; fatal() otherwise. */
+EngineKind parseEngineKind(const std::string &name);
+
+struct EngineOptions
+{
+    EngineKind kind = EngineKind::Ipu;
+    /** Host worker threads for the ipu and par engines (0/1 =
+     *  sequential). Ignored by interp and event. */
+    uint32_t threads = 0;
+    /** Program lowering applied to whichever engine is built. */
+    rtl::LowerOptions lower;
+};
+
+/**
+ * Build an engine over @p nl (taken by value; move it in). The ipu
+ * engine runs the full compiler pipeline with default CompilerOptions
+ * (hostThreads/lower overridden from @p opt).
+ */
+std::unique_ptr<SimEngine> makeEngine(rtl::Netlist nl,
+                                      const EngineOptions &opt);
+
+} // namespace parendi::core
+
+#endif // PARENDI_CORE_ENGINE_HH

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <atomic>
-#include <cstring>
 #include <istream>
 #include <ostream>
 #include <map>
@@ -23,9 +22,15 @@ IpuMachine::IpuMachine(const FiberSet &fs, const Partitioning &parts,
 {
     parts.checkComplete(fs);
     buildTiles(fs, parts);
-    buildExchange(fs);
     accountCosts(fs, parts);
-    evalAll();
+    uint32_t nthreads = std::min<uint32_t>(
+        opt.hostThreads, static_cast<uint32_t>(tiles.size()));
+    if (opt.persistentPool && nthreads >= 2)
+        pool = std::make_unique<util::BspPool>(nthreads);
+    if (pool)
+        shards.evalAll(pool.get());
+    else
+        evalAllSpawn();
 }
 
 void
@@ -49,27 +54,26 @@ IpuMachine::buildTiles(const FiberSet &fs, const Partitioning &parts)
         if (per_chip[c])
             ++chipsUsed_;
 
+    // Tile placement metadata plus one node set per tile: the union
+    // of the process's fiber cones, in ascending node id
+    // (construction order is topological by construction of the
+    // Netlist API).
     tiles.reserve(parts.processes.size());
+    std::vector<std::vector<NodeId>> nodeSets;
+    nodeSets.reserve(parts.processes.size());
     std::vector<uint32_t> next_in_chip(arch.maxChips, 0);
     for (const Process &p : parts.processes) {
         uint32_t chip = static_cast<uint32_t>(p.chip);
         Tile t;
         t.chip = chip;
         t.id = chip * arch.tilesPerChip + next_in_chip[chip]++;
+        t.computeCycles =
+            p.ipuCost + static_cast<uint64_t>(arch.tileLoopOverhead);
 
-        // The tile program: union of the process's fiber cones,
-        // lowered in ascending node id (construction order is
-        // topological by construction of the Netlist API).
         std::vector<NodeId> nodes;
         for (uint32_t fi : p.fibers)
             nodes = partition::sortedUnion(nodes, fs[fi].cone);
-        ProgramBuilder builder(nl);
-        for (NodeId id : nodes)
-            builder.addNode(id);
-        t.prog = builder.build();
-        lowerProgram(t.prog, opt.lower);
-        t.computeCycles =
-            p.ipuCost + static_cast<uint64_t>(arch.tileLoopOverhead);
+        nodeSets.push_back(std::move(nodes));
 
         uint64_t mem = p.memBytes(fs);
         maxTileMem = std::max(maxTileMem, mem);
@@ -78,96 +82,16 @@ IpuMachine::buildTiles(const FiberSet &fs, const Partitioning &parts)
             fatal("process on tile %u needs %llu bytes > tile memory "
                   "%llu", t.id, static_cast<unsigned long long>(mem),
                   static_cast<unsigned long long>(arch.tileMemoryBytes));
-        tiles.push_back(std::move(t));
-        // The state must reference the program at its final address
-        // (the vector was reserved above, so elements never move).
-        tiles.back().state =
-            std::make_unique<EvalState>(tiles.back().prog);
+        tiles.push_back(t);
     }
     if (maxTileCode > arch.tileCodeBytes)
         warn("largest tile code footprint %llu exceeds the %llu-byte "
              "executable region",
              static_cast<unsigned long long>(maxTileCode),
              static_cast<unsigned long long>(arch.tileCodeBytes));
-}
 
-void
-IpuMachine::buildExchange(const FiberSet &fs)
-{
-    (void)fs;
-    // Register homes: the tile whose program owns each register.
-    regHome.assign(nl.numRegisters(), {UINT32_MAX, 0});
-    for (uint32_t ti = 0; ti < tiles.size(); ++ti)
-        for (const ProgReg &r : tiles[ti].prog.regs)
-            if (r.owned)
-                regHome[r.reg] = {ti, r.cur};
-
-    // Register messages: owner -> every tile holding a non-owned copy.
-    for (uint32_t ti = 0; ti < tiles.size(); ++ti) {
-        for (const ProgReg &r : tiles[ti].prog.regs) {
-            if (r.owned)
-                continue;
-            auto [owner, owner_slot] = regHome[r.reg];
-            if (owner == UINT32_MAX)
-                panic("register %s has readers but no owner tile",
-                      nl.reg(r.reg).name.c_str());
-            RegMessage m;
-            m.ownerTile = owner;
-            m.ownerSlot = owner_slot;
-            m.readerTile = ti;
-            m.readerSlot = r.cur;
-            m.words = static_cast<uint16_t>(wordsFor(r.width));
-            m.bytes = ((r.width + 31) / 32) * 4;
-            regMessages.push_back(m);
-        }
-    }
-
-    // Array write-port broadcasts, in netlist port order per memory.
-    // First index the replicas of each memory.
-    std::vector<std::vector<std::pair<uint32_t, uint32_t>>> replicas(
-        nl.numMemories());
-    for (uint32_t ti = 0; ti < tiles.size(); ++ti)
-        for (uint32_t mi = 0; mi < tiles[ti].prog.mems.size(); ++mi)
-            replicas[tiles[ti].prog.mems[mi].mem].emplace_back(ti, mi);
-
-    for (MemId m = 0; m < nl.numMemories(); ++m) {
-        const Memory &mem = nl.mem(m);
-        for (NodeId port : mem.writePorts) {
-            // Find the tile owning this MemWrite sink: the one whose
-            // program contains the sink node.
-            uint32_t owner = UINT32_MAX;
-            for (uint32_t ti = 0; ti < tiles.size(); ++ti) {
-                if (tiles[ti].prog.slotOf.count(port)) {
-                    owner = ti;
-                    break;
-                }
-            }
-            if (owner == UINT32_MAX)
-                panic("write port of %s not placed", mem.name.c_str());
-            const Node &n = nl.node(port);
-            PortBroadcast b;
-            b.ownerTile = owner;
-            b.addrSlot = tiles[owner].prog.slotOf.at(n.operands[0]);
-            b.addrWidth = nl.widthOf(n.operands[0]);
-            b.dataSlot = tiles[owner].prog.slotOf.at(n.operands[1]);
-            b.enSlot = tiles[owner].prog.slotOf.at(n.operands[2]);
-            b.mem = m;
-            b.entryWords = wordsFor(mem.width);
-            b.depth = mem.depth;
-            b.replicas = replicas[m];
-            broadcasts.push_back(std::move(b));
-        }
-    }
-
-    // Port bindings.
-    inputSlots.assign(nl.numInputs(), {});
-    for (uint32_t ti = 0; ti < tiles.size(); ++ti)
-        for (const ProgPort &p : tiles[ti].prog.inputs)
-            inputSlots[p.port].emplace_back(ti, p.slot);
-    outputSlots.assign(nl.numOutputs(), {UINT32_MAX, 0});
-    for (uint32_t ti = 0; ti < tiles.size(); ++ti)
-        for (const ProgPort &p : tiles[ti].prog.outputs)
-            outputSlots[p.port] = {ti, p.slot};
+    // Lower every tile program and derive the exchange schedule.
+    shards = ShardSet(nl, nodeSets, opt.lower);
 }
 
 void
@@ -207,18 +131,18 @@ IpuMachine::accountCosts(const FiberSet &fs, const Partitioning &parts)
         // same-chip copy and the first copy per remote chip.
         std::map<std::pair<uint32_t, uint32_t>, std::vector<bool>>
             seen; // (owner, slot) -> per-chip first-copy flags
-        for (const RegMessage &m : regMessages) {
-            auto key = std::make_pair(m.ownerTile, m.ownerSlot);
+        for (const ShardSet::RegMessage &m : shards.regMessages()) {
+            auto key = std::make_pair(m.ownerShard, m.ownerSlot);
             auto &flags = seen[key];
             if (flags.empty())
                 flags.assign(arch.maxChips, false);
-            uint32_t chip = tiles[m.readerTile].chip;
+            uint32_t chip = tiles[m.readerShard].chip;
             bool first = !flags[chip];
             flags[chip] = true;
-            account(m.ownerTile, m.readerTile, m.bytes, first);
+            account(m.ownerShard, m.readerShard, m.bytes, first);
         }
     }
-    for (const PortBroadcast &b : broadcasts) {
+    for (const ShardSet::PortBroadcast &b : shards.broadcasts()) {
         uint64_t diff_bytes =
             uint64_t{(b.addrWidth + 1u + 31u) / 32u} * 4 +
             uint64_t{(nl.mem(b.mem).width + 31u) / 32u} * 4;
@@ -226,12 +150,12 @@ IpuMachine::accountCosts(const FiberSet &fs, const Partitioning &parts)
         std::vector<bool> flags(arch.maxChips, false);
         for (auto [tile, mi] : b.replicas) {
             (void)mi;
-            if (tile == b.ownerTile)
+            if (tile == b.ownerShard)
                 continue;
             uint32_t chip = tiles[tile].chip;
             bool first = !flags[chip];
             flags[chip] = true;
-            account(b.ownerTile, tile,
+            account(b.ownerShard, tile,
                     opt.differentialExchange ? diff_bytes : full_bytes,
                     first);
         }
@@ -257,14 +181,15 @@ IpuMachine::accountCosts(const FiberSet &fs, const Partitioning &parts)
 }
 
 void
-IpuMachine::evalAll()
+IpuMachine::evalAllSpawn()
 {
-    // The BSP compute phase: every tile evaluates only its private
-    // state, so tiles can run on host worker threads with no locking
-    // — the join below is the (host-side) barrier.
-    if (opt.hostThreads < 2 || tiles.size() < 2 * opt.hostThreads) {
-        for (Tile &t : tiles)
-            t.state->evalComb();
+    // The legacy compute phase: the BSP structure makes threading
+    // trivially safe (tiles only touch private state), but spawning
+    // fresh std::threads every phase is what the persistent pool
+    // replaces — kept as the measurable baseline.
+    if (opt.hostThreads < 2 ||
+        shards.size() < 2 * size_t{opt.hostThreads}) {
+        shards.evalAll(nullptr);
         return;
     }
     uint32_t nthreads = opt.hostThreads;
@@ -275,9 +200,9 @@ IpuMachine::evalAll()
         workers.emplace_back([&]() {
             for (;;) {
                 size_t i = next.fetch_add(1);
-                if (i >= tiles.size())
+                if (i >= shards.size())
                     return;
-                tiles[i].state->evalComb();
+                shards.state(i).evalComb();
             }
         });
     }
@@ -288,40 +213,20 @@ IpuMachine::evalAll()
 void
 IpuMachine::step(size_t n)
 {
+    if (pool) {
+        for (size_t i = 0; i < n; ++i) {
+            shards.stepCycle(pool.get());
+            ++cycleCount;
+        }
+        return;
+    }
     for (size_t i = 0; i < n; ++i) {
-        // End of compute phase: commit array writes to all replicas,
-        // in global port order (differential exchange).
-        for (const PortBroadcast &b : broadcasts) {
-            EvalState &owner = *tiles[b.ownerTile].state;
-            if (!(owner.slotPtr(b.enSlot)[0] & 1))
-                continue;
-            // Saturating address read.
-            uint64_t addr = owner.slotPtr(b.addrSlot)[0];
-            for (uint32_t w = 1; w < wordsFor(b.addrWidth); ++w)
-                if (owner.slotPtr(b.addrSlot)[w])
-                    addr = UINT64_MAX;
-            if (addr >= b.depth)
-                continue;
-            const uint64_t *data = owner.slotPtr(b.dataSlot);
-            for (auto [tile, mi] : b.replicas) {
-                uint64_t *img = tiles[tile].state->memImage(mi).data() +
-                    addr * b.entryWords;
-                std::memcpy(img, data, b.entryWords * sizeof(uint64_t));
-            }
-        }
-        // Latch locally owned registers.
-        for (Tile &t : tiles)
-            t.state->latchRegisters();
-        // Exchange register values to reader tiles.
-        for (const RegMessage &m : regMessages) {
-            const uint64_t *src =
-                tiles[m.ownerTile].state->slotPtr(m.ownerSlot);
-            uint64_t *dst =
-                tiles[m.readerTile].state->slotPtr(m.readerSlot);
-            std::memcpy(dst, src, m.words * sizeof(uint64_t));
-        }
-        // Next compute phase.
-        evalAll();
+        // Legacy host execution: sequential exchange phases, compute
+        // phase optionally on freshly spawned threads.
+        shards.commitBroadcasts(nullptr);
+        shards.latchRegisters(nullptr);
+        shards.exchangeRegisters(nullptr);
+        evalAllSpawn();
         ++cycleCount;
     }
 }
@@ -329,45 +234,38 @@ IpuMachine::step(size_t n)
 void
 IpuMachine::reset()
 {
-    for (Tile &t : tiles)
-        t.state->reset();
-    evalAll();
+    shards.reset(pool.get());
     cycleCount = 0;
 }
 
 void
 IpuMachine::poke(const std::string &input, const BitVec &value)
 {
-    PortId id = nl.findInput(input);
-    if (id == nl.numInputs())
-        fatal("no input port named %s", input.c_str());
-    if (value.width() != nl.input(id).width)
-        fatal("poke %s: width mismatch", input.c_str());
-    for (auto [tile, slot] : inputSlots[id]) {
-        tiles[tile].state->writeSlot(slot, value);
-        tiles[tile].state->evalComb();
-    }
+    shards.poke(input, value);
 }
 
 void
 IpuMachine::poke(const std::string &input, uint64_t value)
 {
-    PortId id = nl.findInput(input);
-    if (id == nl.numInputs())
-        fatal("no input port named %s", input.c_str());
-    poke(input, BitVec(nl.input(id).width, value));
+    shards.poke(input, value);
 }
 
 BitVec
 IpuMachine::peek(const std::string &output) const
 {
-    PortId id = nl.findOutput(output);
-    if (id == nl.numOutputs())
-        fatal("no output port named %s", output.c_str());
-    auto [tile, slot] = outputSlots[id];
-    if (tile == UINT32_MAX)
-        fatal("output %s not placed", output.c_str());
-    return tiles[tile].state->readSlot(slot, nl.output(id).width);
+    return shards.peek(output);
+}
+
+BitVec
+IpuMachine::peekRegister(const std::string &reg) const
+{
+    return shards.peekRegister(reg);
+}
+
+BitVec
+IpuMachine::peekMemory(const std::string &mem, uint64_t index) const
+{
+    return shards.peekMemory(mem, index);
 }
 
 void
@@ -375,11 +273,7 @@ IpuMachine::save(std::ostream &out) const
 {
     out.write(reinterpret_cast<const char *>(&cycleCount),
               sizeof(cycleCount));
-    uint64_t ntiles = tiles.size();
-    out.write(reinterpret_cast<const char *>(&ntiles),
-              sizeof(ntiles));
-    for (const Tile &t : tiles)
-        t.state->save(out);
+    shards.save(out);
 }
 
 void
@@ -387,49 +281,7 @@ IpuMachine::restore(std::istream &in)
 {
     in.read(reinterpret_cast<char *>(&cycleCount),
             sizeof(cycleCount));
-    uint64_t ntiles = 0;
-    in.read(reinterpret_cast<char *>(&ntiles), sizeof(ntiles));
-    if (!in || ntiles != tiles.size())
-        fatal("checkpoint mismatch: tile count");
-    for (Tile &t : tiles)
-        t.state->restore(in);
-}
-
-BitVec
-IpuMachine::peekMemory(const std::string &mem, uint64_t index) const
-{
-    MemId id = nl.findMemory(mem);
-    if (id == nl.numMemories())
-        fatal("no memory named %s", mem.c_str());
-    for (const Tile &t : tiles) {
-        for (uint32_t mi = 0; mi < t.prog.mems.size(); ++mi) {
-            const ProgMem &pm = t.prog.mems[mi];
-            if (pm.mem != id)
-                continue;
-            if (index >= pm.depth)
-                fatal("memory %s index %llu out of range",
-                      mem.c_str(),
-                      static_cast<unsigned long long>(index));
-            const auto &img = t.state->memImage(mi);
-            std::vector<uint64_t> words(
-                img.begin() + index * pm.entryWords,
-                img.begin() + (index + 1) * pm.entryWords);
-            return BitVec(nl.mem(id).width, std::move(words));
-        }
-    }
-    fatal("memory %s not placed on any tile", mem.c_str());
-}
-
-BitVec
-IpuMachine::peekRegister(const std::string &reg) const
-{
-    RegId id = nl.findRegister(reg);
-    if (id == nl.numRegisters())
-        fatal("no register named %s", reg.c_str());
-    auto [tile, slot] = regHome[id];
-    if (tile == UINT32_MAX)
-        fatal("register %s not placed", reg.c_str());
-    return tiles[tile].state->readSlot(slot, nl.reg(id).width);
+    shards.restore(in);
 }
 
 } // namespace parendi::ipu

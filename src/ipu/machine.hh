@@ -14,6 +14,11 @@
  *               flow from owner tiles to reader tiles
  *   barrier   : (modeled)
  *
+ * The functional execution is an rtl::ShardSet (one shard per tile);
+ * with hostThreads >= 2 the whole cycle — exchange phases included —
+ * runs on a persistent util::BspPool whose workers realize the BSP
+ * barriers on the host.
+ *
  * Performance is accounted analytically per RTL cycle from the
  * partitioning and the IpuArch cost model (t_sync + t_comm + t_comp,
  * paper Eq. 1); because the simulation is full-cycle, the per-cycle
@@ -29,10 +34,13 @@
 #include <string>
 #include <vector>
 
+#include "core/engine.hh"
 #include "ipu/arch.hh"
 #include "ipu/exchange.hh"
 #include "partition/process.hh"
 #include "rtl/eval.hh"
+#include "rtl/shard.hh"
+#include "util/bsp_pool.hh"
 
 namespace parendi::ipu {
 
@@ -64,27 +72,33 @@ struct MachineOptions
      *  (functional behaviour is unchanged — this is the ablation). */
     bool differentialExchange = true;
 
-    /** Host worker threads for the functional compute phase (BSP
-     *  makes this trivially safe: tiles only touch private state
-     *  between barriers). 0 = sequential execution. */
+    /** Host worker threads for the functional execution (BSP makes
+     *  this trivially safe: tiles only touch private state between
+     *  barriers). 0 = sequential execution. */
     uint32_t hostThreads = 0;
+
+    /** Run hostThreads on a persistent BspPool spanning all four BSP
+     *  phases of the cycle (the default). When false, the legacy
+     *  host execution is used: threads are spawned per compute phase
+     *  and the exchange phases run sequentially — kept as the A/B
+     *  baseline for bench/host_throughput. */
+    bool persistentPool = true;
 
     /** Lowering (specialization/fusion) applied to every tile
      *  program; functional behaviour is unchanged by construction. */
     rtl::LowerOptions lower;
 };
 
-/** One tile's compiled program and run state. */
+/** One tile's placement and modeled cost (the functional program and
+ *  state live in the ShardSet, indexed by the same position). */
 struct Tile
 {
     uint32_t id;                ///< global tile id
     uint32_t chip;
-    rtl::EvalProgram prog;
-    std::unique_ptr<rtl::EvalState> state;
     uint64_t computeCycles = 0; ///< modeled cycles per RTL cycle
 };
 
-class IpuMachine
+class IpuMachine : public core::SimEngine
 {
   public:
     IpuMachine(const fiber::FiberSet &fs,
@@ -94,20 +108,24 @@ class IpuMachine
 
     // -- Functional simulation -------------------------------------------
 
+    const char *engineName() const override { return "ipu"; }
+    const rtl::Netlist &netlist() const override { return nl; }
+
     /** Simulate @p n RTL cycles. */
-    void step(size_t n = 1);
+    void step(size_t n = 1) override;
 
-    void reset();
-    uint64_t cycles() const { return cycleCount; }
+    void reset() override;
+    uint64_t cycles() const override { return cycleCount; }
 
-    void poke(const std::string &input, const rtl::BitVec &value);
-    void poke(const std::string &input, uint64_t value);
-    rtl::BitVec peek(const std::string &output) const;
-    rtl::BitVec peekRegister(const std::string &reg) const;
+    void poke(const std::string &input,
+              const rtl::BitVec &value) override;
+    void poke(const std::string &input, uint64_t value) override;
+    rtl::BitVec peek(const std::string &output) const override;
+    rtl::BitVec peekRegister(const std::string &reg) const override;
     /** Read one entry of a memory (from any replica; the
      *  differential exchange keeps them identical). */
     rtl::BitVec peekMemory(const std::string &mem,
-                           uint64_t index) const;
+                           uint64_t index) const override;
 
     /** Checkpoint the state of every tile (plus the cycle count). */
     void save(std::ostream &out) const;
@@ -132,36 +150,13 @@ class IpuMachine
     const IpuArch &architecture() const { return arch; }
 
   private:
-    struct RegMessage
-    {
-        uint32_t ownerTile;
-        uint32_t ownerSlot;     ///< cur slot in owner (post-latch value)
-        uint32_t readerTile;
-        uint32_t readerSlot;
-        uint16_t words;
-        uint32_t bytes;         ///< exchange payload (4B granules)
-    };
-
-    struct PortBroadcast       ///< one array write port fanned out
-    {
-        uint32_t ownerTile;
-        uint32_t addrSlot;
-        uint16_t addrWidth;
-        uint32_t dataSlot;
-        uint32_t enSlot;
-        rtl::MemId mem;
-        uint32_t entryWords;
-        uint32_t depth;
-        /// (tile, program-local memory index) of every replica.
-        std::vector<std::pair<uint32_t, uint32_t>> replicas;
-    };
-
     void buildTiles(const fiber::FiberSet &fs,
                     const partition::Partitioning &parts);
-    void buildExchange(const fiber::FiberSet &fs);
     void accountCosts(const fiber::FiberSet &fs,
                       const partition::Partitioning &parts);
-    void evalAll();
+    /** Legacy compute phase: spawn hostThreads workers for this phase
+     *  only (the persistentPool=false baseline). */
+    void evalAllSpawn();
 
     const rtl::Netlist &nl;
     IpuArch arch;
@@ -170,15 +165,8 @@ class IpuMachine
     std::vector<Tile> tiles;
     uint32_t chipsUsed_ = 1;
 
-    std::vector<RegMessage> regMessages;
-    std::vector<PortBroadcast> broadcasts;
-
-    /// input port -> [(tile, slot)] replicas
-    std::vector<std::vector<std::pair<uint32_t, uint32_t>>> inputSlots;
-    /// output port -> (tile, slot)
-    std::vector<std::pair<uint32_t, uint32_t>> outputSlots;
-    /// register -> (tile, cur slot) of its owner
-    std::vector<std::pair<uint32_t, uint32_t>> regHome;
+    rtl::ShardSet shards;
+    std::unique_ptr<util::BspPool> pool;    ///< null -> sequential/legacy
 
     CycleCosts costs;
     ExchangeTraffic traffic_;

@@ -95,11 +95,7 @@ mulVal(uint64_t *d, const uint64_t *a, const uint64_t *b, uint16_t width)
 uint64_t
 shiftAmount(const uint64_t *b, uint16_t wb)
 {
-    uint32_t n = nw(wb);
-    for (uint32_t i = 1; i < n; ++i)
-        if (b[i])
-            return UINT64_MAX;
-    return b[0];
+    return saturatingWideReadBits(b, wb);
 }
 
 void

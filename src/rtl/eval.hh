@@ -110,6 +110,31 @@ int evalInstrOperands(const EvalInstr &in, uint32_t ops[4]);
 /** True for instructions reading a memory image (aux = memory index). */
 bool evalReadsMemory(EvalOp op);
 
+/**
+ * Saturating read of a multi-word value as a uint64: any set bit in the
+ * words above the first collapses the result to UINT64_MAX. This is the
+ * one semantics every consumer of a wide address or shift amount uses —
+ * memory read/write addressing (out-of-range reads return 0, writes are
+ * dropped), shift amounts (≥ width shifts out everything), and the
+ * exchange-side write-port broadcast — so "too big" only has to be
+ * detected, never represented.
+ */
+inline uint64_t
+saturatingWideRead(const uint64_t *words, uint32_t numWords)
+{
+    for (uint32_t i = 1; i < numWords; ++i)
+        if (words[i])
+            return UINT64_MAX;
+    return words[0];
+}
+
+/** saturatingWideRead() of a value @p widthBits wide. */
+inline uint64_t
+saturatingWideReadBits(const uint64_t *words, uint16_t widthBits)
+{
+    return saturatingWideRead(words, wordsFor(widthBits));
+}
+
 /** A register's slot bindings within one program. */
 struct ProgReg
 {

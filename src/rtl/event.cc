@@ -1,5 +1,6 @@
 #include "rtl/event.hh"
 
+#include <algorithm>
 #include <cstring>
 #include <unordered_map>
 
@@ -54,6 +55,55 @@ EventInterpreter::EventInterpreter(Netlist netlist,
 }
 
 void
+EventInterpreter::settle()
+{
+    const uint64_t *s = state->slotPtr(0);
+    shadow.assign(s, s + prog.numSlots());
+    std::fill(dirty.begin(), dirty.end(), 0);
+}
+
+void
+EventInterpreter::reset()
+{
+    state->reset();
+    state->evalComb();
+    settle();
+    cycleCount = 0;
+    evaluated = 0;
+}
+
+void
+EventInterpreter::poke(const std::string &input, const BitVec &value)
+{
+    PortId id = nl.findInput(input);
+    if (id == nl.numInputs())
+        fatal("no input port named %s", input.c_str());
+    for (const ProgPort &p : prog.inputs) {
+        if (p.port != id)
+            continue;
+        if (value.width() != p.width)
+            fatal("poke %s: width %u != port width %u", input.c_str(),
+                  value.width(), p.width);
+        state->writeSlot(p.slot, value);
+        // A full re-evaluation leaves nothing pending, so the next
+        // step()'s selective propagation starts from a settled state.
+        state->evalComb();
+        settle();
+        return;
+    }
+    fatal("input port %s not in program", input.c_str());
+}
+
+void
+EventInterpreter::poke(const std::string &input, uint64_t value)
+{
+    PortId id = nl.findInput(input);
+    if (id == nl.numInputs())
+        fatal("no input port named %s", input.c_str());
+    poke(input, BitVec(nl.input(id).width, value));
+}
+
+void
 EventInterpreter::step(size_t n)
 {
     for (size_t c = 0; c < n; ++c) {
@@ -64,12 +114,8 @@ EventInterpreter::step(size_t n)
             if (!(s[w.en] & 1))
                 continue;
             const ProgMem &pm = prog.mems[w.memIndex];
-            uint64_t addr = s[w.addr];
-            bool huge = false;
-            for (uint32_t i = 1; i < wordsFor(w.addrWidth); ++i)
-                if (s[w.addr + i])
-                    huge = true;
-            if (huge || addr >= pm.depth)
+            uint64_t addr = saturatingWideReadBits(s + w.addr, w.addrWidth);
+            if (addr >= pm.depth)
                 continue;
             uint64_t *entry = state->memImage(w.memIndex).data() +
                 addr * pm.entryWords;
@@ -148,6 +194,29 @@ EventInterpreter::peekRegister(const std::string &reg) const
         if (r.reg == id)
             return state->readSlot(r.cur, r.width);
     fatal("register %s not in program", reg.c_str());
+}
+
+BitVec
+EventInterpreter::peekMemory(const std::string &mem,
+                             uint64_t index) const
+{
+    MemId id = nl.findMemory(mem);
+    if (id == nl.numMemories())
+        fatal("no memory named %s", mem.c_str());
+    for (size_t i = 0; i < prog.mems.size(); ++i) {
+        const ProgMem &pm = prog.mems[i];
+        if (pm.mem != id)
+            continue;
+        if (index >= pm.depth)
+            fatal("memory %s index %llu out of range", mem.c_str(),
+                  static_cast<unsigned long long>(index));
+        const auto &img = state->memImage(static_cast<uint32_t>(i));
+        std::vector<uint64_t> words(
+            img.begin() + index * pm.entryWords,
+            img.begin() + (index + 1) * pm.entryWords);
+        return BitVec(nl.mem(id).width, std::move(words));
+    }
+    fatal("memory %s not in program", mem.c_str());
 }
 
 } // namespace parendi::rtl

@@ -17,12 +17,13 @@
 #include <string>
 #include <vector>
 
+#include "core/engine.hh"
 #include "rtl/eval.hh"
 #include "rtl/netlist.hh"
 
 namespace parendi::rtl {
 
-class EventInterpreter
+class EventInterpreter : public core::SimEngine
 {
   public:
     /** Defaults to the generic (unlowered) program form so it remains
@@ -33,13 +34,26 @@ class EventInterpreter
                               const LowerOptions &lower =
                                   LowerOptions::none());
 
+    const char *engineName() const override { return "event"; }
+
     /** Simulate @p n cycles with selective evaluation. */
-    void step(size_t n = 1);
+    void step(size_t n = 1) override;
 
-    uint64_t cycles() const { return cycleCount; }
+    /** Restore initial state (activity counters included). */
+    void reset() override;
 
-    BitVec peek(const std::string &output) const;
-    BitVec peekRegister(const std::string &reg) const;
+    uint64_t cycles() const override { return cycleCount; }
+
+    /** Drive an input port. The write triggers a full re-evaluation
+     *  (pokes are host-rate, not cycle-rate, so selective propagation
+     *  is not worth the bookkeeping here). */
+    void poke(const std::string &input, const BitVec &value) override;
+    void poke(const std::string &input, uint64_t value) override;
+
+    BitVec peek(const std::string &output) const override;
+    BitVec peekRegister(const std::string &reg) const override;
+    BitVec peekMemory(const std::string &mem,
+                      uint64_t index) const override;
 
     /** Nodes evaluated since construction (the "work done"). */
     uint64_t evaluatedNodes() const { return evaluated; }
@@ -59,9 +73,13 @@ class EventInterpreter
                    : 0.0;
     }
 
-    const Netlist &netlist() const { return nl; }
+    const Netlist &netlist() const override { return nl; }
 
   private:
+    /** Sync the change-detection shadow with a fully evaluated state
+     *  and clear all pending dirty flags. */
+    void settle();
+
     Netlist nl;
     EvalProgram prog;
     std::unique_ptr<EvalState> state;

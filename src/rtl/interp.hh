@@ -13,6 +13,7 @@
 #include <memory>
 #include <string>
 
+#include "core/engine.hh"
 #include "rtl/eval.hh"
 #include "rtl/netlist.hh"
 
@@ -22,7 +23,7 @@ namespace parendi::rtl {
  * Owns a compiled whole-design EvalProgram and its state, and exposes
  * cycle stepping plus name-based port/register/memory access.
  */
-class Interpreter
+class Interpreter : public core::SimEngine
 {
   public:
     /** Takes the netlist by value (copy or move) so the interpreter
@@ -37,35 +38,38 @@ class Interpreter
     Interpreter(const Interpreter &) = delete;
     Interpreter &operator=(const Interpreter &) = delete;
 
+    const char *engineName() const override { return "interp"; }
+
     /** Simulate @p n full RTL cycles. */
-    void step(size_t n = 1);
+    void step(size_t n = 1) override;
 
     /** Cycles simulated since construction/reset. */
-    uint64_t cycles() const { return cycleCount; }
+    uint64_t cycles() const override { return cycleCount; }
 
     /** Reset all state to initial values. */
-    void reset();
+    void reset() override;
 
     /** Drive an input port (takes effect from the next evaluation). */
-    void poke(const std::string &input, const BitVec &value);
-    void poke(const std::string &input, uint64_t value);
+    void poke(const std::string &input, const BitVec &value) override;
+    void poke(const std::string &input, uint64_t value) override;
 
     /** Sample an output port as of the last completed cycle's
      *  combinational evaluation. */
-    BitVec peek(const std::string &output) const;
+    BitVec peek(const std::string &output) const override;
 
     /** Read a register's current value by name. */
-    BitVec peekRegister(const std::string &reg) const;
+    BitVec peekRegister(const std::string &reg) const override;
 
     /** Read one memory entry by memory name. */
-    BitVec peekMemory(const std::string &mem, uint64_t index) const;
+    BitVec peekMemory(const std::string &mem,
+                      uint64_t index) const override;
 
     /** Checkpoint all simulation state (including the cycle count). */
     void save(std::ostream &out) const;
     /** Restore a checkpoint written by save() for the same design. */
     void restore(std::istream &in);
 
-    const Netlist &netlist() const { return nl; }
+    const Netlist &netlist() const override { return nl; }
     const EvalProgram &program() const { return prog; }
 
   private:

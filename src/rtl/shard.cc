@@ -1,0 +1,339 @@
+#include "rtl/shard.hh"
+
+#include <cstring>
+#include <istream>
+#include <ostream>
+
+#include "util/bsp_pool.hh"
+#include "util/logging.hh"
+
+namespace parendi::rtl {
+
+ShardSet::ShardSet(const Netlist &nl,
+                   const std::vector<std::vector<NodeId>> &nodeSets,
+                   const LowerOptions &lower)
+    : nl_(&nl)
+{
+    programs_.reserve(nodeSets.size());
+    for (const std::vector<NodeId> &nodes : nodeSets) {
+        ProgramBuilder builder(nl);
+        for (NodeId id : nodes)
+            builder.addNode(id);
+        programs_.push_back(builder.build());
+        lowerProgram(programs_.back(), lower);
+    }
+    // States are created only after programs_ stops growing: each
+    // EvalState references its program at the final heap address.
+    states_.reserve(programs_.size());
+    for (const EvalProgram &prog : programs_)
+        states_.push_back(std::make_unique<EvalState>(prog));
+    buildExchange();
+}
+
+void
+ShardSet::buildExchange()
+{
+    const Netlist &nl = *nl_;
+    uint32_t nshards = static_cast<uint32_t>(programs_.size());
+
+    // Register homes: the shard whose program owns each register.
+    regHome_.assign(nl.numRegisters(), {UINT32_MAX, 0});
+    for (uint32_t si = 0; si < nshards; ++si)
+        for (const ProgReg &r : programs_[si].regs)
+            if (r.owned)
+                regHome_[r.reg] = {si, r.cur};
+
+    // Register messages: owner -> every shard holding a non-owned
+    // copy. Iterating shards in ascending order groups the list by
+    // reader shard, which is exactly the sharding the parallel
+    // exchange phase needs.
+    readerRanges_.assign(nshards, {0, 0});
+    for (uint32_t si = 0; si < nshards; ++si) {
+        readerRanges_[si].first =
+            static_cast<uint32_t>(regMessages_.size());
+        for (const ProgReg &r : programs_[si].regs) {
+            if (r.owned)
+                continue;
+            auto [owner, owner_slot] = regHome_[r.reg];
+            if (owner == UINT32_MAX)
+                panic("register %s has readers but no owner shard",
+                      nl.reg(r.reg).name.c_str());
+            RegMessage m;
+            m.ownerShard = owner;
+            m.ownerSlot = owner_slot;
+            m.readerShard = si;
+            m.readerSlot = r.cur;
+            m.words = static_cast<uint16_t>(wordsFor(r.width));
+            m.bytes = ((r.width + 31) / 32) * 4;
+            regMessages_.push_back(m);
+        }
+        readerRanges_[si].second =
+            static_cast<uint32_t>(regMessages_.size());
+    }
+
+    // Array write-port broadcasts, in netlist port order per memory.
+    // First index the replicas of each memory.
+    std::vector<std::vector<std::pair<uint32_t, uint32_t>>> replicas(
+        nl.numMemories());
+    for (uint32_t si = 0; si < nshards; ++si)
+        for (uint32_t mi = 0; mi < programs_[si].mems.size(); ++mi)
+            replicas[programs_[si].mems[mi].mem].emplace_back(si, mi);
+
+    for (MemId m = 0; m < nl.numMemories(); ++m) {
+        const Memory &mem = nl.mem(m);
+        for (NodeId port : mem.writePorts) {
+            // The shard owning this MemWrite sink: the one whose
+            // program contains the sink node.
+            uint32_t owner = UINT32_MAX;
+            for (uint32_t si = 0; si < nshards; ++si) {
+                if (programs_[si].slotOf.count(port)) {
+                    owner = si;
+                    break;
+                }
+            }
+            if (owner == UINT32_MAX)
+                panic("write port of %s not placed", mem.name.c_str());
+            const Node &n = nl.node(port);
+            PortBroadcast b;
+            b.ownerShard = owner;
+            b.addrSlot = programs_[owner].slotOf.at(n.operands[0]);
+            b.addrWidth = nl.widthOf(n.operands[0]);
+            b.dataSlot = programs_[owner].slotOf.at(n.operands[1]);
+            b.enSlot = programs_[owner].slotOf.at(n.operands[2]);
+            b.mem = m;
+            b.entryWords = wordsFor(mem.width);
+            b.depth = mem.depth;
+            b.replicas = replicas[m];
+            broadcasts_.push_back(std::move(b));
+        }
+    }
+
+    // The commit phase's per-shard schedule: every (broadcast,
+    // replica-on-this-shard) pair, in ascending broadcast (= global
+    // port) order, so colliding ports commit deterministically no
+    // matter how shards are distributed over workers.
+    replicaPlan_.assign(nshards, {});
+    for (uint32_t bi = 0; bi < broadcasts_.size(); ++bi)
+        for (auto [shard, mi] : broadcasts_[bi].replicas)
+            replicaPlan_[shard].emplace_back(bi, mi);
+
+    // Port bindings.
+    inputSlots_.assign(nl.numInputs(), {});
+    for (uint32_t si = 0; si < nshards; ++si)
+        for (const ProgPort &p : programs_[si].inputs)
+            inputSlots_[p.port].emplace_back(si, p.slot);
+    outputSlots_.assign(nl.numOutputs(), {UINT32_MAX, 0});
+    for (uint32_t si = 0; si < nshards; ++si)
+        for (const ProgPort &p : programs_[si].outputs)
+            outputSlots_[p.port] = {si, p.slot};
+}
+
+// -- BSP phases ----------------------------------------------------------
+
+void
+ShardSet::commitRange(size_t begin, size_t end)
+{
+    for (size_t si = begin; si < end; ++si) {
+        EvalState &mine = *states_[si];
+        for (auto [bi, mi] : replicaPlan_[si]) {
+            const PortBroadcast &b = broadcasts_[bi];
+            const EvalState &owner = *states_[b.ownerShard];
+            if (!(owner.slotPtr(b.enSlot)[0] & 1))
+                continue;
+            uint64_t addr = saturatingWideReadBits(
+                owner.slotPtr(b.addrSlot), b.addrWidth);
+            if (addr >= b.depth)
+                continue;
+            std::memcpy(mine.memImage(mi).data() + addr * b.entryWords,
+                        owner.slotPtr(b.dataSlot),
+                        b.entryWords * sizeof(uint64_t));
+        }
+    }
+}
+
+void
+ShardSet::latchRange(size_t begin, size_t end)
+{
+    for (size_t si = begin; si < end; ++si)
+        states_[si]->latchRegisters();
+}
+
+void
+ShardSet::exchangeRange(size_t begin, size_t end)
+{
+    for (size_t si = begin; si < end; ++si) {
+        auto [mb, me] = readerRanges_[si];
+        for (uint32_t i = mb; i < me; ++i) {
+            const RegMessage &m = regMessages_[i];
+            std::memcpy(states_[m.readerShard]->slotPtr(m.readerSlot),
+                        states_[m.ownerShard]->slotPtr(m.ownerSlot),
+                        m.words * sizeof(uint64_t));
+        }
+    }
+}
+
+void
+ShardSet::evalRange(size_t begin, size_t end)
+{
+    for (size_t si = begin; si < end; ++si)
+        states_[si]->evalComb();
+}
+
+void
+ShardSet::commitBroadcasts(util::BspPool *pool)
+{
+    if (pool)
+        pool->forEach(size(),
+                      [this](size_t b, size_t e) { commitRange(b, e); });
+    else
+        commitRange(0, size());
+}
+
+void
+ShardSet::latchRegisters(util::BspPool *pool)
+{
+    if (pool)
+        pool->forEach(size(),
+                      [this](size_t b, size_t e) { latchRange(b, e); });
+    else
+        latchRange(0, size());
+}
+
+void
+ShardSet::exchangeRegisters(util::BspPool *pool)
+{
+    if (pool)
+        pool->forEach(size(),
+                      [this](size_t b, size_t e) { exchangeRange(b, e); });
+    else
+        exchangeRange(0, size());
+}
+
+void
+ShardSet::evalAll(util::BspPool *pool)
+{
+    if (pool)
+        pool->forEach(size(),
+                      [this](size_t b, size_t e) { evalRange(b, e); });
+    else
+        evalRange(0, size());
+}
+
+void
+ShardSet::stepCycle(util::BspPool *pool)
+{
+    // Four supersteps realize the two BSP barriers of the machine
+    // model on the host: commit must finish before the latch may
+    // overwrite cur slots a write port reads from (a port's data
+    // operand can be a RegRead), the exchange reads owner cur slots
+    // the latch writes, and evaluation reads exchanged values.
+    commitBroadcasts(pool);
+    latchRegisters(pool);
+    exchangeRegisters(pool);
+    evalAll(pool);
+}
+
+void
+ShardSet::reset(util::BspPool *pool)
+{
+    for (auto &st : states_)
+        st->reset();
+    evalAll(pool);
+}
+
+// -- Name-based host access ----------------------------------------------
+
+void
+ShardSet::poke(const std::string &input, const BitVec &value)
+{
+    PortId id = nl_->findInput(input);
+    if (id == nl_->numInputs())
+        fatal("no input port named %s", input.c_str());
+    if (value.width() != nl_->input(id).width)
+        fatal("poke %s: width mismatch", input.c_str());
+    for (auto [shard, slot] : inputSlots_[id]) {
+        states_[shard]->writeSlot(slot, value);
+        states_[shard]->evalComb();
+    }
+}
+
+void
+ShardSet::poke(const std::string &input, uint64_t value)
+{
+    PortId id = nl_->findInput(input);
+    if (id == nl_->numInputs())
+        fatal("no input port named %s", input.c_str());
+    poke(input, BitVec(nl_->input(id).width, value));
+}
+
+BitVec
+ShardSet::peek(const std::string &output) const
+{
+    PortId id = nl_->findOutput(output);
+    if (id == nl_->numOutputs())
+        fatal("no output port named %s", output.c_str());
+    auto [shard, slot] = outputSlots_[id];
+    if (shard == UINT32_MAX)
+        fatal("output %s not placed", output.c_str());
+    return states_[shard]->readSlot(slot, nl_->output(id).width);
+}
+
+BitVec
+ShardSet::peekRegister(const std::string &reg) const
+{
+    RegId id = nl_->findRegister(reg);
+    if (id == nl_->numRegisters())
+        fatal("no register named %s", reg.c_str());
+    auto [shard, slot] = regHome_[id];
+    if (shard == UINT32_MAX)
+        fatal("register %s not placed", reg.c_str());
+    return states_[shard]->readSlot(slot, nl_->reg(id).width);
+}
+
+BitVec
+ShardSet::peekMemory(const std::string &mem, uint64_t index) const
+{
+    MemId id = nl_->findMemory(mem);
+    if (id == nl_->numMemories())
+        fatal("no memory named %s", mem.c_str());
+    for (size_t si = 0; si < programs_.size(); ++si) {
+        const EvalProgram &prog = programs_[si];
+        for (uint32_t mi = 0; mi < prog.mems.size(); ++mi) {
+            const ProgMem &pm = prog.mems[mi];
+            if (pm.mem != id)
+                continue;
+            if (index >= pm.depth)
+                fatal("memory %s index %llu out of range", mem.c_str(),
+                      static_cast<unsigned long long>(index));
+            const auto &img = states_[si]->memImage(mi);
+            std::vector<uint64_t> words(
+                img.begin() + index * pm.entryWords,
+                img.begin() + (index + 1) * pm.entryWords);
+            return BitVec(nl_->mem(id).width, std::move(words));
+        }
+    }
+    fatal("memory %s not placed on any shard", mem.c_str());
+}
+
+void
+ShardSet::save(std::ostream &out) const
+{
+    uint64_t nshards = states_.size();
+    out.write(reinterpret_cast<const char *>(&nshards),
+              sizeof(nshards));
+    for (const auto &st : states_)
+        st->save(out);
+}
+
+void
+ShardSet::restore(std::istream &in)
+{
+    uint64_t nshards = 0;
+    in.read(reinterpret_cast<char *>(&nshards), sizeof(nshards));
+    if (!in || nshards != states_.size())
+        fatal("checkpoint mismatch: shard count");
+    for (auto &st : states_)
+        st->restore(in);
+}
+
+} // namespace parendi::rtl

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * ShardSet: the functional core of every partitioned BSP host
+ * execution. A netlist is split into shards (per-IPU-tile processes in
+ * IpuMachine, per-host-thread partitions in ParallelInterpreter); each
+ * shard's node set is lowered to a private EvalProgram + EvalState, and
+ * the ShardSet derives the exchange schedule that keeps replicated
+ * state coherent across shards:
+ *
+ *  - register messages: the owner shard (the one computing RegNext)
+ *    sends the latched value to every shard holding a read-only copy;
+ *  - write-port broadcasts: each array write port, in global netlist
+ *    port order, is re-applied to every replica of the array
+ *    (differential exchange — address + data, not the whole array).
+ *
+ * One simulated cycle (stepCycle) is the BSP sequence
+ *
+ *    commit broadcasts -> latch registers -> exchange registers ->
+ *    evaluate combinational programs
+ *
+ * and every phase only writes state private to one shard, so each
+ * phase parallelizes over shards on a util::BspPool with a barrier
+ * between phases. The phase partitioning is chosen so the result is
+ * bit-identical at any worker count:
+ *
+ *  - commit: each shard applies, in ascending global port order, the
+ *    broadcasts that have a replica on it. A memory image is owned by
+ *    exactly one shard, so colliding ports hit each image in port
+ *    order; the owner's address/data/enable slots are read-only during
+ *    the phase.
+ *  - latch: copies next -> cur of locally owned registers only.
+ *  - exchange: sharded by *reader*: each shard copies in every foreign
+ *    register it reads. Destination slots are unique per message and
+ *    the owner's cur slots are stable after the latch barrier.
+ *  - evaluate: purely shard-private.
+ */
+
+#ifndef PARENDI_RTL_SHARD_HH
+#define PARENDI_RTL_SHARD_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "rtl/eval.hh"
+#include "rtl/netlist.hh"
+
+namespace parendi::util {
+class BspPool;
+}
+
+namespace parendi::rtl {
+
+class ShardSet
+{
+  public:
+    /** One register value flowing owner -> reader each cycle. */
+    struct RegMessage
+    {
+        uint32_t ownerShard;
+        uint32_t ownerSlot;     ///< cur slot in owner (post-latch value)
+        uint32_t readerShard;
+        uint32_t readerSlot;
+        uint16_t words;
+        uint32_t bytes;         ///< exchange payload (4B granules)
+    };
+
+    /** One array write port fanned out to every replica. */
+    struct PortBroadcast
+    {
+        uint32_t ownerShard;
+        uint32_t addrSlot;
+        uint16_t addrWidth;
+        uint32_t dataSlot;
+        uint32_t enSlot;
+        MemId mem;
+        uint32_t entryWords;
+        uint32_t depth;
+        /// (shard, program-local memory index) of every replica.
+        std::vector<std::pair<uint32_t, uint32_t>> replicas;
+    };
+
+    ShardSet() = default;
+
+    /**
+     * Build one shard per entry of @p nodeSets (each a topologically
+     * ascending node-id list, e.g. a sorted union of fiber cones) and
+     * derive the exchange schedule. Every register/memory-write/output
+     * sink of @p nl must be covered by some shard.
+     */
+    ShardSet(const Netlist &nl,
+             const std::vector<std::vector<NodeId>> &nodeSets,
+             const LowerOptions &lower);
+
+    // EvalStates hold references into programs_; both live in vectors
+    // whose heap buffers are stable, so the set is movable but not
+    // copyable.
+    ShardSet(ShardSet &&) = default;
+    ShardSet &operator=(ShardSet &&) = default;
+
+    size_t size() const { return programs_.size(); }
+    const EvalProgram &program(size_t i) const { return programs_[i]; }
+    EvalState &state(size_t i) { return *states_[i]; }
+    const EvalState &state(size_t i) const { return *states_[i]; }
+
+    // -- BSP execution (pool == nullptr -> sequential) -------------------
+
+    /** Full cycle: commit -> latch -> exchange -> evaluate. */
+    void stepCycle(util::BspPool *pool);
+
+    /** The individual phases, for hosts with bespoke compute phases. */
+    void commitBroadcasts(util::BspPool *pool);
+    void latchRegisters(util::BspPool *pool);
+    void exchangeRegisters(util::BspPool *pool);
+    void evalAll(util::BspPool *pool);
+
+    /** Restore initial images and re-evaluate all shards. */
+    void reset(util::BspPool *pool);
+
+    // -- Name-based host access ------------------------------------------
+
+    /** Drive an input on every shard holding it (and re-evaluate those
+     *  shards so the poke is combinationally visible). */
+    void poke(const std::string &input, const BitVec &value);
+    void poke(const std::string &input, uint64_t value);
+    BitVec peek(const std::string &output) const;
+    BitVec peekRegister(const std::string &reg) const;
+    /** Read one entry of a memory (from any replica; the exchange
+     *  keeps them identical). */
+    BitVec peekMemory(const std::string &mem, uint64_t index) const;
+
+    /** Serialize every shard's mutable state (count-prefixed). */
+    void save(std::ostream &out) const;
+    /** Restore a checkpoint from the same compiled configuration. */
+    void restore(std::istream &in);
+
+    // -- Exchange schedule, for cost accounting --------------------------
+
+    const std::vector<RegMessage> &regMessages() const
+    {
+        return regMessages_;
+    }
+    const std::vector<PortBroadcast> &broadcasts() const
+    {
+        return broadcasts_;
+    }
+    /** (shard, cur slot) of a register's owner. */
+    std::pair<uint32_t, uint32_t> regHome(RegId r) const
+    {
+        return regHome_[r];
+    }
+
+    const Netlist &netlist() const { return *nl_; }
+
+  private:
+    void buildExchange();
+    void commitRange(size_t begin, size_t end);
+    void latchRange(size_t begin, size_t end);
+    void exchangeRange(size_t begin, size_t end);
+    void evalRange(size_t begin, size_t end);
+
+    const Netlist *nl_ = nullptr;
+    std::vector<EvalProgram> programs_;
+    std::vector<std::unique_ptr<EvalState>> states_;
+
+    /// grouped by reader shard; readerRanges_[s] = [begin, end)
+    std::vector<RegMessage> regMessages_;
+    std::vector<std::pair<uint32_t, uint32_t>> readerRanges_;
+    std::vector<PortBroadcast> broadcasts_;
+    /// per shard: (broadcast index ascending, program-local mem index)
+    std::vector<std::vector<std::pair<uint32_t, uint32_t>>> replicaPlan_;
+
+    /// input port -> [(shard, slot)] replicas
+    std::vector<std::vector<std::pair<uint32_t, uint32_t>>> inputSlots_;
+    /// output port -> (shard, slot)
+    std::vector<std::pair<uint32_t, uint32_t>> outputSlots_;
+    /// register -> (shard, cur slot) of its owner
+    std::vector<std::pair<uint32_t, uint32_t>> regHome_;
+};
+
+} // namespace parendi::rtl
+
+#endif // PARENDI_RTL_SHARD_HH

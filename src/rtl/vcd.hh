@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "core/engine.hh"
 #include "rtl/bitvec.hh"
 #include "rtl/interp.hh"
 
@@ -60,25 +61,31 @@ class VcdWriter
 };
 
 /**
- * Convenience tracer around the reference interpreter: traces all
- * registers and output ports each cycle.
+ * Convenience tracer around any SimEngine: traces all registers and
+ * output ports each cycle. Works identically for the reference
+ * interpreter, the event-driven interpreter, the IPU machine, and the
+ * parallel host interpreter (they are bit-identical, so so are their
+ * waveforms).
  */
-class InterpreterTracer
+class EngineTracer
 {
   public:
-    InterpreterTracer(Interpreter &sim, std::ostream &out);
+    EngineTracer(core::SimEngine &sim, std::ostream &out);
 
-    /** Step the interpreter and dump one VCD timestep. */
+    /** Step the engine and dump one VCD timestep. */
     void step(size_t n = 1);
 
   private:
     void sampleNow();
 
-    Interpreter &sim;
+    core::SimEngine &sim;
     VcdWriter writer;
     std::vector<std::string> regNames;
     std::vector<std::string> outNames;
 };
+
+/// Historical name, from when only the reference interpreter traced.
+using InterpreterTracer = EngineTracer;
 
 } // namespace parendi::rtl
 

@@ -1,19 +1,22 @@
 /**
  * @file
  * The `parendi` command-line driver: compile a Verilog (.v) or PNL
- * (.pnl) design for the simulated IPU system and run it.
+ * (.pnl) design and run it on one of the functional engines.
  *
  *   parendi [options] <design.v|design.pnl>
  *     --cycles N        simulate N cycles (default 1000)
- *     --tiles N         tiles per chip (default 1472)
- *     --chips N         IPU chips, 1-4 (default 1)
+ *     --engine E        interp | event | ipu | par (default ipu)
+ *     --threads N       host worker threads for ipu/par engines
+ *     --tiles N         tiles per chip (default 1472, ipu engine)
+ *     --chips N         IPU chips, 1-4 (default 1, ipu engine)
  *     --strategy B|H    single-chip partitioning (default B)
  *     --multi pre|post|none   multi-chip strategy (default pre)
  *     --no-opt          disable the netlist optimizer
  *     --no-diff         disable differential array exchange
  *     --vcd FILE        trace registers/outputs to a VCD file
- *                       (runs on the reference interpreter)
+ *                       (on whichever engine is selected)
  *     --report          print the compile/performance report only
+ *                       (ipu engine)
  *     --peek NAME       print output port NAME after the run
  *                       (repeatable)
  */
@@ -21,10 +24,12 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/compiler.hh"
+#include "core/engine.hh"
 #include "core/stats.hh"
 #include "frontend/pnl.hh"
 #include "frontend/verilog.hh"
@@ -39,6 +44,8 @@ struct Args
 {
     std::string file;
     uint64_t cycles = 1000;
+    std::string engine = "ipu";
+    uint32_t threads = 0;
     uint32_t tiles = 1472;
     uint32_t chips = 1;
     bool hyper = false;
@@ -54,7 +61,9 @@ struct Args
 usage()
 {
     std::fprintf(stderr,
-                 "usage: parendi [--cycles N] [--tiles N] [--chips N] "
+                 "usage: parendi [--cycles N] "
+                 "[--engine interp|event|ipu|par] [--threads N]\n"
+                 "               [--tiles N] [--chips N] "
                  "[--strategy B|H]\n"
                  "               [--multi pre|post|none] [--no-opt] "
                  "[--no-diff]\n"
@@ -76,6 +85,10 @@ parseArgs(int argc, char **argv)
         };
         if (arg == "--cycles")
             a.cycles = std::stoull(value());
+        else if (arg == "--engine")
+            a.engine = value();
+        else if (arg == "--threads")
+            a.threads = static_cast<uint32_t>(std::stoul(value()));
         else if (arg == "--tiles")
             a.tiles = static_cast<uint32_t>(std::stoul(value()));
         else if (arg == "--chips")
@@ -127,63 +140,83 @@ main(int argc, char **argv)
         std::printf("parsed %s: %s\n", args.file.c_str(),
                     rtl::describe(nl).c_str());
 
-        core::CompilerOptions opt;
-        opt.chips = args.chips;
-        opt.tilesPerChip = args.tiles;
-        opt.optimize = args.optimize;
-        opt.machine.differentialExchange = args.diffExchange;
-        if (args.hyper)
-            opt.single = partition::SingleChipStrategy::Hypergraph;
-        if (args.multi == "post")
-            opt.multi = partition::MultiChipStrategy::Post;
-        else if (args.multi == "none")
-            opt.multi = partition::MultiChipStrategy::None;
-        else if (args.multi != "pre")
-            usage();
+        core::EngineKind kind = core::parseEngineKind(args.engine);
 
-        // The VCD path runs the reference interpreter (tracing wants
-        // every register every cycle anyway).
+        // Every engine is driven through the SimEngine interface;
+        // the ipu engine keeps the full compile path so the report
+        // and machine-shape flags apply.
+        std::unique_ptr<core::Simulation> sim;
+        std::unique_ptr<core::SimEngine> owned;
+        core::SimEngine *engine = nullptr;
+        if (kind == core::EngineKind::Ipu) {
+            core::CompilerOptions opt;
+            opt.chips = args.chips;
+            opt.tilesPerChip = args.tiles;
+            opt.optimize = args.optimize;
+            opt.machine.differentialExchange = args.diffExchange;
+            opt.machine.hostThreads = args.threads;
+            if (args.hyper)
+                opt.single = partition::SingleChipStrategy::Hypergraph;
+            if (args.multi == "post")
+                opt.multi = partition::MultiChipStrategy::Post;
+            else if (args.multi == "none")
+                opt.multi = partition::MultiChipStrategy::None;
+            else if (args.multi != "pre")
+                usage();
+
+            sim = core::compile(std::move(nl), opt);
+            engine = &sim->machine();
+
+            const core::CompileReport &r = sim->report();
+            std::printf("compiled in %.3fs: %zu fibers -> %zu "
+                        "processes on %u chip(s); optimizer removed "
+                        "%zu of %zu nodes\n",
+                        r.compileSeconds, r.fibers, r.processes,
+                        r.chips,
+                        r.optStats.nodesBefore - r.optStats.nodesAfter,
+                        r.optStats.nodesBefore);
+            const ipu::CycleCosts &c = sim->cycleCosts();
+            std::printf("model: %.2f kHz (t_comp=%.0f t_comm=%.0f "
+                        "t_sync=%.0f IPU cycles/RTL cycle); max tile "
+                        "memory %.1f KiB\n",
+                        sim->rateKHz(), c.tComp, c.tComm(), c.tSync,
+                        static_cast<double>(r.maxTileMemBytes) /
+                            1024.0);
+            if (args.reportOnly) {
+                std::printf("%s",
+                            core::describeSimulation(*sim).c_str());
+                return 0;
+            }
+        } else {
+            if (args.reportOnly)
+                fatal("--report requires --engine ipu");
+            core::EngineOptions eopt;
+            eopt.kind = kind;
+            eopt.threads = args.threads;
+            if (args.optimize)
+                nl = rtl::optimize(std::move(nl));
+            owned = core::makeEngine(std::move(nl), eopt);
+            engine = owned.get();
+        }
+
         if (!args.vcdPath.empty()) {
             std::ofstream vcd(args.vcdPath);
             if (!vcd)
                 fatal("cannot write %s", args.vcdPath.c_str());
-            rtl::Interpreter sim(nl);
-            rtl::InterpreterTracer tracer(sim, vcd);
+            rtl::EngineTracer tracer(*engine, vcd);
             tracer.step(args.cycles);
-            std::printf("traced %llu cycles to %s\n",
+            std::printf("traced %llu cycles to %s (engine %s)\n",
                         static_cast<unsigned long long>(args.cycles),
-                        args.vcdPath.c_str());
-            for (const std::string &p : args.peeks)
-                std::printf("%s = 0x%s\n", p.c_str(),
-                            sim.peek(p).toHex().c_str());
-            return 0;
+                        args.vcdPath.c_str(), engine->engineName());
+        } else {
+            engine->step(args.cycles);
+            std::printf("simulated %llu cycles (engine %s)\n",
+                        static_cast<unsigned long long>(args.cycles),
+                        engine->engineName());
         }
-
-        auto sim = core::compile(std::move(nl), opt);
-        const core::CompileReport &r = sim->report();
-        std::printf("compiled in %.3fs: %zu fibers -> %zu processes "
-                    "on %u chip(s); optimizer removed %zu of %zu "
-                    "nodes\n",
-                    r.compileSeconds, r.fibers, r.processes, r.chips,
-                    r.optStats.nodesBefore - r.optStats.nodesAfter,
-                    r.optStats.nodesBefore);
-        const ipu::CycleCosts &c = sim->cycleCosts();
-        std::printf("model: %.2f kHz (t_comp=%.0f t_comm=%.0f "
-                    "t_sync=%.0f IPU cycles/RTL cycle); max tile "
-                    "memory %.1f KiB\n",
-                    sim->rateKHz(), c.tComp, c.tComm(), c.tSync,
-                    static_cast<double>(r.maxTileMemBytes) / 1024.0);
-        if (args.reportOnly) {
-            std::printf("%s", core::describeSimulation(*sim).c_str());
-            return 0;
-        }
-
-        sim->step(args.cycles);
-        std::printf("simulated %llu cycles\n",
-                    static_cast<unsigned long long>(args.cycles));
         for (const std::string &p : args.peeks)
             std::printf("%s = 0x%s\n", p.c_str(),
-                        sim->machine().peek(p).toHex().c_str());
+                        engine->peek(p).toHex().c_str());
         return 0;
     } catch (const FatalError &) {
         return 1;

@@ -1,0 +1,100 @@
+#include "util/bsp_pool.hh"
+
+#include <algorithm>
+
+namespace parendi::util {
+
+namespace {
+
+/** Spin iterations before falling back to a futex wait. Small on
+ *  purpose: when workers outnumber cores the fast path never wins and
+ *  the wait path must engage quickly. */
+constexpr int kSpinIters = 256;
+
+} // namespace
+
+BspPool::BspPool(uint32_t threads)
+    : nthreads_(std::max<uint32_t>(threads, 1))
+{
+    workers_.reserve(nthreads_ - 1);
+    for (uint32_t w = 1; w < nthreads_; ++w)
+        workers_.emplace_back([this, w]() { workerLoop(w); });
+}
+
+BspPool::~BspPool()
+{
+    if (workers_.empty())
+        return;
+    stop_.store(true, std::memory_order_release);
+    epoch_.fetch_add(1, std::memory_order_release);
+    epoch_.notify_all();
+    for (std::thread &t : workers_)
+        t.join();
+}
+
+void
+BspPool::awaitEpoch(uint64_t seen)
+{
+    for (int i = 0; i < kSpinIters; ++i)
+        if (epoch_.load(std::memory_order_acquire) != seen)
+            return;
+    while (epoch_.load(std::memory_order_acquire) == seen)
+        epoch_.wait(seen, std::memory_order_acquire);
+}
+
+void
+BspPool::workerLoop(uint32_t worker)
+{
+    uint64_t seen = 0;
+    for (;;) {
+        awaitEpoch(seen);
+        seen = epoch_.load(std::memory_order_acquire);
+        if (stop_.load(std::memory_order_acquire))
+            return;
+        (*job_)(worker);
+        arrived_.fetch_add(1, std::memory_order_release);
+        arrived_.notify_one();
+    }
+}
+
+void
+BspPool::run(const std::function<void(uint32_t)> &job)
+{
+    if (workers_.empty()) {
+        job(0);
+        return;
+    }
+    job_ = &job;
+    arrived_.store(0, std::memory_order_relaxed);
+    epoch_.fetch_add(1, std::memory_order_release);
+    epoch_.notify_all();
+    job(0);
+    const uint32_t target = nthreads_ - 1;
+    for (int i = 0; i < kSpinIters; ++i)
+        if (arrived_.load(std::memory_order_acquire) == target)
+            return;
+    uint32_t got;
+    while ((got = arrived_.load(std::memory_order_acquire)) != target)
+        arrived_.wait(got, std::memory_order_acquire);
+}
+
+void
+BspPool::forEach(size_t n,
+                 const std::function<void(size_t, size_t)> &body)
+{
+    if (n == 0)
+        return;
+    if (workers_.empty() || n == 1) {
+        body(0, n);
+        return;
+    }
+    const size_t chunk = (n + nthreads_ - 1) / nthreads_;
+    run([&](uint32_t w) {
+        size_t begin = std::min(n, w * chunk);
+        size_t end = std::min(n, begin + chunk);
+        if (begin < end)
+            body(begin, end);
+    });
+}
+
+} // namespace parendi::util

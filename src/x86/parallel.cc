@@ -1,0 +1,116 @@
+#include "x86/parallel.hh"
+
+#include <algorithm>
+#include <istream>
+#include <numeric>
+#include <ostream>
+#include <vector>
+
+#include "fiber/fiber.hh"
+#include "partition/process.hh"
+
+namespace parendi::rtl {
+
+ParallelInterpreter::ParallelInterpreter(Netlist netlist,
+                                         uint32_t threads,
+                                         const LowerOptions &lower)
+    : nl_(std::move(netlist))
+{
+    fiber::FiberSet fs(nl_);
+    size_t nshards = std::max<size_t>(
+        1, std::min<size_t>(threads, fs.size()));
+
+    // LPT over the per-fiber x86 cost: heaviest fiber first onto the
+    // least-loaded shard. Ties break on ascending fiber index so the
+    // packing (and thus the shard programs) is deterministic.
+    std::vector<uint32_t> order(fs.size());
+    std::iota(order.begin(), order.end(), 0u);
+    std::stable_sort(order.begin(), order.end(),
+                     [&fs](uint32_t a, uint32_t b) {
+                         return fs[a].totalX86 > fs[b].totalX86;
+                     });
+    std::vector<uint64_t> load(nshards, 0);
+    std::vector<std::vector<NodeId>> nodeSets(nshards);
+    for (uint32_t fi : order) {
+        size_t best = 0;
+        for (size_t s = 1; s < nshards; ++s)
+            if (load[s] < load[best])
+                best = s;
+        load[best] += fs[fi].totalX86;
+        nodeSets[best] =
+            partition::sortedUnion(nodeSets[best], fs[fi].cone);
+    }
+
+    shards_ = ShardSet(nl_, nodeSets, lower);
+    if (threads >= 2 && shards_.size() >= 2)
+        pool_ = std::make_unique<util::BspPool>(
+            static_cast<uint32_t>(shards_.size()));
+    // Evaluate combinational logic once so outputs are observable
+    // before the first clock edge.
+    shards_.evalAll(pool_.get());
+}
+
+void
+ParallelInterpreter::step(size_t n)
+{
+    for (size_t i = 0; i < n; ++i) {
+        shards_.stepCycle(pool_.get());
+        ++cycleCount_;
+    }
+}
+
+void
+ParallelInterpreter::reset()
+{
+    shards_.reset(pool_.get());
+    cycleCount_ = 0;
+}
+
+void
+ParallelInterpreter::poke(const std::string &input, const BitVec &value)
+{
+    shards_.poke(input, value);
+}
+
+void
+ParallelInterpreter::poke(const std::string &input, uint64_t value)
+{
+    shards_.poke(input, value);
+}
+
+BitVec
+ParallelInterpreter::peek(const std::string &output) const
+{
+    return shards_.peek(output);
+}
+
+BitVec
+ParallelInterpreter::peekRegister(const std::string &reg) const
+{
+    return shards_.peekRegister(reg);
+}
+
+BitVec
+ParallelInterpreter::peekMemory(const std::string &mem,
+                                uint64_t index) const
+{
+    return shards_.peekMemory(mem, index);
+}
+
+void
+ParallelInterpreter::save(std::ostream &out) const
+{
+    out.write(reinterpret_cast<const char *>(&cycleCount_),
+              sizeof(cycleCount_));
+    shards_.save(out);
+}
+
+void
+ParallelInterpreter::restore(std::istream &in)
+{
+    in.read(reinterpret_cast<char *>(&cycleCount_),
+            sizeof(cycleCount_));
+    shards_.restore(in);
+}
+
+} // namespace parendi::rtl

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * ParallelInterpreter: a functional multi-threaded host engine (the
+ * "thousand-way parallel" execution model run at host scale). The
+ * design is decomposed into fibers (paper §3.1) which are packed onto
+ * one shard per worker thread by LPT over the x86 cost model; the
+ * shards execute as an rtl::ShardSet on a persistent util::BspPool,
+ * i.e. the exact BSP cycle the simulated IPU machine runs, so the
+ * engine is bit-identical to the reference rtl::Interpreter at any
+ * thread count by construction.
+ *
+ * Declared in namespace parendi::rtl (it is an RTL engine), built in
+ * parendi_x86 because the fiber decomposition lives above parendi_rtl
+ * in the library stack.
+ */
+
+#ifndef PARENDI_X86_PARALLEL_HH
+#define PARENDI_X86_PARALLEL_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "core/engine.hh"
+#include "rtl/netlist.hh"
+#include "rtl/shard.hh"
+#include "util/bsp_pool.hh"
+
+namespace parendi::rtl {
+
+class ParallelInterpreter : public core::SimEngine
+{
+  public:
+    /** Takes the netlist by value (copy or move). @p threads host
+     *  workers (0/1 = one shard, sequential); the shard count is
+     *  min(threads, number of fibers). */
+    explicit ParallelInterpreter(Netlist nl, uint32_t threads = 0,
+                                 const LowerOptions &lower =
+                                     LowerOptions{});
+
+    // The shard set points at the netlist member; the object must
+    // stay put.
+    ParallelInterpreter(const ParallelInterpreter &) = delete;
+    ParallelInterpreter &operator=(const ParallelInterpreter &) = delete;
+
+    const char *engineName() const override { return "par"; }
+    const Netlist &netlist() const override { return nl_; }
+
+    void step(size_t n = 1) override;
+    void reset() override;
+    uint64_t cycles() const override { return cycleCount_; }
+
+    void poke(const std::string &input, const BitVec &value) override;
+    void poke(const std::string &input, uint64_t value) override;
+    BitVec peek(const std::string &output) const override;
+    BitVec peekRegister(const std::string &reg) const override;
+    BitVec peekMemory(const std::string &mem,
+                      uint64_t index) const override;
+
+    /** Checkpoint all simulation state (including the cycle count);
+     *  compatible only with the same design at the same shard count. */
+    void save(std::ostream &out) const;
+    void restore(std::istream &in);
+
+    /** Shards actually built (<= requested threads). */
+    size_t numShards() const { return shards_.size(); }
+
+  private:
+    Netlist nl_;
+    ShardSet shards_;
+    std::unique_ptr<util::BspPool> pool_;   ///< null -> sequential
+    uint64_t cycleCount_ = 0;
+};
+
+} // namespace parendi::rtl
+
+#endif // PARENDI_X86_PARALLEL_HH
