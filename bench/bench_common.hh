@@ -9,7 +9,9 @@
 #define PARENDI_BENCH_COMMON_HH
 
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <fstream>
 #include <memory>
 #include <string>
@@ -174,7 +176,47 @@ extractJsonFlag(int &argc, char **argv)
     return path;
 }
 
-/** Write records as a JSON array of objects; fatal() on I/O error. */
+/** Commit the results belong to: PARENDI_GIT_SHA (CI sets it from the
+ *  checkout), else `git rev-parse HEAD`, else "unknown". */
+inline std::string
+benchGitSha()
+{
+    const char *env = std::getenv("PARENDI_GIT_SHA");
+    if (env && *env)
+        return env;
+    std::string sha;
+    if (FILE *p = popen("git rev-parse HEAD 2>/dev/null", "r")) {
+        char buf[128];
+        if (std::fgets(buf, sizeof buf, p))
+            sha = buf;
+        pclose(p);
+    }
+    while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r'))
+        sha.pop_back();
+    if (sha.size() != 40 ||
+        sha.find_first_not_of("0123456789abcdef") != std::string::npos)
+        return "unknown";
+    return sha;
+}
+
+/** UTC wall-clock in ISO-8601 (e.g. "2025-07-01T12:34:56Z"). */
+inline std::string
+benchTimestampIso()
+{
+    std::time_t now = std::time(nullptr);
+    std::tm tm{};
+    gmtime_r(&now, &tm);
+    char buf[32];
+    std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%SZ", &tm);
+    return buf;
+}
+
+/**
+ * Write the measurements as one JSON object: provenance metadata
+ * (git SHA, UTC timestamp) plus a "records" array of
+ * {design, engine, threads, cycles_per_sec}. This is the BENCH_*.json
+ * trajectory format; fatal() on I/O error.
+ */
 inline void
 writePerfJson(const std::string &path,
               const std::vector<PerfRecord> &records)
@@ -182,16 +224,19 @@ writePerfJson(const std::string &path,
     std::ofstream out(path);
     if (!out)
         fatal("cannot write %s", path.c_str());
-    out << "[\n";
+    out << "{\n"
+        << "  \"git_sha\": \"" << benchGitSha() << "\",\n"
+        << "  \"timestamp\": \"" << benchTimestampIso() << "\",\n"
+        << "  \"records\": [\n";
     for (size_t i = 0; i < records.size(); ++i) {
         const PerfRecord &r = records[i];
-        out << "  {\"design\": \"" << r.design << "\", "
+        out << "    {\"design\": \"" << r.design << "\", "
             << "\"engine\": \"" << r.engine << "\", "
             << "\"threads\": " << r.threads << ", "
             << "\"cycles_per_sec\": " << r.cyclesPerSec << "}"
             << (i + 1 < records.size() ? "," : "") << "\n";
     }
-    out << "]\n";
+    out << "  ]\n}\n";
     if (!out)
         fatal("error writing %s", path.c_str());
 }

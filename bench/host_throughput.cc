@@ -8,13 +8,16 @@
  * evaluation kernel and compile pipeline.
  *
  * `--json FILE` additionally runs a fixed engine matrix (reference
- * interpreter, IpuMachine with the persistent pool and with the
- * legacy per-cycle thread spawn, ParallelInterpreter at several
- * thread counts) on bitcoin and writes the measured cycles/s as a
- * JSON array of {design, engine, threads, cycles_per_sec} records.
- * Combine with --benchmark_filter=NONE to skip the google-benchmark
- * suite and only emit the matrix. PARENDI_BENCH_FAST=1 trims the
- * measured cycle counts.
+ * interpreter, the JIT-compiled cgen engine, IpuMachine with the
+ * persistent pool and with the legacy per-cycle thread spawn,
+ * ParallelInterpreter with and without native kernels at several
+ * thread counts) on pico and bitcoin and writes the measured cycles/s
+ * as a JSON object: git SHA + ISO timestamp metadata plus
+ * {design, engine, threads, cycles_per_sec} records (the BENCH_*.json
+ * trajectory format — see scripts/bench_baseline.sh). Combine with
+ * --benchmark_filter=NONE to skip the google-benchmark suite and only
+ * emit the matrix. PARENDI_BENCH_FAST=1 trims the measured cycle
+ * counts.
  */
 
 #include <benchmark/benchmark.h>
@@ -22,11 +25,15 @@
 #include <algorithm>
 #include <chrono>
 
+#include <fstream>
+
 #include "bench_common.hh"
 #include "core/compiler.hh"
 #include "core/engine.hh"
 #include "designs/designs.hh"
+#include "rtl/cgen.hh"
 #include "rtl/interp.hh"
+#include "rtl/vcd.hh"
 #include "util/logging.hh"
 #include "x86/parallel.hh"
 
@@ -91,6 +98,47 @@ BM_InterpBitcoinSpecializedOnly(benchmark::State &state)
 BENCHMARK(BM_InterpBitcoinSpecializedOnly);
 
 void
+BM_CgenPico(benchmark::State &state)
+{
+    rtl::CgenInterpreter sim(
+        designs::makePico(designs::defaultCoreConfig()));
+    if (!sim.native())
+        state.SkipWithError("cgen toolchain unavailable");
+    for (auto _ : state)
+        sim.step();
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CgenPico);
+
+void
+BM_CgenBitcoin(benchmark::State &state)
+{
+    rtl::CgenInterpreter sim(designs::makeBitcoin({2, 16}));
+    if (!sim.native())
+        state.SkipWithError("cgen toolchain unavailable");
+    for (auto _ : state)
+        sim.step();
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CgenBitcoin);
+
+void
+BM_TracedInterpBitcoin(benchmark::State &state)
+{
+    // Steady-state VCD sampling is allocation-free: EngineTracer keeps
+    // one scratch BitVec per traced signal and refills it in place via
+    // peekInto(), so the per-cycle delta over BM_InterpBitcoin is pure
+    // compare-and-format — no malloc on this path.
+    rtl::Interpreter sim(designs::makeBitcoin({2, 16}));
+    std::ofstream null("/dev/null");
+    rtl::EngineTracer tracer(sim, null);
+    for (auto _ : state)
+        tracer.step();
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TracedInterpBitcoin);
+
+void
 BM_InterpMesh(benchmark::State &state)
 {
     rtl::Interpreter sim(
@@ -116,14 +164,21 @@ BM_MachineStepMesh(benchmark::State &state)
 BENCHMARK(BM_MachineStepMesh)->Arg(2)->Arg(3);
 
 std::unique_ptr<core::Simulation>
-compileBitcoin(uint32_t host_threads, bool persistent_pool)
+compileDesign(const std::string &design, uint32_t host_threads,
+              bool persistent_pool)
 {
     setQuiet(true);
     core::CompilerOptions opt;
     opt.tilesPerChip = 256;
     opt.machine.hostThreads = host_threads;
     opt.machine.persistentPool = persistent_pool;
-    return core::compile(designs::makeBitcoin({4, 16}), opt);
+    return core::compile(bench::makeDesign(design), opt);
+}
+
+std::unique_ptr<core::Simulation>
+compileBitcoin(uint32_t host_threads, bool persistent_pool)
+{
+    return compileDesign("bitcoin", host_threads, persistent_pool);
 }
 
 void
@@ -196,21 +251,28 @@ BENCHMARK(BM_FiberExtraction)->Arg(2)->Arg(4)
 double
 measureCyclesPerSec(core::SimEngine &engine, size_t cycles)
 {
+    // Repeat the measured block until enough wall time has elapsed:
+    // the fast engines run `cycles` in well under a millisecond, where
+    // a single timing is dominated by clock granularity and scheduler
+    // noise.
     using clock = std::chrono::steady_clock;
+    const double min_secs = bench::fastMode() ? 0.05 : 0.25;
     engine.step(std::max<size_t>(cycles / 10, 8)); // warm up
+    size_t done = 0;
+    double secs = 0;
     auto t0 = clock::now();
-    engine.step(cycles);
-    auto t1 = clock::now();
-    double secs = std::chrono::duration<double>(t1 - t0).count();
-    return secs > 0 ? static_cast<double>(cycles) / secs : 0;
+    do {
+        engine.step(cycles);
+        done += cycles;
+        secs = std::chrono::duration<double>(clock::now() - t0).count();
+    } while (secs < min_secs);
+    return secs > 0 ? static_cast<double>(done) / secs : 0;
 }
 
-std::vector<bench::PerfRecord>
-runEngineMatrix()
+void
+runEngineMatrixFor(const std::string &design, size_t cycles,
+                   std::vector<bench::PerfRecord> &recs)
 {
-    const std::string design = "bitcoin";
-    const size_t cycles = bench::fastMode() ? 200 : 2000;
-    std::vector<bench::PerfRecord> recs;
     auto record = [&](const std::string &engine_name, uint32_t threads,
                       core::SimEngine &engine) {
         recs.push_back({design, engine_name, threads,
@@ -221,13 +283,21 @@ runEngineMatrix()
         rtl::Interpreter sim(bench::makeOptimized(design));
         record("interp", 1, sim);
     }
+    {
+        rtl::CgenInterpreter sim(bench::makeOptimized(design));
+        if (sim.native())
+            record("cgen", 1, sim);
+        else
+            warn("cgen toolchain unavailable; omitting cgen rows "
+                 "for %s", design.c_str());
+    }
     for (uint32_t threads : {1u, 8u}) {
-        auto sim = compileBitcoin(threads, true);
+        auto sim = compileDesign(design, threads, true);
         record("ipu", threads, sim->machine());
     }
     {
         // The seed's per-cycle-spawn baseline at the same thread count.
-        auto sim = compileBitcoin(8, false);
+        auto sim = compileDesign(design, 8, false);
         record("ipu-spawn", 8, sim->machine());
     }
     for (uint32_t threads : {1u, 2u, 8u}) {
@@ -235,6 +305,23 @@ runEngineMatrix()
                                      threads);
         record("par", threads, sim);
     }
+    for (uint32_t threads : {1u, 8u}) {
+        // Same BSP supersteps, native evaluate phase (--engine par
+        // --cgen on the CLI).
+        rtl::ParallelInterpreter sim(bench::makeOptimized(design),
+                                     threads);
+        if (sim.enableNativeKernels() == sim.numShards())
+            record("par-cgen", threads, sim);
+    }
+}
+
+std::vector<bench::PerfRecord>
+runEngineMatrix()
+{
+    const size_t cycles = bench::fastMode() ? 200 : 2000;
+    std::vector<bench::PerfRecord> recs;
+    for (const char *design : {"pico", "bitcoin"})
+        runEngineMatrixFor(design, cycles, recs);
     return recs;
 }
 

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Measure the host engine matrix and write the per-PR perf baseline
+# (BENCH_PR<N>.json at the repo root — the BENCH_*.json trajectory).
+# Usage: scripts/bench_baseline.sh [OUT.json]
+#   BUILD_DIR=dir          build directory (default build-bench, Release)
+#   PARENDI_BENCH_FAST=1   trim measured cycle counts (CI smoke)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR=${BUILD_DIR:-build-bench}
+OUT=${1:-BENCH_PR3.json}
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD_DIR" -j"$(nproc)" --target host_throughput
+
+# --benchmark_filter=NONE skips the google-benchmark suite; only the
+# --json engine matrix (pico + bitcoin across every engine) runs.
+"$BUILD_DIR"/bench/host_throughput --benchmark_filter=NONE --json "$OUT"
+echo "wrote $OUT"

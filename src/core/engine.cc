@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "core/compiler.hh"
+#include "rtl/cgen.hh"
 #include "rtl/event.hh"
 #include "rtl/interp.hh"
 #include "util/logging.hh"
@@ -21,7 +22,9 @@ parseEngineKind(const std::string &name)
         return EngineKind::Ipu;
     if (name == "par")
         return EngineKind::Par;
-    fatal("unknown engine '%s' (expected interp|event|ipu|par)",
+    if (name == "cgen")
+        return EngineKind::Cgen;
+    fatal("unknown engine '%s' (expected interp|event|ipu|par|cgen)",
           name.c_str());
 }
 
@@ -73,6 +76,17 @@ class CompiledIpuEngine : public SimEngine
     {
         return sim_->machine().peekMemory(mem, index);
     }
+    void
+    peekInto(const std::string &output, rtl::BitVec &out) const override
+    {
+        sim_->machine().peekInto(output, out);
+    }
+    void
+    peekRegisterInto(const std::string &reg,
+                     rtl::BitVec &out) const override
+    {
+        sim_->machine().peekRegisterInto(reg, out);
+    }
 
   private:
     std::unique_ptr<Simulation> sim_;
@@ -83,6 +97,10 @@ class CompiledIpuEngine : public SimEngine
 std::unique_ptr<SimEngine>
 makeEngine(rtl::Netlist nl, const EngineOptions &opt)
 {
+    if (opt.cgen && opt.kind != EngineKind::Par &&
+        opt.kind != EngineKind::Cgen)
+        warn("native kernels (--cgen) only apply to the par and cgen "
+             "engines; ignoring");
     switch (opt.kind) {
       case EngineKind::Interp:
         return std::make_unique<rtl::Interpreter>(std::move(nl),
@@ -90,9 +108,16 @@ makeEngine(rtl::Netlist nl, const EngineOptions &opt)
       case EngineKind::Event:
         return std::make_unique<rtl::EventInterpreter>(std::move(nl),
                                                        opt.lower);
-      case EngineKind::Par:
-        return std::make_unique<rtl::ParallelInterpreter>(
+      case EngineKind::Cgen:
+        return std::make_unique<rtl::CgenInterpreter>(std::move(nl),
+                                                      opt.lower);
+      case EngineKind::Par: {
+        auto par = std::make_unique<rtl::ParallelInterpreter>(
             std::move(nl), opt.threads, opt.lower);
+        if (opt.cgen)
+            par->enableNativeKernels();
+        return par;
+      }
       case EngineKind::Ipu: {
         CompilerOptions copt;
         copt.lower = opt.lower;

@@ -33,7 +33,7 @@ class SimEngine
   public:
     virtual ~SimEngine() = default;
 
-    /** Stable identifier ("interp", "event", "ipu", "par"). */
+    /** Stable identifier ("interp", "event", "ipu", "par", "cgen"). */
     virtual const char *engineName() const = 0;
 
     /** The design this engine simulates. */
@@ -62,12 +62,31 @@ class SimEngine
     /** Read one memory entry by memory name. */
     virtual rtl::BitVec peekMemory(const std::string &mem,
                                    uint64_t index) const = 0;
+
+    /**
+     * peek()/peekRegister() into a caller-owned BitVec. Engines with
+     * direct slot access override these to reuse @p out's buffer (the
+     * allocation-free sampling path of the VCD tracer); the default
+     * just forwards to the allocating peek.
+     */
+    virtual void
+    peekInto(const std::string &output, rtl::BitVec &out) const
+    {
+        out = peek(output);
+    }
+
+    virtual void
+    peekRegisterInto(const std::string &reg, rtl::BitVec &out) const
+    {
+        out = peekRegister(reg);
+    }
 };
 
 /** Which engine makeEngine() instantiates. */
-enum class EngineKind { Interp, Event, Ipu, Par };
+enum class EngineKind { Interp, Event, Ipu, Par, Cgen };
 
-/** Parse "interp" / "event" / "ipu" / "par"; fatal() otherwise. */
+/** Parse "interp" / "event" / "ipu" / "par" / "cgen"; fatal()
+ *  otherwise. */
 EngineKind parseEngineKind(const std::string &name);
 
 struct EngineOptions
@@ -78,6 +97,10 @@ struct EngineOptions
     uint32_t threads = 0;
     /** Program lowering applied to whichever engine is built. */
     rtl::LowerOptions lower;
+    /** Attach native codegen kernels (rtl/cgen) to the par engine's
+     *  shards. The cgen engine implies this; ipu/interp/event ignore
+     *  it. No-op (with a warning) when no toolchain is available. */
+    bool cgen = false;
 };
 
 /**

@@ -269,6 +269,18 @@ IpuMachine::peekMemory(const std::string &mem, uint64_t index) const
 }
 
 void
+IpuMachine::peekInto(const std::string &output, BitVec &out) const
+{
+    shards.peekInto(output, out);
+}
+
+void
+IpuMachine::peekRegisterInto(const std::string &reg, BitVec &out) const
+{
+    shards.peekRegisterInto(reg, out);
+}
+
+void
 IpuMachine::save(std::ostream &out) const
 {
     out.write(reinterpret_cast<const char *>(&cycleCount),

@@ -126,6 +126,10 @@ class IpuMachine : public core::SimEngine
      *  differential exchange keeps them identical). */
     rtl::BitVec peekMemory(const std::string &mem,
                            uint64_t index) const override;
+    void peekInto(const std::string &output,
+                  rtl::BitVec &out) const override;
+    void peekRegisterInto(const std::string &reg,
+                          rtl::BitVec &out) const override;
 
     /** Checkpoint the state of every tile (plus the cycle count). */
     void save(std::ostream &out) const;

@@ -24,6 +24,17 @@ BitVec::BitVec(uint32_t width, std::vector<uint64_t> words)
 }
 
 void
+BitVec::assign(uint32_t width, const uint64_t *words, uint32_t n)
+{
+    if (width > kMaxWidth)
+        fatal("BitVec width %u exceeds maximum %u", width, kMaxWidth);
+    width_ = width;
+    words_.assign(words, words + n);
+    words_.resize(wordsFor(width), 0);
+    normalize();
+}
+
+void
 BitVec::setBit(uint32_t i, bool v)
 {
     uint64_t mask = uint64_t{1} << (i & 63);

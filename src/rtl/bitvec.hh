@@ -40,6 +40,11 @@ class BitVec
     /** A @p width bit value from little-endian 64-bit words. */
     BitVec(uint32_t width, std::vector<uint64_t> words);
 
+    /** Re-initialize in place from @p n little-endian words, reusing
+     *  the existing buffer (no allocation once capacity suffices);
+     *  the value is normalized to @p width. */
+    void assign(uint32_t width, const uint64_t *words, uint32_t n);
+
     uint32_t width() const { return width_; }
     uint32_t numWords() const { return wordsFor(width_); }
 

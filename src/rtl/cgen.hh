@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Native codegen backend (tier 4 of the evaluation pipeline): a
+ * lowered rtl::EvalProgram is emitted as a self-contained C++
+ * translation unit of straight-line uint64 slot operations — the W
+ * and fused tiers become single expressions, the multi-word generic
+ * tier becomes calls to inline word-loop helpers specialized by
+ * constant widths — then compiled with the system C++ compiler into a
+ * shared object and dlopen()ed. Each program yields three entry
+ * points — evaluate (the combinational program), commit (the deferred
+ * memory write ports) and latch (the two-phase next→cur register
+ * copy) — installed on an EvalState (EvalState::setNativeEval), so
+ * every engine built on EvalPrograms — the reference interpreter, and
+ * the ShardSet behind the par and ipu engines — can execute native
+ * code between the same deterministic BSP supersteps. (The ShardSet
+ * keeps its own cross-shard broadcast commit; it picks up the native
+ * evaluate and latch phases.)
+ *
+ * This is the same "compiled simulation" move Verilator and the
+ * paper's Poplar codelet generation make: per-tile straight-line
+ * native code is what the r_cycle analysis assumes t_comp is made of.
+ *
+ * Robustness contract: everything here degrades gracefully. If the
+ * toolchain is missing, the compile fails, or dlopen is unavailable
+ * on the platform, the caller gets a warning and the engine keeps
+ * running on the (bit-identical) fused interpreter.
+ *
+ * Compiled objects are cached by a hash of the generated source plus
+ * the compiler command under a build directory, so repeated runs of
+ * the same design skip the compiler entirely.
+ */
+
+#ifndef PARENDI_RTL_CGEN_HH
+#define PARENDI_RTL_CGEN_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rtl/eval.hh"
+#include "rtl/interp.hh"
+#include "rtl/shard.hh"
+
+namespace parendi::rtl {
+
+/** Knobs of the native codegen backend. */
+struct CgenOptions
+{
+    /** Compiler command. Empty selects $PARENDI_CXX, then $CXX, then
+     *  "c++". The value is used as a shell command prefix, so it may
+     *  carry flags ("g++ -march=native"). */
+    std::string cxx;
+
+    /** Flags appended after the base "-O2 -fPIC -shared -std=c++17". */
+    std::string extraFlags;
+
+    /** Cache directory for generated sources and shared objects.
+     *  Empty selects $PARENDI_CGEN_DIR, then "<tmpdir>/parendi-cgen". */
+    std::string buildDir;
+
+    /** Reuse a cached shared object whose hash matches. */
+    bool cache = true;
+};
+
+/** The native entry points generated for one EvalProgram. */
+struct CgenEntry
+{
+    NativeEvalFn eval = nullptr;    ///< combinational evaluate
+    NativeEvalFn commit = nullptr;  ///< deferred memory write ports
+    NativeEvalFn latch = nullptr;   ///< two-phase register latch
+};
+
+/**
+ * A dlopen()ed shared object holding one native kernel triple per
+ * emitted EvalProgram. Engines share ownership via shared_ptr so the
+ * code outlives every EvalState using it.
+ */
+class CgenModule
+{
+  public:
+    ~CgenModule();
+    CgenModule(const CgenModule &) = delete;
+    CgenModule &operator=(const CgenModule &) = delete;
+
+    size_t numEntries() const { return entries_.size(); }
+    const CgenEntry &entry(size_t i) const { return entries_[i]; }
+    const std::string &objectPath() const { return objectPath_; }
+
+    /**
+     * Emit, compile and load kernels for @p progs (one entry per
+     * program, in order). Returns nullptr — after a warn() describing
+     * the failure — when no toolchain is available, the compile
+     * fails, or the platform has no dlopen; callers fall back to the
+     * interpreter.
+     */
+    static std::shared_ptr<CgenModule>
+    compile(const std::vector<const EvalProgram *> &progs,
+            const CgenOptions &opt = CgenOptions{});
+
+  private:
+    CgenModule() = default;
+
+    void *handle_ = nullptr;
+    std::vector<CgenEntry> entries_;
+    std::string objectPath_;
+};
+
+/**
+ * The emitter alone: the C++ source of a translation unit with
+ * `extern "C" void parendi_{eval,commit,latch}_<i>(uint64_t *slots,
+ * uint64_t *const *mems)` entries per program. Deterministic
+ * (hashable) for identical programs.
+ */
+std::string cgenEmitSource(const std::vector<const EvalProgram *> &progs);
+
+/** 64-bit FNV-1a of a byte string (the compile-cache key). */
+uint64_t cgenHash(const std::string &bytes);
+
+/** Compile @p prog and install the kernel on @p state; false (with a
+ *  warning) if native execution is unavailable. */
+bool cgenAttach(EvalState &state, const EvalProgram &prog,
+                const CgenOptions &opt = CgenOptions{});
+
+/**
+ * Compile every shard program of @p shards into ONE translation unit
+ * (one compiler invocation however many shards) and install a kernel
+ * per shard state. Returns the number of shards now running natively:
+ * all of them, or 0 on fallback.
+ */
+size_t cgenAttachShards(ShardSet &shards,
+                        const CgenOptions &opt = CgenOptions{});
+
+/**
+ * The `cgen` engine: the reference interpreter with its whole-design
+ * program compiled to native code. Construction never fails on a
+ * missing toolchain — it warns and keeps the interpreter loop, so the
+ * engine is always functional (native() reports which path runs).
+ */
+class CgenInterpreter : public Interpreter
+{
+  public:
+    explicit CgenInterpreter(Netlist nl,
+                             const LowerOptions &lower = LowerOptions{},
+                             const CgenOptions &copt = CgenOptions{});
+
+    const char *engineName() const override { return "cgen"; }
+
+    /** True when the native kernel is installed (false = fell back). */
+    bool native() const { return native_; }
+
+  private:
+    bool native_ = false;
+};
+
+} // namespace parendi::rtl
+
+#endif // PARENDI_RTL_CGEN_HH

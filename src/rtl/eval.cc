@@ -722,6 +722,26 @@ EvalState::reset()
 {
     slots_ = prog_.initSlots;
     mems_ = prog_.memInit;
+    refreshMemPtrs();
+}
+
+void
+EvalState::refreshMemPtrs()
+{
+    memPtrs_.resize(mems_.size());
+    for (size_t i = 0; i < mems_.size(); ++i)
+        memPtrs_[i] = mems_[i].data();
+}
+
+void
+EvalState::setNativeEval(NativeEvalFn fn, std::shared_ptr<void> code,
+                         NativeEvalFn commit, NativeEvalFn latch)
+{
+    nativeFn_ = fn;
+    nativeCommit_ = fn ? commit : nullptr;
+    nativeLatch_ = fn ? latch : nullptr;
+    nativeCode_ = std::move(code);
+    refreshMemPtrs();
 }
 
 BitVec
@@ -730,6 +750,12 @@ EvalState::readSlot(uint32_t slot, uint16_t width) const
     std::vector<uint64_t> words(slots_.begin() + slot,
                                 slots_.begin() + slot + nw(width));
     return BitVec(width, std::move(words));
+}
+
+void
+EvalState::readSlotInto(uint32_t slot, uint16_t width, BitVec &out) const
+{
+    out.assign(width, slots_.data() + slot, nw(width));
 }
 
 void
@@ -752,6 +778,10 @@ EvalState::writeSlot(uint32_t slot, const BitVec &v)
 void
 EvalState::evalComb()
 {
+    if (nativeFn_) {
+        nativeFn_(slots_.data(), memPtrs_.data());
+        return;
+    }
     const EvalInstr *ip = prog_.instrs.data();
     const EvalInstr *const end = ip + prog_.instrs.size();
     if (ip == end)
@@ -1088,6 +1118,10 @@ EvalState::execGeneric(const EvalInstr &in)
 void
 EvalState::commitWrites()
 {
+    if (nativeCommit_) {
+        nativeCommit_(slots_.data(), memPtrs_.data());
+        return;
+    }
     uint64_t *s = slots_.data();
     for (const ProgWrite &w : prog_.writes) {
         if (!(s[w.en] & 1))
@@ -1104,6 +1138,10 @@ EvalState::commitWrites()
 void
 EvalState::latchRegisters()
 {
+    if (nativeLatch_) {
+        nativeLatch_(slots_.data(), memPtrs_.data());
+        return;
+    }
     // Two phases (double buffering): a register's next-value slot may
     // alias another register's current-value slot (e.g. a swap), so
     // all next values are staged before any current value is written.
@@ -1169,6 +1207,7 @@ EvalState::restore(std::istream &in)
         fatal("checkpoint mismatch: memory count");
     for (auto &m : mems_)
         read_vec(m);
+    refreshMemPtrs();
 }
 
 } // namespace parendi::rtl

@@ -13,7 +13,8 @@
  *    register latch / exchange).
  *  - RegNext and Output are aliases to their operand's slot.
  *  - MemWrite becomes a deferred write-port record, applied in port
- *    order by EvalState::commit() after combinational evaluation.
+ *    order by EvalState::commitWrites() after combinational
+ *    evaluation.
  */
 
 #ifndef PARENDI_RTL_EVAL_HH
@@ -21,6 +22,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -274,6 +276,14 @@ class ProgramBuilder
 };
 
 /**
+ * Signature of a natively compiled combinational kernel (rtl/cgen):
+ * evaluates every instruction of one EvalProgram over the slot array.
+ * @p mems holds one pointer per program memory image, in program
+ * memory-index order.
+ */
+using NativeEvalFn = void (*)(uint64_t *slots, uint64_t *const *mems);
+
+/**
  * Mutable run state for an EvalProgram: the slot array and memory
  * images. One EvalState per simulated tile (or one for the whole
  * design in the reference interpreter).
@@ -288,6 +298,19 @@ class EvalState
 
     /** Evaluate all combinational instructions (the BSP compute phase). */
     void evalComb();
+
+    /**
+     * Install cgen-compiled kernels that evalComb() — and, when
+     * non-null, commitWrites() / latchRegisters() — run in place of
+     * the interpreter loops (a null @p fn uninstalls everything).
+     * @p code keeps the backing shared object alive for the lifetime
+     * of this state. Bit-identical by construction: the kernels are
+     * emitted from the same lowered program the interpreter executes.
+     */
+    void setNativeEval(NativeEvalFn fn, std::shared_ptr<void> code,
+                       NativeEvalFn commit = nullptr,
+                       NativeEvalFn latch = nullptr);
+    bool hasNativeEval() const { return nativeFn_ != nullptr; }
 
     /** Evaluate a single instruction (used by the event-driven
      *  interpreter for selective re-evaluation). */
@@ -308,6 +331,10 @@ class EvalState
 
     /** Read a value of @p width bits at @p slot into a BitVec. */
     BitVec readSlot(uint32_t slot, uint16_t width) const;
+
+    /** readSlot() into an existing BitVec, reusing its buffer (the
+     *  allocation-free peek path used by the VCD tracer). */
+    void readSlotInto(uint32_t slot, uint16_t width, BitVec &out) const;
 
     /** Write a BitVec into @p slot (value is normalized to @p width). */
     void writeSlot(uint32_t slot, const BitVec &v);
@@ -339,10 +366,19 @@ class EvalState
     /** Single-word memory read (needs the memory images). */
     void execMemReadW(const EvalInstr &in);
 
+    /** Re-derive memPtrs_ after mems_ may have reallocated. */
+    void refreshMemPtrs();
+
     const EvalProgram &prog_;
     std::vector<uint64_t> slots_;
     std::vector<std::vector<uint64_t>> mems_;
     std::vector<uint64_t> scratch_;   ///< latch staging (double buffer)
+
+    NativeEvalFn nativeFn_ = nullptr;     ///< cgen kernel (null -> interpret)
+    NativeEvalFn nativeCommit_ = nullptr; ///< cgen commit phase
+    NativeEvalFn nativeLatch_ = nullptr;  ///< cgen latch phase
+    std::shared_ptr<void> nativeCode_;  ///< keeps the dlopened object alive
+    std::vector<uint64_t *> memPtrs_;   ///< memory images, kernel ABI form
 };
 
 } // namespace parendi::rtl

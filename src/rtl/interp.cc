@@ -110,6 +110,36 @@ Interpreter::peekRegister(const std::string &reg) const
     fatal("register %s not in program", reg.c_str());
 }
 
+void
+Interpreter::peekInto(const std::string &output, BitVec &out) const
+{
+    PortId id = nl.findOutput(output);
+    if (id == nl.numOutputs())
+        fatal("no output port named %s", output.c_str());
+    for (const ProgPort &p : prog.outputs) {
+        if (p.port == id) {
+            state->readSlotInto(p.slot, p.width, out);
+            return;
+        }
+    }
+    fatal("output port %s not in program", output.c_str());
+}
+
+void
+Interpreter::peekRegisterInto(const std::string &reg, BitVec &out) const
+{
+    RegId id = nl.findRegister(reg);
+    if (id == nl.numRegisters())
+        fatal("no register named %s", reg.c_str());
+    for (const ProgReg &r : prog.regs) {
+        if (r.reg == id) {
+            state->readSlotInto(r.cur, r.width, out);
+            return;
+        }
+    }
+    fatal("register %s not in program", reg.c_str());
+}
+
 BitVec
 Interpreter::peekMemory(const std::string &mem, uint64_t index) const
 {

@@ -72,6 +72,17 @@ class Interpreter : public core::SimEngine
     const Netlist &netlist() const override { return nl; }
     const EvalProgram &program() const { return prog; }
 
+    /** Allocation-free peeks (see SimEngine): read straight out of the
+     *  slot array into a caller-owned BitVec. */
+    void peekInto(const std::string &output, BitVec &out) const override;
+    void peekRegisterInto(const std::string &reg,
+                          BitVec &out) const override;
+
+  protected:
+    /** Mutable run state, for subclasses that install native kernels
+     *  (rtl::CgenInterpreter). */
+    EvalState &mutableState() { return *state; }
+
   private:
     Netlist nl;
     EvalProgram prog;

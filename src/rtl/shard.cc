@@ -290,6 +290,30 @@ ShardSet::peekRegister(const std::string &reg) const
     return states_[shard]->readSlot(slot, nl_->reg(id).width);
 }
 
+void
+ShardSet::peekInto(const std::string &output, BitVec &out) const
+{
+    PortId id = nl_->findOutput(output);
+    if (id == nl_->numOutputs())
+        fatal("no output port named %s", output.c_str());
+    auto [shard, slot] = outputSlots_[id];
+    if (shard == UINT32_MAX)
+        fatal("output %s not placed", output.c_str());
+    states_[shard]->readSlotInto(slot, nl_->output(id).width, out);
+}
+
+void
+ShardSet::peekRegisterInto(const std::string &reg, BitVec &out) const
+{
+    RegId id = nl_->findRegister(reg);
+    if (id == nl_->numRegisters())
+        fatal("no register named %s", reg.c_str());
+    auto [shard, slot] = regHome_[id];
+    if (shard == UINT32_MAX)
+        fatal("register %s not placed", reg.c_str());
+    states_[shard]->readSlotInto(slot, nl_->reg(id).width, out);
+}
+
 BitVec
 ShardSet::peekMemory(const std::string &mem, uint64_t index) const
 {

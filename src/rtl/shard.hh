@@ -128,6 +128,10 @@ class ShardSet
     void poke(const std::string &input, uint64_t value);
     BitVec peek(const std::string &output) const;
     BitVec peekRegister(const std::string &reg) const;
+    /** Allocation-free peeks into a caller-owned BitVec (the VCD
+     *  tracer's per-cycle sampling path). */
+    void peekInto(const std::string &output, BitVec &out) const;
+    void peekRegisterInto(const std::string &reg, BitVec &out) const;
     /** Read one entry of a memory (from any replica; the exchange
      *  keeps them identical). */
     BitVec peekMemory(const std::string &mem, uint64_t index) const;

@@ -82,6 +82,9 @@ class EngineTracer
     VcdWriter writer;
     std::vector<std::string> regNames;
     std::vector<std::string> outNames;
+    /// Sampling scratch, sized once: peekInto() refills the BitVecs in
+    /// place, so steady-state tracing does not touch the heap.
+    std::vector<BitVec> values;
 };
 
 /// Historical name, from when only the reference interpreter traced.

@@ -5,8 +5,10 @@
  *
  *   parendi [options] <design.v|design.pnl>
  *     --cycles N        simulate N cycles (default 1000)
- *     --engine E        interp | event | ipu | par (default ipu)
+ *     --engine E        interp | event | ipu | par | cgen (default ipu)
  *     --threads N       host worker threads for ipu/par engines
+ *     --cgen            JIT-compile shard programs to native kernels
+ *                       (par engine; cgen engine implies it)
  *     --tiles N         tiles per chip (default 1472, ipu engine)
  *     --chips N         IPU chips, 1-4 (default 1, ipu engine)
  *     --strategy B|H    single-chip partitioning (default B)
@@ -54,6 +56,7 @@ struct Args
     bool diffExchange = true;
     std::string vcdPath;
     bool reportOnly = false;
+    bool cgen = false;
     std::vector<std::string> peeks;
 };
 
@@ -62,8 +65,8 @@ usage()
 {
     std::fprintf(stderr,
                  "usage: parendi [--cycles N] "
-                 "[--engine interp|event|ipu|par] [--threads N]\n"
-                 "               [--tiles N] [--chips N] "
+                 "[--engine interp|event|ipu|par|cgen] [--threads N]\n"
+                 "               [--cgen] [--tiles N] [--chips N] "
                  "[--strategy B|H]\n"
                  "               [--multi pre|post|none] [--no-opt] "
                  "[--no-diff]\n"
@@ -105,6 +108,8 @@ parseArgs(int argc, char **argv)
             a.vcdPath = value();
         else if (arg == "--report")
             a.reportOnly = true;
+        else if (arg == "--cgen")
+            a.cgen = true;
         else if (arg == "--peek")
             a.peeks.push_back(value());
         else if (arg.rfind("--", 0) == 0)
@@ -149,6 +154,9 @@ main(int argc, char **argv)
         std::unique_ptr<core::SimEngine> owned;
         core::SimEngine *engine = nullptr;
         if (kind == core::EngineKind::Ipu) {
+            if (args.cgen)
+                warn("--cgen is not supported by the ipu engine; "
+                     "ignoring");
             core::CompilerOptions opt;
             opt.chips = args.chips;
             opt.tilesPerChip = args.tiles;
@@ -193,6 +201,7 @@ main(int argc, char **argv)
             core::EngineOptions eopt;
             eopt.kind = kind;
             eopt.threads = args.threads;
+            eopt.cgen = args.cgen;
             if (args.optimize)
                 nl = rtl::optimize(std::move(nl));
             owned = core::makeEngine(std::move(nl), eopt);

@@ -98,6 +98,28 @@ ParallelInterpreter::peekMemory(const std::string &mem,
 }
 
 void
+ParallelInterpreter::peekInto(const std::string &output,
+                              BitVec &out) const
+{
+    shards_.peekInto(output, out);
+}
+
+void
+ParallelInterpreter::peekRegisterInto(const std::string &reg,
+                                      BitVec &out) const
+{
+    shards_.peekRegisterInto(reg, out);
+}
+
+size_t
+ParallelInterpreter::enableNativeKernels(const CgenOptions &opt)
+{
+    size_t attached = cgenAttachShards(shards_, opt);
+    native_ = attached == shards_.size() && attached > 0;
+    return attached;
+}
+
+void
 ParallelInterpreter::save(std::ostream &out) const
 {
     out.write(reinterpret_cast<const char *>(&cycleCount_),

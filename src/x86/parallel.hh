@@ -23,6 +23,7 @@
 #include <string>
 
 #include "core/engine.hh"
+#include "rtl/cgen.hh"
 #include "rtl/netlist.hh"
 #include "rtl/shard.hh"
 #include "util/bsp_pool.hh"
@@ -57,6 +58,23 @@ class ParallelInterpreter : public core::SimEngine
     BitVec peekRegister(const std::string &reg) const override;
     BitVec peekMemory(const std::string &mem,
                       uint64_t index) const override;
+    void peekInto(const std::string &output, BitVec &out) const override;
+    void peekRegisterInto(const std::string &reg,
+                          BitVec &out) const override;
+
+    /**
+     * Compile every shard program to a native kernel (one TU, one
+     * compiler invocation; see rtl/cgen) and install them on the shard
+     * states, so the BSP evaluate phase runs emitted code while
+     * commit/latch/exchange stay on the deterministic host paths.
+     * Returns the number of shards running natively: all, or 0 after a
+     * warning when no toolchain is available (the engine keeps working
+     * on the fused interpreter).
+     */
+    size_t enableNativeKernels(const CgenOptions &opt = CgenOptions{});
+
+    /** True once enableNativeKernels() has succeeded. */
+    bool native() const { return native_; }
 
     /** Checkpoint all simulation state (including the cycle count);
      *  compatible only with the same design at the same shard count. */
@@ -71,6 +89,7 @@ class ParallelInterpreter : public core::SimEngine
     ShardSet shards_;
     std::unique_ptr<util::BspPool> pool_;   ///< null -> sequential
     uint64_t cycleCount_ = 0;
+    bool native_ = false;                   ///< cgen kernels installed
 };
 
 } // namespace parendi::rtl

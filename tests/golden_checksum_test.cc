@@ -21,6 +21,7 @@
 #include <cstdio>
 
 #include "designs/designs.hh"
+#include "rtl/cgen.hh"
 #include "rtl/interp.hh"
 
 using namespace parendi;
@@ -123,6 +124,20 @@ TEST_P(GoldenChecksum, GenericInterpreterMatchesLockedValue)
     uint64_t got = runChecksum(c.make(), rtl::LowerOptions::none());
     EXPECT_EQ(got, c.checksum)
         << c.name << ": generic checksum 0x" << std::hex << got;
+}
+
+TEST_P(GoldenChecksum, CgenEngineMatchesLockedValue)
+{
+    // The JIT-compiled engine must reproduce the same locked digest as
+    // both interpreters. (Native execution is asserted so a silently
+    // broken toolchain cannot pass by falling back.)
+    const GoldenCase &c = GetParam();
+    rtl::CgenInterpreter in(c.make());
+    ASSERT_TRUE(in.native()) << c.name << ": JIT unavailable";
+    in.step(kCycles);
+    uint64_t got = stateChecksum(in);
+    EXPECT_EQ(got, c.checksum)
+        << c.name << ": cgen checksum 0x" << std::hex << got;
 }
 
 INSTANTIATE_TEST_SUITE_P(Designs, GoldenChecksum,
