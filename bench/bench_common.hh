@@ -148,6 +148,15 @@ struct PerfRecord
     std::string engine;     ///< "interp", "ipu", "ipu-spawn", "par", ...
     uint32_t threads = 0;
     double cyclesPerSec = 0;
+
+    /** Measured r_cycle decomposition (obs::SuperstepProfiler), as
+     *  shares of the sampled cycle wall time; present only for
+     *  engines with runtime instrumentation. The JSON fields are
+     *  optional, so older BENCH_*.json readers keep working. */
+    bool hasSplit = false;
+    double tCompFrac = 0;
+    double tCommFrac = 0;
+    double tSyncFrac = 0;
 };
 
 /**
@@ -214,8 +223,9 @@ benchTimestampIso()
 /**
  * Write the measurements as one JSON object: provenance metadata
  * (git SHA, UTC timestamp) plus a "records" array of
- * {design, engine, threads, cycles_per_sec}. This is the BENCH_*.json
- * trajectory format; fatal() on I/O error.
+ * {design, engine, threads, cycles_per_sec} with optional
+ * t_comp_frac/t_comm_frac/t_sync_frac fields on instrumented rows.
+ * This is the BENCH_*.json trajectory format; fatal() on I/O error.
  */
 inline void
 writePerfJson(const std::string &path,
@@ -233,8 +243,12 @@ writePerfJson(const std::string &path,
         out << "    {\"design\": \"" << r.design << "\", "
             << "\"engine\": \"" << r.engine << "\", "
             << "\"threads\": " << r.threads << ", "
-            << "\"cycles_per_sec\": " << r.cyclesPerSec << "}"
-            << (i + 1 < records.size() ? "," : "") << "\n";
+            << "\"cycles_per_sec\": " << r.cyclesPerSec;
+        if (r.hasSplit)
+            out << ", \"t_comp_frac\": " << r.tCompFrac
+                << ", \"t_comm_frac\": " << r.tCommFrac
+                << ", \"t_sync_frac\": " << r.tSyncFrac;
+        out << "}" << (i + 1 < records.size() ? "," : "") << "\n";
     }
     out << "  ]\n}\n";
     if (!out)

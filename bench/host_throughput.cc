@@ -31,6 +31,7 @@
 #include "core/compiler.hh"
 #include "core/engine.hh"
 #include "designs/designs.hh"
+#include "obs/report.hh"
 #include "rtl/cgen.hh"
 #include "rtl/interp.hh"
 #include "rtl/vcd.hh"
@@ -269,14 +270,39 @@ measureCyclesPerSec(core::SimEngine &engine, size_t cycles)
     return secs > 0 ? static_cast<double>(done) / secs : 0;
 }
 
+/**
+ * Measure the engine's r_cycle decomposition (after the throughput
+ * measurement, so profiling overhead cannot contaminate it) and store
+ * it on the record as shares of the sampled wall time. No-op for
+ * engines without instrumentation.
+ */
+void
+attachMeasuredSplit(core::SimEngine &engine, bench::PerfRecord &rec)
+{
+    obs::ProfileOptions popt;
+    popt.sampleEvery = 4;
+    if (!engine.enableProfiling(popt))
+        return;
+    engine.step(bench::fastMode() ? 256 : 1024);
+    obs::ProfileReport rep = obs::buildReport(*engine.profiler());
+    if (rep.sampledWallSec <= 0)
+        return;
+    rec.hasSplit = true;
+    rec.tCompFrac = rep.tCompSec / rep.sampledWallSec;
+    rec.tCommFrac = rep.tCommSec / rep.sampledWallSec;
+    rec.tSyncFrac = rep.tSyncSec / rep.sampledWallSec;
+}
+
 void
 runEngineMatrixFor(const std::string &design, size_t cycles,
                    std::vector<bench::PerfRecord> &recs)
 {
     auto record = [&](const std::string &engine_name, uint32_t threads,
                       core::SimEngine &engine) {
-        recs.push_back({design, engine_name, threads,
-                        measureCyclesPerSec(engine, cycles)});
+        bench::PerfRecord rec{design, engine_name, threads,
+                              measureCyclesPerSec(engine, cycles)};
+        attachMeasuredSplit(engine, rec);
+        recs.push_back(rec);
     };
 
     {

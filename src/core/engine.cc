@@ -87,6 +87,21 @@ class CompiledIpuEngine : public SimEngine
     {
         sim_->machine().peekRegisterInto(reg, out);
     }
+    bool
+    enableProfiling(const obs::ProfileOptions &opt) override
+    {
+        return sim_->machine().enableProfiling(opt);
+    }
+    obs::SuperstepProfiler *
+    profiler() override
+    {
+        return sim_->machine().profiler();
+    }
+    const obs::SuperstepProfiler *
+    profiler() const override
+    {
+        return sim_->machine().profiler();
+    }
 
   private:
     std::unique_ptr<Simulation> sim_;
@@ -101,33 +116,44 @@ makeEngine(rtl::Netlist nl, const EngineOptions &opt)
         opt.kind != EngineKind::Cgen)
         warn("native kernels (--cgen) only apply to the par and cgen "
              "engines; ignoring");
+    std::unique_ptr<SimEngine> engine;
     switch (opt.kind) {
       case EngineKind::Interp:
-        return std::make_unique<rtl::Interpreter>(std::move(nl),
-                                                  opt.lower);
+        engine = std::make_unique<rtl::Interpreter>(std::move(nl),
+                                                    opt.lower);
+        break;
       case EngineKind::Event:
-        return std::make_unique<rtl::EventInterpreter>(std::move(nl),
-                                                       opt.lower);
+        engine = std::make_unique<rtl::EventInterpreter>(std::move(nl),
+                                                         opt.lower);
+        break;
       case EngineKind::Cgen:
-        return std::make_unique<rtl::CgenInterpreter>(std::move(nl),
-                                                      opt.lower);
+        engine = std::make_unique<rtl::CgenInterpreter>(std::move(nl),
+                                                        opt.lower);
+        break;
       case EngineKind::Par: {
         auto par = std::make_unique<rtl::ParallelInterpreter>(
             std::move(nl), opt.threads, opt.lower);
         if (opt.cgen)
             par->enableNativeKernels();
-        return par;
+        engine = std::move(par);
+        break;
       }
       case EngineKind::Ipu: {
         CompilerOptions copt;
         copt.lower = opt.lower;
         copt.machine.lower = opt.lower;
         copt.machine.hostThreads = opt.threads;
-        return std::make_unique<CompiledIpuEngine>(
+        engine = std::make_unique<CompiledIpuEngine>(
             compile(std::move(nl), copt));
+        break;
       }
     }
-    panic("unhandled engine kind");
+    if (!engine)
+        panic("unhandled engine kind");
+    if (opt.profile && !engine->enableProfiling(opt.profileOpt))
+        warn("engine %s has no runtime instrumentation; --profile "
+             "ignored", engine->engineName());
+    return engine;
 }
 
 } // namespace parendi::core

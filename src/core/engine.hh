@@ -23,6 +23,7 @@
 #include <memory>
 #include <string>
 
+#include "obs/profiler.hh"
 #include "rtl/eval.hh"
 #include "rtl/netlist.hh"
 
@@ -80,6 +81,29 @@ class SimEngine
     {
         out = peekRegister(reg);
     }
+
+    /**
+     * Attach a runtime telemetry profiler (obs::SuperstepProfiler) to
+     * this engine: monotonic counters every cycle, per-worker
+     * superstep timestamps plus the per-shard straggler distribution
+     * every opt.sampleEvery-th cycle. Returns false if the engine has
+     * no instrumentation (the default; the event engine). Idempotent:
+     * a second call keeps the existing profiler.
+     */
+    virtual bool
+    enableProfiling(const obs::ProfileOptions &opt = obs::ProfileOptions{})
+    {
+        (void)opt;
+        return false;
+    }
+
+    /** The attached profiler, or nullptr when profiling is off. */
+    virtual obs::SuperstepProfiler *profiler() { return nullptr; }
+    virtual const obs::SuperstepProfiler *
+    profiler() const
+    {
+        return nullptr;
+    }
 };
 
 /** Which engine makeEngine() instantiates. */
@@ -101,6 +125,12 @@ struct EngineOptions
      *  shards. The cgen engine implies this; ipu/interp/event ignore
      *  it. No-op (with a warning) when no toolchain is available. */
     bool cgen = false;
+    /** Enable runtime telemetry (SimEngine::enableProfiling) on the
+     *  built engine; profileOpt.sampleEvery is the --profile-every
+     *  CLI knob. Engines without instrumentation warn and run
+     *  unprofiled. */
+    bool profile = false;
+    obs::ProfileOptions profileOpt;
 };
 
 /**

@@ -114,4 +114,18 @@ describeSimulation(const Simulation &sim)
     return out.str();
 }
 
+obs::ModeledSplit
+modeledSplit(const Simulation &sim)
+{
+    const ipu::CycleCosts &c = sim.cycleCosts();
+    obs::ModeledSplit m;
+    m.source = "ipu model";
+    m.unit = "IPU cyc";
+    m.comp = c.tComp;
+    m.comm = c.tComm();
+    m.sync = c.tSync;
+    m.rateKHz = sim.rateKHz();
+    return m;
+}
+
 } // namespace parendi::core

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/compiler.hh"
+#include "obs/report.hh"
 
 namespace parendi::core {
 
@@ -42,6 +43,12 @@ LoadStats computeLoadStats(const Simulation &sim);
  * the modeled cycle budget.
  */
 std::string describeSimulation(const Simulation &sim);
+
+/** The analytically modeled t_comp/t_comm/t_sync split of a compiled
+ *  simulation (IPU cycles, paper Eq. 1), in the generic form
+ *  obs::formatModeledVsMeasured() consumes next to a measured
+ *  ProfileReport. */
+obs::ModeledSplit modeledSplit(const Simulation &sim);
 
 } // namespace parendi::core
 

@@ -192,6 +192,13 @@ IpuMachine::evalAllSpawn()
         shards.evalAll(nullptr);
         return;
     }
+    // When profiling, the spawned workers bypass ShardSet's
+    // per-range instrumentation, so attribute the whole phase
+    // (spawn + compute + join) to worker 0 — that is the honest
+    // accounting for this baseline anyway: spawn overhead is its cost.
+    obs::SuperstepProfiler *prof = shards.profiler();
+    bool sampled = prof && prof->sampling();
+    uint64_t t0 = sampled ? obs::tick() : 0;
     uint32_t nthreads = opt.hostThreads;
     std::vector<std::thread> workers;
     workers.reserve(nthreads);
@@ -208,6 +215,8 @@ IpuMachine::evalAllSpawn()
     }
     for (std::thread &t : workers)
         t.join();
+    if (sampled)
+        prof->record(0, obs::Phase::Eval, t0, obs::tick());
 }
 
 void
@@ -223,12 +232,28 @@ IpuMachine::step(size_t n)
     for (size_t i = 0; i < n; ++i) {
         // Legacy host execution: sequential exchange phases, compute
         // phase optionally on freshly spawned threads.
+        shards.profileCycleBegin();
         shards.commitBroadcasts(nullptr);
         shards.latchRegisters(nullptr);
         shards.exchangeRegisters(nullptr);
         evalAllSpawn();
+        shards.profileCycleEnd();
         ++cycleCount;
     }
+}
+
+bool
+IpuMachine::enableProfiling(const obs::ProfileOptions &popt)
+{
+    if (profiler_)
+        return true;
+    uint32_t workers = pool ? pool->threads() : 1;
+    profiler_ = std::make_unique<obs::SuperstepProfiler>(
+        workers, shards.size(), popt);
+    shards.setProfiler(profiler_.get());
+    if (pool)
+        pool->setWaitObserver(profiler_.get());
+    return true;
 }
 
 void

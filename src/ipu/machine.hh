@@ -136,6 +136,21 @@ class IpuMachine : public core::SimEngine
     /** Restore a checkpoint from the same compiled configuration. */
     void restore(std::istream &in);
 
+    /** Attach an obs::SuperstepProfiler to the functional execution
+     *  (pool-driven or legacy spawn path) and register it as the
+     *  pool's barrier-wait observer. Always succeeds. */
+    bool enableProfiling(const obs::ProfileOptions &opt =
+                             obs::ProfileOptions{}) override;
+    obs::SuperstepProfiler *profiler() override
+    {
+        return profiler_.get();
+    }
+    const obs::SuperstepProfiler *
+    profiler() const override
+    {
+        return profiler_.get();
+    }
+
     // -- Performance model -----------------------------------------------
 
     const CycleCosts &cycleCosts() const { return costs; }
@@ -170,6 +185,10 @@ class IpuMachine : public core::SimEngine
     uint32_t chipsUsed_ = 1;
 
     rtl::ShardSet shards;
+    // Declared before pool: the pool holds a raw observer pointer to
+    // the profiler, so the pool (destroyed first, in reverse member
+    // order) must never outlive it.
+    std::unique_ptr<obs::SuperstepProfiler> profiler_;
     std::unique_ptr<util::BspPool> pool;    ///< null -> sequential/legacy
 
     CycleCosts costs;

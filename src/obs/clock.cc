@@ -1,0 +1,26 @@
+#include "obs/clock.hh"
+
+namespace parendi::obs {
+
+double
+ticksPerSecond()
+{
+    static const double tps = [] {
+        using clock = std::chrono::steady_clock;
+        const auto span = std::chrono::milliseconds(2);
+        auto c0 = clock::now();
+        uint64_t t0 = tick();
+        while (clock::now() - c0 < span) {
+            // spin: sleeping would let the governor drop the clock and
+            // skew the calibration on laptops/CI runners
+        }
+        uint64_t t1 = tick();
+        double secs =
+            std::chrono::duration<double>(clock::now() - c0).count();
+        double rate = static_cast<double>(t1 - t0) / secs;
+        return rate > 0 ? rate : 1e9;
+    }();
+    return tps;
+}
+
+} // namespace parendi::obs

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The profiling clock: a raw, monotonic, per-call-cheap timestamp
+ * counter (TSC on x86, the generic counter-timer on aarch64, a
+ * steady_clock fallback elsewhere) plus a one-time calibration against
+ * steady_clock so tick deltas can be reported in seconds.
+ *
+ * The instrumentation hot path (rtl::ShardSet supersteps, the BSP
+ * pool's barrier waits) records raw ticks only — roughly the cost of
+ * one `rdtsc` — and all unit conversion happens at report time.
+ */
+
+#ifndef PARENDI_OBS_CLOCK_HH
+#define PARENDI_OBS_CLOCK_HH
+
+#include <chrono>
+#include <cstdint>
+
+namespace parendi::obs {
+
+/** Raw timestamp, monotonic per thread (and across threads on any
+ *  host with synchronized TSCs — every machine we target). */
+inline uint64_t
+tick()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    return __builtin_ia32_rdtsc();
+#elif defined(__aarch64__)
+    uint64_t v;
+    asm volatile("mrs %0, cntvct_el0" : "=r"(v));
+    return v;
+#else
+    return static_cast<uint64_t>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+#endif
+}
+
+/** Calibrated tick rate (ticks per second). The first call spins for
+ *  a couple of milliseconds against steady_clock; later calls return
+ *  the cached value. */
+double ticksPerSecond();
+
+/** Convert a tick delta to seconds. */
+inline double
+ticksToSeconds(uint64_t ticks)
+{
+    return static_cast<double>(ticks) / ticksPerSecond();
+}
+
+/** Convert a tick delta to microseconds (Chrome trace units). */
+inline double
+ticksToMicros(uint64_t ticks)
+{
+    return static_cast<double>(ticks) * 1e6 / ticksPerSecond();
+}
+
+} // namespace parendi::obs
+
+#endif // PARENDI_OBS_CLOCK_HH

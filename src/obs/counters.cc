@@ -1,0 +1,35 @@
+#include "obs/counters.hh"
+
+namespace parendi::obs {
+
+Counter &
+Counters::get(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (Entry &e : entries_)
+        if (e.name == name)
+            return e.counter;
+    entries_.emplace_back();
+    entries_.back().name = name;
+    return entries_.back().counter;
+}
+
+std::vector<std::pair<std::string, uint64_t>>
+Counters::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::pair<std::string, uint64_t>> out;
+    out.reserve(entries_.size());
+    for (const Entry &e : entries_)
+        out.emplace_back(e.name, e.counter.value());
+    return out;
+}
+
+size_t
+Counters::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+} // namespace parendi::obs

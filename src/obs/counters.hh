@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Named monotonic counters for the runtime telemetry layer: how much
+ * work the engines actually did (cycles simulated, instructions
+ * retired, exchange words moved, native-kernel invocations), as
+ * opposed to how long it took (obs::SuperstepProfiler).
+ *
+ * Increments are lock-free (one relaxed fetch_add on a cache-line-
+ * aligned atomic); only registration — a cold path, done once per
+ * counter when an engine wires itself up — takes the registry mutex.
+ * Counter addresses are stable for the registry's lifetime (the slots
+ * live in a deque), so hot paths cache a `Counter &` and never touch
+ * the registry again.
+ */
+
+#ifndef PARENDI_OBS_COUNTERS_HH
+#define PARENDI_OBS_COUNTERS_HH
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace parendi::obs {
+
+/** One monotonic counter. Aligned to its own cache line so unrelated
+ *  counters bumped from different workers don't false-share. */
+class alignas(64) Counter
+{
+  public:
+    void
+    add(uint64_t n = 1)
+    {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    uint64_t
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    void
+    reset()
+    {
+        value_.store(0, std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<uint64_t> value_{0};
+};
+
+// Counter names the engines agree on (see DESIGN.md "Observability").
+inline constexpr const char *kCyclesSimulated = "cycles_simulated";
+inline constexpr const char *kCyclesSampled = "cycles_sampled";
+inline constexpr const char *kInstrsRetired = "instrs_retired";
+inline constexpr const char *kExchangeWordsMoved = "exchange_words_moved";
+inline constexpr const char *kNativeKernelInvocations =
+    "native_kernel_invocations";
+
+/**
+ * A registry of named counters. get() is get-or-create and returns a
+ * reference that stays valid for the registry's lifetime; concurrent
+ * get() calls for the same name return the same counter.
+ */
+class Counters
+{
+  public:
+    Counters() = default;
+    Counters(const Counters &) = delete;
+    Counters &operator=(const Counters &) = delete;
+
+    /** Find or create the counter named @p name. Thread-safe. */
+    Counter &get(const std::string &name);
+
+    /** (name, value) pairs in registration order. Thread-safe; values
+     *  are each read atomically (the set is not a consistent cut). */
+    std::vector<std::pair<std::string, uint64_t>> snapshot() const;
+
+    size_t size() const;
+
+  private:
+    struct Entry
+    {
+        std::string name;
+        Counter counter;
+    };
+
+    mutable std::mutex mutex_;
+    std::deque<Entry> entries_;     ///< deque: stable element addresses
+};
+
+} // namespace parendi::obs
+
+#endif // PARENDI_OBS_COUNTERS_HH

@@ -1,0 +1,81 @@
+#include "obs/profiler.hh"
+
+namespace parendi::obs {
+
+const char *
+phaseName(Phase p)
+{
+    switch (p) {
+      case Phase::Commit:
+        return "commit";
+      case Phase::Latch:
+        return "latch";
+      case Phase::Exchange:
+        return "exchange";
+      case Phase::Eval:
+        return "eval";
+      case Phase::BarrierWait:
+        return "barrier-wait";
+      case Phase::NumPhases:
+        break;
+    }
+    return "?";
+}
+
+SuperstepProfiler::SuperstepProfiler(uint32_t workers, size_t shards,
+                                     const ProfileOptions &opt)
+    : opt_(opt),
+      cycles_(counters_.get(kCyclesSimulated)),
+      sampled_(counters_.get(kCyclesSampled)),
+      cycleRing_(opt.ringCapacity),
+      waitBegin_(workers > 0 ? workers : 1),
+      barrierWait_(workers > 0 ? workers : 1),
+      waitEnds_(workers > 0 ? workers : 1)
+{
+    uint32_t w = workers > 0 ? workers : 1;
+    rings_.reserve(w);
+    for (uint32_t i = 0; i < w; ++i)
+        rings_.emplace_back(opt.ringCapacity);
+    shardEval_.assign(shards, ShardEvalStat{});
+    // Force clock calibration now, outside any measured interval.
+    (void)ticksPerSecond();
+}
+
+void
+SuperstepProfiler::epochWaitBegin(uint32_t worker)
+{
+    if (worker >= waitBegin_.size())
+        return;
+    waitBegin_[worker].begin = tick();
+}
+
+void
+SuperstepProfiler::epochWaitEnd(uint32_t worker)
+{
+    if (worker >= waitBegin_.size())
+        return;
+    waitEnds_[worker].fetch_add(1, std::memory_order_relaxed);
+    if (!measuring_.load(std::memory_order_acquire))
+        return;
+    uint64_t t1 = tick();
+    uint64_t t0 = waitBegin_[worker].begin;
+    // A worker's wait can span the start of the measured window (it
+    // began waiting while the previous, unsampled cycle was still
+    // wrapping up); clip so only in-window wait is attributed.
+    uint64_t start = windowStart_.load(std::memory_order_relaxed);
+    if (t0 < start)
+        t0 = start;
+    if (t1 <= t0)
+        return;
+    barrierWait_[worker].fetch_add(t1 - t0,
+                                   std::memory_order_relaxed);
+    Sample s;
+    s.t0 = t0;
+    s.t1 = t1;
+    s.cycle = cycleIndex_ > 0 ? cycleIndex_ - 1 : 0;
+    s.phase = Phase::BarrierWait;
+    rings_[worker].push(s);
+    rings_[worker].notePushed();
+}
+
+} // namespace parendi::obs

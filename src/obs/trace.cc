@@ -1,0 +1,125 @@
+#include "obs/trace.hh"
+
+#include <algorithm>
+#include <limits>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace parendi::obs {
+
+namespace {
+
+struct Event
+{
+    std::string name;
+    char ph;            ///< 'B' or 'E'
+    uint32_t tid;
+    uint64_t ts;        ///< raw ticks
+    uint64_t cycle;
+    bool hasArgs;
+};
+
+void
+writeEvent(std::ostream &out, const Event &e, uint64_t base,
+           bool &first)
+{
+    if (!first)
+        out << ",\n";
+    first = false;
+    out << strprintf("    {\"name\": \"%s\", \"ph\": \"%c\", "
+                     "\"pid\": 0, \"tid\": %u, \"ts\": %.3f",
+                     e.name.c_str(), e.ph, e.tid,
+                     ticksToMicros(e.ts - base));
+    if (e.hasArgs)
+        out << strprintf(", \"args\": {\"cycle\": %llu}",
+                         static_cast<unsigned long long>(e.cycle));
+    out << "}";
+}
+
+void
+pushPair(std::vector<Event> &events, const std::string &name,
+         uint32_t tid, const Sample &s)
+{
+    events.push_back({name, 'B', tid, s.t0, s.cycle, true});
+    events.push_back({name, 'E', tid, s.t1, s.cycle, false});
+}
+
+} // namespace
+
+void
+writeChromeTrace(const SuperstepProfiler &prof, std::ostream &out)
+{
+    // Per-tid event lists, each already in chronological order (rings
+    // are chronological and worker-0 samples nest inside their cycle
+    // spans by construction).
+    std::vector<std::vector<Event>> perTid(prof.workers());
+
+    // Worker 0: merge phase samples into the enclosing cycle spans.
+    {
+        const SampleRing &cycles = prof.cycleRing();
+        const SampleRing &ring = prof.ring(0);
+        size_t si = 0;
+        auto flushBefore = [&](uint64_t limit) {
+            // Emit samples that precede the next span (their own span
+            // fell off the ring) standalone.
+            while (si < ring.size() && ring.at(si).t0 < limit) {
+                pushPair(perTid[0], phaseName(ring.at(si).phase), 0,
+                         ring.at(si));
+                ++si;
+            }
+        };
+        for (size_t ci = 0; ci < cycles.size(); ++ci) {
+            const Sample &c = cycles.at(ci);
+            flushBefore(c.t0);
+            perTid[0].push_back({"cycle", 'B', 0, c.t0, c.cycle, true});
+            while (si < ring.size() && ring.at(si).t0 >= c.t0 &&
+                   ring.at(si).t1 <= c.t1) {
+                pushPair(perTid[0], phaseName(ring.at(si).phase), 0,
+                         ring.at(si));
+                ++si;
+            }
+            perTid[0].push_back({"cycle", 'E', 0, c.t1, c.cycle,
+                                 false});
+        }
+        flushBefore(std::numeric_limits<uint64_t>::max());
+    }
+
+    for (uint32_t w = 1; w < prof.workers(); ++w) {
+        const SampleRing &ring = prof.ring(w);
+        for (size_t i = 0; i < ring.size(); ++i)
+            pushPair(perTid[w], phaseName(ring.at(i).phase), w,
+                     ring.at(i));
+    }
+
+    uint64_t base = std::numeric_limits<uint64_t>::max();
+    for (const auto &events : perTid)
+        if (!events.empty())
+            base = std::min(base, events.front().ts);
+    if (base == std::numeric_limits<uint64_t>::max())
+        base = 0;
+
+    out << "{\n\"traceEvents\": [\n";
+    bool first = true;
+    // Thread-name metadata so timelines are labeled.
+    for (uint32_t w = 0; w < prof.workers(); ++w) {
+        if (!first)
+            out << ",\n";
+        first = false;
+        out << strprintf("    {\"name\": \"thread_name\", \"ph\": "
+                         "\"M\", \"pid\": 0, \"tid\": %u, \"args\": "
+                         "{\"name\": \"%s\"}}",
+                         w,
+                         w == 0 ? "bsp worker 0 (caller)"
+                                : strprintf("bsp worker %u", w)
+                                      .c_str());
+    }
+    for (const auto &events : perTid)
+        for (const Event &e : events)
+            writeEvent(out, e, base, first);
+    out << "\n],\n\"displayTimeUnit\": \"ms\"\n}\n";
+}
+
+} // namespace parendi::obs

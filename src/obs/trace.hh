@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Chrome trace-event export of the profiler's sampled supersteps
+ * (`--profile-trace out.json`): load the file in chrome://tracing or
+ * Perfetto to see, per worker, the commit/latch/exchange/eval work
+ * intervals and barrier waits of every sampled cycle on a timeline.
+ *
+ * Events are duration Begin/End pairs (ph "B"/"E") on pid 0 with one
+ * tid per BSP worker; worker 0 additionally carries an enclosing
+ * "cycle" span per sampled cycle (its own phase intervals nest inside
+ * it — they run on the caller thread, so the ordering is guaranteed).
+ * Timestamps are microseconds relative to the earliest retained
+ * sample. Per tid, events are emitted in chronological order with
+ * strict B/E nesting, which is what the trace tests verify.
+ */
+
+#ifndef PARENDI_OBS_TRACE_HH
+#define PARENDI_OBS_TRACE_HH
+
+#include <iosfwd>
+
+#include "obs/profiler.hh"
+
+namespace parendi::obs {
+
+/** Write the retained samples of @p prof as Chrome trace-event JSON.
+ *  The profiler must be quiesced (no engine stepping concurrently). */
+void writeChromeTrace(const SuperstepProfiler &prof, std::ostream &out);
+
+} // namespace parendi::obs
+
+#endif // PARENDI_OBS_TRACE_HH

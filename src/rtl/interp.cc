@@ -23,12 +23,65 @@ Interpreter::Interpreter(Netlist netlist, const LowerOptions &lower)
 void
 Interpreter::step(size_t n)
 {
+    if (profiler_) {
+        stepProfiled(n);
+        return;
+    }
     for (size_t i = 0; i < n; ++i) {
         state->commitWrites();
         state->latchRegisters();
         state->evalComb();
         ++cycleCount;
     }
+}
+
+void
+Interpreter::stepProfiled(size_t n)
+{
+    obs::SuperstepProfiler &prof = *profiler_;
+    uint64_t instrs = prog.instrs.size();
+    bool native = state->hasNativeEval();
+    for (size_t i = 0; i < n; ++i) {
+        prof.beginCycle();
+        if (prof.sampling()) {
+            uint64_t t0 = obs::tick();
+            state->commitWrites();
+            uint64_t t1 = obs::tick();
+            prof.record(0, obs::Phase::Commit, t0, t1);
+            state->latchRegisters();
+            uint64_t t2 = obs::tick();
+            prof.record(0, obs::Phase::Latch, t1, t2);
+            state->evalComb();
+            uint64_t t3 = obs::tick();
+            prof.record(0, obs::Phase::Eval, t2, t3);
+            // There is no exchange in a single-program engine; record
+            // a zero-width interval so aggregation sees all four
+            // superstep phases for this cycle.
+            prof.record(0, obs::Phase::Exchange, t2, t2);
+            prof.recordShardEval(0, t3 - t2);
+        } else {
+            state->commitWrites();
+            state->latchRegisters();
+            state->evalComb();
+        }
+        ctrInstrs_->add(instrs);
+        if (native)
+            ctrNative_->add(1);
+        prof.endCycle();
+        ++cycleCount;
+    }
+}
+
+bool
+Interpreter::enableProfiling(const obs::ProfileOptions &opt)
+{
+    if (profiler_)
+        return true;
+    profiler_ = std::make_unique<obs::SuperstepProfiler>(1, 1, opt);
+    obs::Counters &c = profiler_->counters();
+    ctrInstrs_ = &c.get(obs::kInstrsRetired);
+    ctrNative_ = &c.get(obs::kNativeKernelInvocations);
+    return true;
 }
 
 void

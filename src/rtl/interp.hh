@@ -78,16 +78,40 @@ class Interpreter : public core::SimEngine
     void peekRegisterInto(const std::string &reg,
                           BitVec &out) const override;
 
+    /** Attach an obs::SuperstepProfiler (one worker, one shard; the
+     *  whole design is a single straight-line program here, so the
+     *  commit/latch/eval phases are timed on worker 0 and the eval
+     *  duration doubles as the single shard's straggler stat). Also
+     *  covers CgenInterpreter — the native kernel runs inside
+     *  evalComb(). Always succeeds. */
+    bool enableProfiling(const obs::ProfileOptions &opt =
+                             obs::ProfileOptions{}) override;
+    obs::SuperstepProfiler *profiler() override
+    {
+        return profiler_.get();
+    }
+    const obs::SuperstepProfiler *
+    profiler() const override
+    {
+        return profiler_.get();
+    }
+
   protected:
     /** Mutable run state, for subclasses that install native kernels
      *  (rtl::CgenInterpreter). */
     EvalState &mutableState() { return *state; }
 
   private:
+    void stepProfiled(size_t n);
+
     Netlist nl;
     EvalProgram prog;
     std::unique_ptr<EvalState> state;
     uint64_t cycleCount = 0;
+
+    std::unique_ptr<obs::SuperstepProfiler> profiler_;
+    obs::Counter *ctrInstrs_ = nullptr;
+    obs::Counter *ctrNative_ = nullptr;
 };
 
 } // namespace parendi::rtl

@@ -128,11 +128,46 @@ ShardSet::buildExchange()
             outputSlots_[p.port] = {si, p.slot};
 }
 
+// -- Telemetry -----------------------------------------------------------
+
+void
+ShardSet::setProfiler(obs::SuperstepProfiler *prof)
+{
+    prof_ = prof;
+    if (!prof) {
+        ctrInstrs_ = ctrExchWords_ = ctrNative_ = nullptr;
+        return;
+    }
+    obs::Counters &c = prof->counters();
+    ctrInstrs_ = &c.get(obs::kInstrsRetired);
+    ctrExchWords_ = &c.get(obs::kExchangeWordsMoved);
+    ctrNative_ = &c.get(obs::kNativeKernelInvocations);
+    shardInstrs_.clear();
+    shardInstrs_.reserve(programs_.size());
+    for (const EvalProgram &p : programs_)
+        shardInstrs_.push_back(p.instrs.size());
+}
+
+void
+ShardSet::profileCycleBegin()
+{
+    if (prof_)
+        prof_->beginCycle();
+}
+
+void
+ShardSet::profileCycleEnd()
+{
+    if (prof_)
+        prof_->endCycle();
+}
+
 // -- BSP phases ----------------------------------------------------------
 
 void
 ShardSet::commitRange(size_t begin, size_t end)
 {
+    uint64_t words = 0;
     for (size_t si = begin; si < end; ++si) {
         EvalState &mine = *states_[si];
         for (auto [bi, mi] : replicaPlan_[si]) {
@@ -147,8 +182,11 @@ ShardSet::commitRange(size_t begin, size_t end)
             std::memcpy(mine.memImage(mi).data() + addr * b.entryWords,
                         owner.slotPtr(b.dataSlot),
                         b.entryWords * sizeof(uint64_t));
+            words += b.entryWords;
         }
     }
+    if (ctrExchWords_ && words)
+        ctrExchWords_->add(words);
 }
 
 void
@@ -161,6 +199,7 @@ ShardSet::latchRange(size_t begin, size_t end)
 void
 ShardSet::exchangeRange(size_t begin, size_t end)
 {
+    uint64_t words = 0;
     for (size_t si = begin; si < end; ++si) {
         auto [mb, me] = readerRanges_[si];
         for (uint32_t i = mb; i < me; ++i) {
@@ -168,55 +207,98 @@ ShardSet::exchangeRange(size_t begin, size_t end)
             std::memcpy(states_[m.readerShard]->slotPtr(m.readerSlot),
                         states_[m.ownerShard]->slotPtr(m.ownerSlot),
                         m.words * sizeof(uint64_t));
+            words += m.words;
         }
     }
+    if (ctrExchWords_ && words)
+        ctrExchWords_->add(words);
 }
 
 void
 ShardSet::evalRange(size_t begin, size_t end)
 {
-    for (size_t si = begin; si < end; ++si)
-        states_[si]->evalComb();
+    if (!prof_) {
+        for (size_t si = begin; si < end; ++si)
+            states_[si]->evalComb();
+        return;
+    }
+    // Profiled: bump the work counters every cycle; on sampled cycles
+    // additionally time each shard individually — that per-shard
+    // distribution is the measured straggler histogram.
+    const bool sampled = prof_->sampling();
+    uint64_t instrs = 0;
+    uint64_t native = 0;
+    for (size_t si = begin; si < end; ++si) {
+        EvalState &st = *states_[si];
+        if (sampled) {
+            uint64_t t0 = obs::tick();
+            st.evalComb();
+            prof_->recordShardEval(si, obs::tick() - t0);
+        } else {
+            st.evalComb();
+        }
+        instrs += shardInstrs_[si];
+        if (st.hasNativeEval())
+            ++native;
+    }
+    if (instrs)
+        ctrInstrs_->add(instrs);
+    if (native)
+        ctrNative_->add(native);
+}
+
+void
+ShardSet::runPhase(util::BspPool *pool, obs::Phase phase,
+                   void (ShardSet::*body)(size_t, size_t))
+{
+    const bool sampled = prof_ && prof_->sampling();
+    if (!pool) {
+        if (sampled) {
+            uint64_t t0 = obs::tick();
+            (this->*body)(0, size());
+            prof_->record(0, phase, t0, obs::tick());
+        } else {
+            (this->*body)(0, size());
+        }
+        return;
+    }
+    if (sampled) {
+        pool->forEach(
+            size(),
+            [this, phase, body](uint32_t w, size_t b, size_t e) {
+                uint64_t t0 = obs::tick();
+                (this->*body)(b, e);
+                prof_->record(w, phase, t0, obs::tick());
+            });
+    } else {
+        pool->forEach(size(), [this, body](size_t b, size_t e) {
+            (this->*body)(b, e);
+        });
+    }
 }
 
 void
 ShardSet::commitBroadcasts(util::BspPool *pool)
 {
-    if (pool)
-        pool->forEach(size(),
-                      [this](size_t b, size_t e) { commitRange(b, e); });
-    else
-        commitRange(0, size());
+    runPhase(pool, obs::Phase::Commit, &ShardSet::commitRange);
 }
 
 void
 ShardSet::latchRegisters(util::BspPool *pool)
 {
-    if (pool)
-        pool->forEach(size(),
-                      [this](size_t b, size_t e) { latchRange(b, e); });
-    else
-        latchRange(0, size());
+    runPhase(pool, obs::Phase::Latch, &ShardSet::latchRange);
 }
 
 void
 ShardSet::exchangeRegisters(util::BspPool *pool)
 {
-    if (pool)
-        pool->forEach(size(),
-                      [this](size_t b, size_t e) { exchangeRange(b, e); });
-    else
-        exchangeRange(0, size());
+    runPhase(pool, obs::Phase::Exchange, &ShardSet::exchangeRange);
 }
 
 void
 ShardSet::evalAll(util::BspPool *pool)
 {
-    if (pool)
-        pool->forEach(size(),
-                      [this](size_t b, size_t e) { evalRange(b, e); });
-    else
-        evalRange(0, size());
+    runPhase(pool, obs::Phase::Eval, &ShardSet::evalRange);
 }
 
 void
@@ -227,10 +309,12 @@ ShardSet::stepCycle(util::BspPool *pool)
     // overwrite cur slots a write port reads from (a port's data
     // operand can be a RegRead), the exchange reads owner cur slots
     // the latch writes, and evaluation reads exchanged values.
+    profileCycleBegin();
     commitBroadcasts(pool);
     latchRegisters(pool);
     exchangeRegisters(pool);
     evalAll(pool);
+    profileCycleEnd();
 }
 
 void

@@ -45,6 +45,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/profiler.hh"
 #include "rtl/eval.hh"
 #include "rtl/netlist.hh"
 
@@ -120,6 +121,25 @@ class ShardSet
     /** Restore initial images and re-evaluate all shards. */
     void reset(util::BspPool *pool);
 
+    // -- Telemetry (obs) -------------------------------------------------
+
+    /**
+     * Attach (or detach, with nullptr) a superstep profiler. Every
+     * stepCycle() then counts into it and, on sampled cycles,
+     * timestamps the four supersteps per worker and the eval duration
+     * per shard. The profiler must be sized for at least as many
+     * workers as the pool passed to the step calls and for size()
+     * shards, and must outlive this attachment.
+     */
+    void setProfiler(obs::SuperstepProfiler *prof);
+    obs::SuperstepProfiler *profiler() const { return prof_; }
+
+    /** Open/close one profiled cycle around individually driven
+     *  phases (stepCycle does this itself; hosts with bespoke phase
+     *  sequences — the legacy spawn path — call these around theirs). */
+    void profileCycleBegin();
+    void profileCycleEnd();
+
     // -- Name-based host access ------------------------------------------
 
     /** Drive an input on every shard holding it (and re-evaluate those
@@ -165,6 +185,16 @@ class ShardSet
     void latchRange(size_t begin, size_t end);
     void exchangeRange(size_t begin, size_t end);
     void evalRange(size_t begin, size_t end);
+    /** Dispatch one superstep over the pool (or sequentially),
+     *  timestamping per worker when the profiler samples this cycle. */
+    void runPhase(util::BspPool *pool, obs::Phase phase,
+                  void (ShardSet::*body)(size_t, size_t));
+
+    obs::SuperstepProfiler *prof_ = nullptr;
+    obs::Counter *ctrInstrs_ = nullptr;
+    obs::Counter *ctrExchWords_ = nullptr;
+    obs::Counter *ctrNative_ = nullptr;
+    std::vector<uint64_t> shardInstrs_;     ///< instrs per shard program
 
     const Netlist *nl_ = nullptr;
     std::vector<EvalProgram> programs_;

@@ -1,9 +1,14 @@
 /**
  * @file
  * The `parendi` command-line driver: compile a Verilog (.v) or PNL
- * (.pnl) design and run it on one of the functional engines.
+ * (.pnl) design — or generate a built-in benchmark design — and run it
+ * on one of the functional engines.
  *
  *   parendi [options] <design.v|design.pnl>
+ *   parendi [options] --design NAME
+ *     --design NAME     run a built-in benchmark design instead of a
+ *                       file: pico, rocket, bitcoin, mc, vta, srN,
+ *                       lrN, prngN
  *     --cycles N        simulate N cycles (default 1000)
  *     --engine E        interp | event | ipu | par | cgen (default ipu)
  *     --threads N       host worker threads for ipu/par engines
@@ -21,8 +26,18 @@
  *                       (ipu engine)
  *     --peek NAME       print output port NAME after the run
  *                       (repeatable)
+ *     --profile         measure the r_cycle decomposition at runtime
+ *                       (obs::SuperstepProfiler) and print the
+ *                       measured t_comp/t_comm/t_sync split, the
+ *                       per-shard straggler histogram, and the
+ *                       modeled-vs-measured table after the run
+ *     --profile-every N timestamp every Nth cycle (default 16;
+ *                       1 = every cycle)
+ *     --profile-trace FILE  export the sampled supersteps as a Chrome
+ *                       trace-event JSON (chrome://tracing, Perfetto)
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -33,10 +48,15 @@
 #include "core/compiler.hh"
 #include "core/engine.hh"
 #include "core/stats.hh"
+#include "designs/designs.hh"
+#include "fiber/fiber.hh"
 #include "frontend/pnl.hh"
 #include "frontend/verilog.hh"
+#include "obs/report.hh"
+#include "obs/trace.hh"
 #include "rtl/vcd.hh"
 #include "util/logging.hh"
+#include "x86/model.hh"
 
 using namespace parendi;
 
@@ -45,6 +65,7 @@ namespace {
 struct Args
 {
     std::string file;
+    std::string design;
     uint64_t cycles = 1000;
     std::string engine = "ipu";
     uint32_t threads = 0;
@@ -57,6 +78,9 @@ struct Args
     std::string vcdPath;
     bool reportOnly = false;
     bool cgen = false;
+    bool profile = false;
+    uint64_t profileEvery = 16;
+    std::string profileTrace;
     std::vector<std::string> peeks;
 };
 
@@ -71,7 +95,10 @@ usage()
                  "               [--multi pre|post|none] [--no-opt] "
                  "[--no-diff]\n"
                  "               [--vcd FILE] [--report] "
-                 "[--peek NAME]... <design.v|design.pnl>\n");
+                 "[--peek NAME]...\n"
+                 "               [--profile] [--profile-every N] "
+                 "[--profile-trace FILE]\n"
+                 "               <design.v|design.pnl> | --design NAME\n");
     std::exit(2);
 }
 
@@ -110,7 +137,17 @@ parseArgs(int argc, char **argv)
             a.reportOnly = true;
         else if (arg == "--cgen")
             a.cgen = true;
-        else if (arg == "--peek")
+        else if (arg == "--design")
+            a.design = value();
+        else if (arg == "--profile")
+            a.profile = true;
+        else if (arg == "--profile-every") {
+            a.profileEvery = std::stoull(value());
+            a.profile = true;
+        } else if (arg == "--profile-trace") {
+            a.profileTrace = value();
+            a.profile = true;
+        } else if (arg == "--peek")
             a.peeks.push_back(value());
         else if (arg.rfind("--", 0) == 0)
             usage();
@@ -119,9 +156,38 @@ parseArgs(int argc, char **argv)
         else
             usage();
     }
-    if (a.file.empty())
+    if (a.file.empty() == a.design.empty())
         usage();
+    if (a.profileEvery == 0)
+        a.profileEvery = 1;
     return a;
+}
+
+/** Build a built-in benchmark design by name (the bench harness
+ *  spelling: pico, rocket, bitcoin, mc, vta, srN, lrN, prngN). */
+rtl::Netlist
+makeNamedDesign(const std::string &name)
+{
+    using namespace designs;
+    if (name == "pico")
+        return makePico(defaultCoreConfig());
+    if (name == "rocket")
+        return makeRocket(defaultCoreConfig());
+    if (name == "bitcoin")
+        return makeBitcoin({4, 16});
+    if (name == "mc")
+        return makeMc(McConfig{});
+    if (name == "vta")
+        return makeVta(VtaConfig{});
+    if (name.rfind("sr", 0) == 0)
+        return makeSr(static_cast<uint32_t>(std::stoul(name.substr(2))));
+    if (name.rfind("lr", 0) == 0)
+        return makeLr(static_cast<uint32_t>(std::stoul(name.substr(2))));
+    if (name.rfind("prng", 0) == 0)
+        return makePrngBank(
+            static_cast<uint32_t>(std::stoul(name.substr(4))));
+    fatal("unknown design %s (expected pico|rocket|bitcoin|mc|vta|"
+          "srN|lrN|prngN)", name.c_str());
 }
 
 bool
@@ -139,11 +205,18 @@ main(int argc, char **argv)
 {
     Args args = parseArgs(argc, argv);
     try {
-        rtl::Netlist nl = endsWith(args.file, ".pnl")
-            ? frontend::parsePnlFile(args.file)
-            : frontend::parseVerilogFile(args.file);
-        std::printf("parsed %s: %s\n", args.file.c_str(),
-                    rtl::describe(nl).c_str());
+        rtl::Netlist nl;
+        if (!args.design.empty()) {
+            nl = makeNamedDesign(args.design);
+            std::printf("generated %s: %s\n", args.design.c_str(),
+                        rtl::describe(nl).c_str());
+        } else {
+            nl = endsWith(args.file, ".pnl")
+                ? frontend::parsePnlFile(args.file)
+                : frontend::parseVerilogFile(args.file);
+            std::printf("parsed %s: %s\n", args.file.c_str(),
+                        rtl::describe(nl).c_str());
+        }
 
         core::EngineKind kind = core::parseEngineKind(args.engine);
 
@@ -174,6 +247,11 @@ main(int argc, char **argv)
 
             sim = core::compile(std::move(nl), opt);
             engine = &sim->machine();
+            if (args.profile) {
+                obs::ProfileOptions popt;
+                popt.sampleEvery = args.profileEvery;
+                engine->enableProfiling(popt);
+            }
 
             const core::CompileReport &r = sim->report();
             std::printf("compiled in %.3fs: %zu fibers -> %zu "
@@ -202,6 +280,8 @@ main(int argc, char **argv)
             eopt.kind = kind;
             eopt.threads = args.threads;
             eopt.cgen = args.cgen;
+            eopt.profile = args.profile;
+            eopt.profileOpt.sampleEvery = args.profileEvery;
             if (args.optimize)
                 nl = rtl::optimize(std::move(nl));
             owned = core::makeEngine(std::move(nl), eopt);
@@ -226,6 +306,53 @@ main(int argc, char **argv)
         for (const std::string &p : args.peeks)
             std::printf("%s = 0x%s\n", p.c_str(),
                         engine->peek(p).toHex().c_str());
+
+        if (const obs::SuperstepProfiler *prof = engine->profiler()) {
+            obs::ProfileReport rep = obs::buildReport(*prof);
+            std::printf("%s", obs::formatReport(rep).c_str());
+
+            // Modeled counterpart: the IPU cost model for the ipu
+            // engine, the x86 Verilator model (at the same thread
+            // count) for the host engines.
+            if (sim) {
+                std::printf("%s",
+                            obs::formatModeledVsMeasured(
+                                core::modeledSplit(*sim), rep)
+                                .c_str());
+            } else if (kind != core::EngineKind::Event) {
+                fiber::FiberSet fs(engine->netlist());
+                x86::DesignProfile dp = x86::profileDesign(fs);
+                x86::X86Arch arch = x86::X86Arch::ix3();
+                uint32_t mthreads = std::min<uint32_t>(
+                    std::max<uint32_t>(1, args.threads),
+                    arch.totalCores());
+                x86::X86Perf perf =
+                    x86::modelVerilator(arch, dp, mthreads);
+                obs::ModeledSplit m;
+                m.source = "x86 model (ix3)";
+                m.unit = "model ns";
+                m.comp = perf.tCompNs;
+                m.comm = perf.tCommNs;
+                m.sync = perf.tSyncNs;
+                m.rateKHz = perf.rateKHz();
+                std::printf("%s",
+                            obs::formatModeledVsMeasured(m, rep)
+                                .c_str());
+            }
+
+            if (!args.profileTrace.empty()) {
+                std::ofstream trace(args.profileTrace);
+                if (!trace)
+                    fatal("cannot write %s", args.profileTrace.c_str());
+                obs::writeChromeTrace(*prof, trace);
+                std::printf("wrote Chrome trace to %s (open in "
+                            "chrome://tracing or Perfetto)\n",
+                            args.profileTrace.c_str());
+            }
+        } else if (args.profile) {
+            warn("--profile had no effect (engine %s)",
+                 engine->engineName());
+        }
         return 0;
     } catch (const FatalError &) {
         return 1;

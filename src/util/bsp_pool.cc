@@ -33,13 +33,32 @@ BspPool::~BspPool()
 }
 
 void
-BspPool::awaitEpoch(uint64_t seen)
+BspPool::awaitEpoch(uint64_t seen, uint32_t worker)
 {
-    for (int i = 0; i < kSpinIters; ++i)
-        if (epoch_.load(std::memory_order_acquire) != seen)
+    // The wait is bracketed by the observer hooks so barrier time is
+    // attributable per worker instead of vanishing into the
+    // spin-then-futex internals. Exactly one Begin/End pair fires per
+    // epoch per worker, fast path included.
+    BspWaitObserver *obs = observer_.load(std::memory_order_acquire);
+    if (obs)
+        obs->epochWaitBegin(worker);
+    for (int i = 0; i < kSpinIters; ++i) {
+        if (epoch_.load(std::memory_order_acquire) != seen) {
+            if (obs)
+                obs->epochWaitEnd(worker);
             return;
+        }
+    }
     while (epoch_.load(std::memory_order_acquire) == seen)
         epoch_.wait(seen, std::memory_order_acquire);
+    if (obs)
+        obs->epochWaitEnd(worker);
+}
+
+void
+BspPool::setWaitObserver(BspWaitObserver *observer)
+{
+    observer_.store(observer, std::memory_order_release);
 }
 
 void
@@ -47,7 +66,7 @@ BspPool::workerLoop(uint32_t worker)
 {
     uint64_t seen = 0;
     for (;;) {
-        awaitEpoch(seen);
+        awaitEpoch(seen, worker);
         seen = epoch_.load(std::memory_order_acquire);
         if (stop_.load(std::memory_order_acquire))
             return;
@@ -69,13 +88,24 @@ BspPool::run(const std::function<void(uint32_t)> &job)
     epoch_.fetch_add(1, std::memory_order_release);
     epoch_.notify_all();
     job(0);
+    // The caller's barrier wait (worker 0): time spent here is the
+    // stragglers' margin over the caller's own share of the work.
+    BspWaitObserver *obs = observer_.load(std::memory_order_acquire);
+    if (obs)
+        obs->epochWaitBegin(0);
     const uint32_t target = nthreads_ - 1;
-    for (int i = 0; i < kSpinIters; ++i)
-        if (arrived_.load(std::memory_order_acquire) == target)
+    for (int i = 0; i < kSpinIters; ++i) {
+        if (arrived_.load(std::memory_order_acquire) == target) {
+            if (obs)
+                obs->epochWaitEnd(0);
             return;
+        }
+    }
     uint32_t got;
     while ((got = arrived_.load(std::memory_order_acquire)) != target)
         arrived_.wait(got, std::memory_order_acquire);
+    if (obs)
+        obs->epochWaitEnd(0);
 }
 
 void
@@ -94,6 +124,26 @@ BspPool::forEach(size_t n,
         size_t end = std::min(n, begin + chunk);
         if (begin < end)
             body(begin, end);
+    });
+}
+
+void
+BspPool::forEach(size_t n,
+                 const std::function<void(uint32_t, size_t, size_t)>
+                     &body)
+{
+    if (n == 0)
+        return;
+    if (workers_.empty() || n == 1) {
+        body(0, 0, n);
+        return;
+    }
+    const size_t chunk = (n + nthreads_ - 1) / nthreads_;
+    run([&](uint32_t w) {
+        size_t begin = std::min(n, w * chunk);
+        size_t end = std::min(n, begin + chunk);
+        if (begin < end)
+            body(w, begin, end);
     });
 }
 

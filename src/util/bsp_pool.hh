@@ -32,6 +32,29 @@
 
 namespace parendi::util {
 
+/**
+ * Observer of the pool's barrier waits, so wait time is attributable
+ * per worker instead of being buried inside the spin-then-futex path.
+ * For every epoch, every worker produces exactly one Begin/End pair:
+ *
+ *  - workers 1..N-1 around the wait for the next epoch release (the
+ *    time between finishing their superstep and the caller publishing
+ *    the next one);
+ *  - worker 0 (the caller) around the arrival wait in run() (the time
+ *    it spends waiting for stragglers after finishing its own share).
+ *
+ * The pair fires even when the wait is satisfied immediately (a
+ * zero-duration interval), so observers can count epochs. Callbacks
+ * run on the waiting worker's thread and must not block.
+ */
+class BspWaitObserver
+{
+  public:
+    virtual ~BspWaitObserver() = default;
+    virtual void epochWaitBegin(uint32_t worker) = 0;
+    virtual void epochWaitEnd(uint32_t worker) = 0;
+};
+
 class BspPool
 {
   public:
@@ -60,9 +83,23 @@ class BspPool
     void forEach(size_t n,
                  const std::function<void(size_t begin, size_t end)> &body);
 
+    /** forEach variant that also passes the executing worker's index
+     *  (the instrumentation hook point: profilers attribute each range
+     *  to the worker that ran it). */
+    void forEach(size_t n,
+                 const std::function<void(uint32_t worker, size_t begin,
+                                          size_t end)> &body);
+
+    /**
+     * Install (or clear, with nullptr) the barrier-wait observer. Must
+     * be called while the pool is idle (no run() in flight); the
+     * observer must outlive the pool or be cleared before destruction.
+     */
+    void setWaitObserver(BspWaitObserver *observer);
+
   private:
     void workerLoop(uint32_t worker);
-    void awaitEpoch(uint64_t seen);
+    void awaitEpoch(uint64_t seen, uint32_t worker);
 
     uint32_t nthreads_;
     std::vector<std::thread> workers_;
@@ -71,6 +108,7 @@ class BspPool
     std::atomic<uint32_t> arrived_{0};      ///< arrival barrier
     std::atomic<bool> stop_{false};
     const std::function<void(uint32_t)> *job_ = nullptr;
+    std::atomic<BspWaitObserver *> observer_{nullptr};
 };
 
 } // namespace parendi::util

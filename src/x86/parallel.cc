@@ -111,6 +111,20 @@ ParallelInterpreter::peekRegisterInto(const std::string &reg,
     shards_.peekRegisterInto(reg, out);
 }
 
+bool
+ParallelInterpreter::enableProfiling(const obs::ProfileOptions &opt)
+{
+    if (profiler_)
+        return true;
+    uint32_t workers = pool_ ? pool_->threads() : 1;
+    profiler_ = std::make_unique<obs::SuperstepProfiler>(
+        workers, shards_.size(), opt);
+    shards_.setProfiler(profiler_.get());
+    if (pool_)
+        pool_->setWaitObserver(profiler_.get());
+    return true;
+}
+
 size_t
 ParallelInterpreter::enableNativeKernels(const CgenOptions &opt)
 {

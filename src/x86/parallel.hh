@@ -76,6 +76,21 @@ class ParallelInterpreter : public core::SimEngine
     /** True once enableNativeKernels() has succeeded. */
     bool native() const { return native_; }
 
+    /** Attach an obs::SuperstepProfiler sized for this engine's pool
+     *  (one slot per shard worker, or one when sequential) and register
+     *  it as the pool's barrier-wait observer. Always succeeds. */
+    bool enableProfiling(const obs::ProfileOptions &opt =
+                             obs::ProfileOptions{}) override;
+    obs::SuperstepProfiler *profiler() override
+    {
+        return profiler_.get();
+    }
+    const obs::SuperstepProfiler *
+    profiler() const override
+    {
+        return profiler_.get();
+    }
+
     /** Checkpoint all simulation state (including the cycle count);
      *  compatible only with the same design at the same shard count. */
     void save(std::ostream &out) const;
@@ -87,6 +102,10 @@ class ParallelInterpreter : public core::SimEngine
   private:
     Netlist nl_;
     ShardSet shards_;
+    // Declared before pool_: the pool holds a raw observer pointer to
+    // the profiler, so the pool (destroyed first, in reverse member
+    // order) must never outlive it.
+    std::unique_ptr<obs::SuperstepProfiler> profiler_;
     std::unique_ptr<util::BspPool> pool_;   ///< null -> sequential
     uint64_t cycleCount_ = 0;
     bool native_ = false;                   ///< cgen kernels installed

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Profiling overhead guard: the whole point of sampled timestamping is
+ * that leaving --profile on costs almost nothing in steady state. This
+ * test runs the pico core on the reference interpreter with profiling
+ * off and with `--profile-every 64`, takes the minimum of several
+ * repeated wall-time measurements of each (the minimum is the
+ * noise-robust statistic on a shared, single-core CI box), and asserts
+ * the profiled run is within 5% of the unprofiled one.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+
+#include "designs/cores.hh"
+#include "obs/profiler.hh"
+#include "rtl/interp.hh"
+
+using namespace parendi;
+
+namespace {
+
+/** Best-of-N wall seconds for stepping @p sim by @p cycles. */
+double
+minStepSeconds(rtl::Interpreter &sim, uint64_t cycles, int reps)
+{
+    using clock = std::chrono::steady_clock;
+    double best = 1e30;
+    for (int r = 0; r < reps; ++r) {
+        auto t0 = clock::now();
+        sim.step(cycles);
+        double secs =
+            std::chrono::duration<double>(clock::now() - t0).count();
+        best = std::min(best, secs);
+    }
+    return best;
+}
+
+} // namespace
+
+TEST(ProfileOverhead, SampledProfilingStaysUnderFivePercent)
+{
+    constexpr uint64_t kCycles = 3000;
+    constexpr int kReps = 9;
+
+    rtl::Interpreter plain(
+        designs::makePico(designs::defaultCoreConfig()));
+    rtl::Interpreter profiled(
+        designs::makePico(designs::defaultCoreConfig()));
+    obs::ProfileOptions popt;
+    popt.sampleEvery = 64;
+    ASSERT_TRUE(profiled.enableProfiling(popt));
+
+    // Warm both engines (first steps touch cold state; the profiled
+    // engine also calibrates the tick clock on attach).
+    plain.step(kCycles);
+    profiled.step(kCycles);
+
+    // Interleave the measurements so slow phases of a shared host hit
+    // both configurations alike.
+    double base = 1e30, prof = 1e30;
+    for (int r = 0; r < kReps; ++r) {
+        base = std::min(base, minStepSeconds(plain, kCycles, 1));
+        prof = std::min(prof, minStepSeconds(profiled, kCycles, 1));
+    }
+
+    ASSERT_GT(base, 0.0);
+    double overhead = prof / base - 1.0;
+    RecordProperty("overhead_percent",
+                   static_cast<int>(overhead * 100));
+    EXPECT_LT(overhead, 0.05)
+        << "profiled " << prof << "s vs unprofiled " << base
+        << "s over " << kCycles << " cycles";
+
+    // The profiler really was live: every cycle counted, one in 64
+    // sampled.
+    const obs::SuperstepProfiler &p = *profiled.profiler();
+    EXPECT_EQ(p.cyclesSeen(), kCycles * (kReps + 1));
+    EXPECT_EQ(p.cyclesSampled(), kCycles * (kReps + 1) / 64 + 1);
+}
