@@ -185,6 +185,26 @@ extractJsonFlag(int &argc, char **argv)
     return path;
 }
 
+/**
+ * Pull a boolean flag (e.g. `--threads-sweep`) out of argv the same
+ * way extractJsonFlag does; returns whether it was present.
+ */
+inline bool
+extractBoolFlag(int &argc, char **argv, const std::string &name)
+{
+    bool found = false;
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (name == argv[i]) {
+            found = true;
+            continue;
+        }
+        argv[out++] = argv[i];
+    }
+    argc = out;
+    return found;
+}
+
 /** Commit the results belong to: PARENDI_GIT_SHA (CI sets it from the
  *  checkout), else `git rev-parse HEAD`, else "unknown". */
 inline std::string

@@ -18,6 +18,13 @@
  * --benchmark_filter=NONE to skip the google-benchmark suite and only
  * emit the matrix. PARENDI_BENCH_FAST=1 trims the measured cycle
  * counts.
+ *
+ * `--threads-sweep` widens the par and par-cgen rows to thread counts
+ * 1/2/4/8 (the scaling curve for the fused-superstep engine). The
+ * matrix always includes a `par-phased` row at 8 requested threads
+ * with the hardware-concurrency worker clamp overridden: the PR4
+ * four-barrier configuration, kept as the reference point the CI
+ * scaling guard compares the fused engine against.
  */
 
 #include <benchmark/benchmark.h>
@@ -166,13 +173,14 @@ BENCHMARK(BM_MachineStepMesh)->Arg(2)->Arg(3);
 
 std::unique_ptr<core::Simulation>
 compileDesign(const std::string &design, uint32_t host_threads,
-              bool persistent_pool)
+              bool persistent_pool, uint32_t max_host_workers = 0)
 {
     setQuiet(true);
     core::CompilerOptions opt;
     opt.tilesPerChip = 256;
     opt.machine.hostThreads = host_threads;
     opt.machine.persistentPool = persistent_pool;
+    opt.machine.maxHostWorkers = max_host_workers;
     return core::compile(bench::makeDesign(design), opt);
 }
 
@@ -295,6 +303,7 @@ attachMeasuredSplit(core::SimEngine &engine, bench::PerfRecord &rec)
 
 void
 runEngineMatrixFor(const std::string &design, size_t cycles,
+                   bool threads_sweep,
                    std::vector<bench::PerfRecord> &recs)
 {
     auto record = [&](const std::string &engine_name, uint32_t threads,
@@ -322,16 +331,36 @@ runEngineMatrixFor(const std::string &design, size_t cycles,
         record("ipu", threads, sim->machine());
     }
     {
-        // The seed's per-cycle-spawn baseline at the same thread count.
-        auto sim = compileDesign(design, 8, false);
+        // The seed's per-cycle-spawn baseline at the same thread
+        // count, with the worker clamp overridden so the row keeps
+        // spawning eight real threads on any host.
+        auto sim = compileDesign(design, 8, false, 8);
         record("ipu-spawn", 8, sim->machine());
     }
-    for (uint32_t threads : {1u, 2u, 8u}) {
+    const std::vector<uint32_t> par_threads = threads_sweep
+        ? std::vector<uint32_t>{1, 2, 4, 8}
+        : std::vector<uint32_t>{1, 2, 8};
+    const std::vector<uint32_t> cgen_threads = threads_sweep
+        ? std::vector<uint32_t>{1, 2, 4, 8}
+        : std::vector<uint32_t>{1, 8};
+    for (uint32_t threads : par_threads) {
         rtl::ParallelInterpreter sim(bench::makeOptimized(design),
                                      threads);
         record("par", threads, sim);
     }
-    for (uint32_t threads : {1u, 8u}) {
+    {
+        // The PR4 configuration as a guard row: four-barrier phased
+        // supersteps with the worker clamp overridden, so all eight
+        // workers are real even when the host has fewer cores. The CI
+        // scaling guard asserts the fused par row beats this one.
+        rtl::ParConfig pcfg;
+        pcfg.fused = false;
+        pcfg.maxWorkers = 8;
+        rtl::ParallelInterpreter sim(bench::makeOptimized(design), 8,
+                                     rtl::LowerOptions{}, pcfg);
+        record("par-phased", 8, sim);
+    }
+    for (uint32_t threads : cgen_threads) {
         // Same BSP supersteps, native evaluate phase (--engine par
         // --cgen on the CLI).
         rtl::ParallelInterpreter sim(bench::makeOptimized(design),
@@ -342,12 +371,12 @@ runEngineMatrixFor(const std::string &design, size_t cycles,
 }
 
 std::vector<bench::PerfRecord>
-runEngineMatrix()
+runEngineMatrix(bool threads_sweep)
 {
     const size_t cycles = bench::fastMode() ? 200 : 2000;
     std::vector<bench::PerfRecord> recs;
     for (const char *design : {"pico", "bitcoin"})
-        runEngineMatrixFor(design, cycles, recs);
+        runEngineMatrixFor(design, cycles, threads_sweep, recs);
     return recs;
 }
 
@@ -357,12 +386,15 @@ int
 main(int argc, char **argv)
 {
     std::string json_path = bench::extractJsonFlag(argc, argv);
+    bool threads_sweep =
+        bench::extractBoolFlag(argc, argv, "--threads-sweep");
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))
         return 1;
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     if (!json_path.empty())
-        bench::writePerfJson(json_path, runEngineMatrix());
+        bench::writePerfJson(json_path,
+                             runEngineMatrix(threads_sweep));
     return 0;
 }

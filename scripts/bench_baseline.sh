@@ -8,12 +8,14 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR=${BUILD_DIR:-build-bench}
-OUT=${1:-BENCH_PR4.json}
+OUT=${1:-BENCH_PR5.json}
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j"$(nproc)" --target host_throughput
 
 # --benchmark_filter=NONE skips the google-benchmark suite; only the
 # --json engine matrix (pico + bitcoin across every engine) runs.
-"$BUILD_DIR"/bench/host_throughput --benchmark_filter=NONE --json "$OUT"
+# --threads-sweep widens par/par-cgen to the 1/2/4/8 scaling curve.
+"$BUILD_DIR"/bench/host_throughput --benchmark_filter=NONE \
+    --threads-sweep --json "$OUT"
 echo "wrote $OUT"

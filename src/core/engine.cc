@@ -131,8 +131,11 @@ makeEngine(rtl::Netlist nl, const EngineOptions &opt)
                                                         opt.lower);
         break;
       case EngineKind::Par: {
+        rtl::ParConfig pcfg;
+        pcfg.fused = opt.fused;
+        pcfg.batch = opt.batch;
         auto par = std::make_unique<rtl::ParallelInterpreter>(
-            std::move(nl), opt.threads, opt.lower);
+            std::move(nl), opt.threads, opt.lower, pcfg);
         if (opt.cgen)
             par->enableNativeKernels();
         engine = std::move(par);
@@ -143,6 +146,8 @@ makeEngine(rtl::Netlist nl, const EngineOptions &opt)
         copt.lower = opt.lower;
         copt.machine.lower = opt.lower;
         copt.machine.hostThreads = opt.threads;
+        copt.machine.fused = opt.fused;
+        copt.machine.batch = opt.batch;
         engine = std::make_unique<CompiledIpuEngine>(
             compile(std::move(nl), copt));
         break;

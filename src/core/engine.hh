@@ -131,6 +131,13 @@ struct EngineOptions
      *  unprofiled. */
     bool profile = false;
     obs::ProfileOptions profileOpt;
+    /** Fused single-barrier supersteps for the par and ipu engines
+     *  (the default; `--fused 0` selects the 4-barrier phased path).
+     *  Bit-identical either way. */
+    bool fused = true;
+    /** Fused path: cycles per pool dispatch (`--batch N`; 0 = each
+     *  step(n) call is one batch). */
+    size_t batch = 0;
 };
 
 /**

@@ -23,10 +23,19 @@ IpuMachine::IpuMachine(const FiberSet &fs, const Partitioning &parts,
     parts.checkComplete(fs);
     buildTiles(fs, parts);
     accountCosts(fs, parts);
-    uint32_t nthreads = std::min<uint32_t>(
+    shards.setFused(opt.fused);
+    hostWorkers_ = std::min<uint32_t>(
         opt.hostThreads, static_cast<uint32_t>(tiles.size()));
-    if (opt.persistentPool && nthreads >= 2)
-        pool = std::make_unique<util::BspPool>(nthreads);
+    // Same worker cap as the par engine: tiles far outnumber cores
+    // (thousands of shards), so host workers track the host's real
+    // parallelism, not the tile count. The legacy spawn path honors
+    // the same cap.
+    const uint32_t maxw = opt.maxHostWorkers
+        ? opt.maxHostWorkers
+        : std::max(1u, std::thread::hardware_concurrency());
+    hostWorkers_ = std::min(hostWorkers_, maxw);
+    if (opt.persistentPool && hostWorkers_ >= 2)
+        pool = std::make_unique<util::BspPool>(hostWorkers_);
     if (pool)
         shards.evalAll(pool.get());
     else
@@ -187,8 +196,8 @@ IpuMachine::evalAllSpawn()
     // trivially safe (tiles only touch private state), but spawning
     // fresh std::threads every phase is what the persistent pool
     // replaces — kept as the measurable baseline.
-    if (opt.hostThreads < 2 ||
-        shards.size() < 2 * size_t{opt.hostThreads}) {
+    if (hostWorkers_ < 2 ||
+        shards.size() < 2 * size_t{hostWorkers_}) {
         shards.evalAll(nullptr);
         return;
     }
@@ -199,7 +208,7 @@ IpuMachine::evalAllSpawn()
     obs::SuperstepProfiler *prof = shards.profiler();
     bool sampled = prof && prof->sampling();
     uint64_t t0 = sampled ? obs::tick() : 0;
-    uint32_t nthreads = opt.hostThreads;
+    uint32_t nthreads = hostWorkers_;
     std::vector<std::thread> workers;
     workers.reserve(nthreads);
     std::atomic<size_t> next{0};
@@ -223,9 +232,15 @@ void
 IpuMachine::step(size_t n)
 {
     if (pool) {
-        for (size_t i = 0; i < n; ++i) {
-            shards.stepCycle(pool.get());
-            ++cycleCount;
+        // Pooled path: fused batched dispatch (or phased cycles when
+        // opt.fused is off — stepCycles falls back to stepCycle).
+        size_t done = 0;
+        while (done < n) {
+            const size_t k =
+                opt.batch ? std::min(opt.batch, n - done) : n - done;
+            shards.stepCycles(pool.get(), k);
+            done += k;
+            cycleCount += k;
         }
         return;
     }

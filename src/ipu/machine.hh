@@ -84,6 +84,18 @@ struct MachineOptions
      *  baseline for bench/host_throughput. */
     bool persistentPool = true;
 
+    /** Pooled host path: fused single-barrier supersteps (default)
+     *  vs the 4-barrier phased sequence. Bit-identical either way. */
+    bool fused = true;
+
+    /** Pooled fused path: cycles per pool dispatch (0 = each step(n)
+     *  call is one batch). */
+    size_t batch = 0;
+
+    /** Cap on pooled host workers; 0 = the host's hardware
+     *  concurrency (see rtl::ParConfig::maxWorkers). */
+    uint32_t maxHostWorkers = 0;
+
     /** Lowering (specialization/fusion) applied to every tile
      *  program; functional behaviour is unchanged by construction. */
     rtl::LowerOptions lower;
@@ -183,6 +195,9 @@ class IpuMachine : public core::SimEngine
 
     std::vector<Tile> tiles;
     uint32_t chipsUsed_ = 1;
+    /** opt.hostThreads clamped to tiles and host concurrency (or the
+     *  explicit maxHostWorkers cap); both host paths honor it. */
+    uint32_t hostWorkers_ = 0;
 
     rtl::ShardSet shards;
     // Declared before pool: the pool holds a raw observer pointer to

@@ -14,6 +14,8 @@ phaseName(Phase p)
         return "exchange";
       case Phase::Eval:
         return "eval";
+      case Phase::Publish:
+        return "publish";
       case Phase::BarrierWait:
         return "barrier-wait";
       case Phase::NumPhases:

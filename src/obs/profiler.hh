@@ -60,6 +60,7 @@ enum class Phase : uint8_t
     Latch,          ///< register next -> cur
     Exchange,       ///< owner -> reader register messages
     Eval,           ///< combinational evaluation
+    Publish,        ///< fused path: post-eval copy-out to the pub buffer
     BarrierWait,    ///< waiting at a pool barrier (from BspWaitObserver)
     NumPhases
 };
@@ -195,13 +196,42 @@ class SuperstepProfiler : public util::BspWaitObserver
     void
     record(uint32_t worker, Phase phase, uint64_t t0, uint64_t t1)
     {
+        record(worker, phase, t0, t1, cycleIndex_ - 1);
+    }
+
+    /**
+     * Explicit-cycle variant for batched dispatch: inside a k-cycle
+     * batch, workers other than 0 must not read cycleInd_/sampling()
+     * (worker 0 mutates them per inner cycle) — they compute the
+     * sampled cycle number locally from the batch base and pass it
+     * here. Safe from any worker at any time (the ring is still
+     * per-worker private).
+     */
+    void
+    record(uint32_t worker, Phase phase, uint64_t t0, uint64_t t1,
+           uint64_t cycle)
+    {
         Sample s;
         s.t0 = t0;
         s.t1 = t1;
-        s.cycle = cycleIndex_ - 1;
+        s.cycle = cycle;
         s.phase = phase;
         rings_[worker].push(s);
         rings_[worker].notePushed();
+    }
+
+    /** Batched-dispatch barrier accounting: attribute one in-dispatch
+     *  barrier wait to @p worker at @p cycle (the per-epoch
+     *  BspWaitObserver hooks cannot see the inner barrier). */
+    void
+    recordBarrierWait(uint32_t worker, uint64_t t0, uint64_t t1,
+                      uint64_t cycle)
+    {
+        if (t1 <= t0)
+            return;
+        barrierWait_[worker].fetch_add(t1 - t0,
+                                       std::memory_order_relaxed);
+        record(worker, Phase::BarrierWait, t0, t1, cycle);
     }
 
     /** Accumulate one shard's eval duration (sampled cycles only). */

@@ -13,13 +13,21 @@ namespace parendi::obs {
 namespace {
 
 constexpr size_t kWorkPhases =
-    static_cast<size_t>(Phase::BarrierWait); // commit/latch/exchange/eval
+    static_cast<size_t>(Phase::BarrierWait); // ...incl. fused Publish
+
+/// A cycle is aggregatable once the four classic phases are seen;
+/// Publish only exists on the fused path and is optional.
+constexpr uint8_t kRequiredPhases =
+    (uint8_t{1} << static_cast<size_t>(Phase::Commit)) |
+    (uint8_t{1} << static_cast<size_t>(Phase::Latch)) |
+    (uint8_t{1} << static_cast<size_t>(Phase::Exchange)) |
+    (uint8_t{1} << static_cast<size_t>(Phase::Eval));
 
 struct CycleAgg
 {
     uint64_t spanTicks = 0;
     bool hasSpan = false;
-    uint8_t phasesSeen = 0;     ///< bitmask over the four work phases
+    uint8_t phasesSeen = 0;     ///< bitmask over the work phases
     std::array<uint64_t, kWorkPhases> maxTicks{};
 };
 
@@ -98,12 +106,13 @@ buildReport(const SuperstepProfiler &prof)
     }
 
     auto included = [](const CycleAgg &a) {
-        return a.hasSpan && a.phasesSeen == 0xF;
+        return a.hasSpan &&
+            (a.phasesSeen & kRequiredPhases) == kRequiredPhases;
     };
 
     // Pass 2: accumulate.
     std::array<double, kWorkPhases> phaseSec{};
-    double syncSec = 0;
+    double residualSec = 0;
     for (const auto &[cycle, a] : agg) {
         (void)cycle;
         if (!included(a))
@@ -112,20 +121,38 @@ buildReport(const SuperstepProfiler &prof)
         double span = ticksToSeconds(a.spanTicks);
         rep.sampledWallSec += span;
         double work = 0;
-        for (size_t p = 0; p < kWorkPhases; ++p) {
-            double d = ticksToSeconds(a.maxTicks[p]);
-            phaseSec[p] += d;
-            work += d;
-        }
-        syncSec += std::max(0.0, span - work);
+        for (size_t p = 0; p < kWorkPhases; ++p)
+            work += ticksToSeconds(a.maxTicks[p]);
+        // On the phased path the barriers serialize the phases, so
+        // the straggler maxima tile the span and sum below it. On the
+        // fused path phases of *different* workers overlap (worker A
+        // evaluates while worker B commits), so their maxima can
+        // overshoot the span; normalize to the span in that case so
+        // the decomposition stays a partition of measured wall time.
+        double scale = work > span && work > 0 ? span / work : 1.0;
+        for (size_t p = 0; p < kWorkPhases; ++p)
+            phaseSec[p] += ticksToSeconds(a.maxTicks[p]) * scale;
+        residualSec += std::max(0.0, span - work * scale);
     }
     rep.commitSec = phaseSec[static_cast<size_t>(Phase::Commit)];
     rep.latchSec = phaseSec[static_cast<size_t>(Phase::Latch)];
     rep.exchangeSec = phaseSec[static_cast<size_t>(Phase::Exchange)];
     rep.evalSec = phaseSec[static_cast<size_t>(Phase::Eval)];
+    rep.publishSec = phaseSec[static_cast<size_t>(Phase::Publish)];
     rep.tCompSec = rep.evalSec + rep.latchSec;
-    rep.tCommSec = rep.commitSec + rep.exchangeSec;
-    rep.tSyncSec = syncSec;
+    rep.tCommSec = rep.commitSec + rep.exchangeSec + rep.publishSec;
+    // The residual of the cycle span is synchronization only when
+    // there is something to synchronize. A single worker has no
+    // barrier: its residual is measurement overhead (sampling
+    // timestamps, the step loop between phase records) and is
+    // reported as such instead of as a phantom t_sync.
+    if (rep.workers > 1) {
+        rep.tSyncSec = residualSec;
+        rep.overheadSec = 0;
+    } else {
+        rep.tSyncSec = 0;
+        rep.overheadSec = residualSec;
+    }
 
     // Per-worker totals over the included cycles.
     for (uint32_t w = 0; w < rep.workers; ++w) {
@@ -168,14 +195,17 @@ formatReport(const ProfileReport &rep)
                      static_cast<unsigned long long>(rep.cyclesSampled),
                      rep.workers, rep.shards);
     out << strprintf("  per RTL cycle: t_comp %.1f + t_comm %.1f + "
-                     "t_sync %.1f = %.1f us -> %.2f kHz measured\n",
+                     "t_sync %.1f + overhead %.1f = %.1f us -> "
+                     "%.2f kHz measured\n",
                      rep.tCompSec * 1e6 / n, rep.tCommSec * 1e6 / n,
-                     rep.tSyncSec * 1e6 / n,
+                     rep.tSyncSec * 1e6 / n, rep.overheadSec * 1e6 / n,
                      rep.sampledWallSec * 1e6 / n, rep.rateKHz());
     out << strprintf("  supersteps (straggler wall): commit %.2f, "
-                     "latch %.2f, exchange %.2f, eval %.2f us\n",
+                     "latch %.2f, exchange %.2f, eval %.2f, "
+                     "publish %.2f us\n",
                      rep.commitSec * 1e6 / n, rep.latchSec * 1e6 / n,
-                     rep.exchangeSec * 1e6 / n, rep.evalSec * 1e6 / n);
+                     rep.exchangeSec * 1e6 / n, rep.evalSec * 1e6 / n,
+                     rep.publishSec * 1e6 / n);
 
     if (rep.workers > 1) {
         Table t({"worker", "work us/cyc", "barrier us/cyc",
@@ -253,6 +283,9 @@ formatModeledVsMeasured(const ModeledSplit &modeled,
         {"t_comp", modeled.comp, measured.tCompSec},
         {"t_comm", modeled.comm, measured.tCommSec},
         {"t_sync", modeled.sync, measured.tSyncSec},
+        // The model has no notion of measurement overhead; the row
+        // keeps the measured column summing to its total.
+        {"overhead", 0, measured.overheadSec},
         {"total", mtot, wtot},
     };
     for (const RowDef &r : rows) {

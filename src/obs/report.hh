@@ -42,17 +42,29 @@ struct ProfileReport
     double sampledWallSec = 0;
 
     /** Straggler (max-over-workers) wall per superstep, summed over
-     *  sampled cycles. */
+     *  sampled cycles. publishSec is the fused path's post-eval
+     *  copy-out (zero on the phased path). */
     double commitSec = 0;
     double latchSec = 0;
     double exchangeSec = 0;
     double evalSec = 0;
+    double publishSec = 0;
 
-    /** The r_cycle mapping: comp = eval + latch, comm = commit +
-     *  exchange, sync = cycle-span residual (clamped at 0). */
+    /**
+     * The r_cycle mapping: comp = eval + latch, comm = commit +
+     * exchange + publish, sync = cycle-span residual (clamped at 0).
+     * The residual is only *synchronization* when there is more than
+     * one worker; with a single worker there is no barrier, so the
+     * residual — profiler sampling overhead and step-loop time
+     * between phase records — is attributed to overheadSec instead
+     * of masquerading as t_sync. The four terms
+     * tComp + tComm + tSync + overhead sum to sampledWallSec by
+     * construction.
+     */
     double tCompSec = 0;
     double tCommSec = 0;
     double tSyncSec = 0;
+    double overheadSec = 0;
 
     /** Per-worker totals over sampled cycles, seconds. */
     std::vector<double> workerWorkSec;

@@ -1,8 +1,10 @@
 #include "rtl/shard.hh"
 
+#include <algorithm>
 #include <cstring>
 #include <istream>
 #include <ostream>
+#include <unordered_map>
 
 #include "util/bsp_pool.hh"
 #include "util/logging.hh"
@@ -117,6 +119,64 @@ ShardSet::buildExchange()
         for (auto [shard, mi] : broadcasts_[bi].replicas)
             replicaPlan_[shard].emplace_back(bi, mi);
 
+    // Publish-buffer layout for the fused superstep. Grouped by owner
+    // shard (publishing is owner-computes); each shard's region is
+    // padded to a cache line so concurrent publishers never share a
+    // line. Register values are deduplicated per owner slot — N
+    // readers of one register share one published copy.
+    std::vector<std::vector<uint32_t>> msgsByOwner(nshards);
+    for (uint32_t i = 0; i < regMessages_.size(); ++i)
+        msgsByOwner[regMessages_[i].ownerShard].push_back(i);
+    std::vector<std::vector<uint32_t>> portsByOwner(nshards);
+    for (uint32_t bi = 0; bi < broadcasts_.size(); ++bi)
+        portsByOwner[broadcasts_[bi].ownerShard].push_back(bi);
+
+    constexpr uint32_t kLineWords = 8;  // 64B false-sharing pad
+    uint32_t off = 0;
+    pubRegRanges_.assign(nshards, {0, 0});
+    pubPortsByShard_.assign(nshards, {});
+    for (uint32_t si = 0; si < nshards; ++si) {
+        off = (off + kLineWords - 1) / kLineWords * kLineWords;
+        // cur slot -> (next slot, words) of this shard's owned regs.
+        std::unordered_map<uint32_t, std::pair<uint32_t, uint16_t>>
+            curToNext;
+        for (const ProgReg &r : programs_[si].regs)
+            if (r.owned)
+                curToNext[r.cur] = {
+                    r.next,
+                    static_cast<uint16_t>(wordsFor(r.width))};
+        std::unordered_map<uint32_t, uint32_t> pubOfOwnerSlot;
+        pubRegRanges_[si].first =
+            static_cast<uint32_t>(pubRegs_.size());
+        for (uint32_t i : msgsByOwner[si]) {
+            RegMessage &m = regMessages_[i];
+            auto it = pubOfOwnerSlot.find(m.ownerSlot);
+            if (it == pubOfOwnerSlot.end()) {
+                auto [next, words] = curToNext.at(m.ownerSlot);
+                if (next == kNoSlot)
+                    panic("owned register without a next slot");
+                PubReg pr;
+                pr.nextSlot = next;
+                pr.words = words;
+                pr.offset = off;
+                off += words;
+                it = pubOfOwnerSlot.emplace(m.ownerSlot, pr.offset)
+                         .first;
+                pubRegs_.push_back(pr);
+            }
+            m.pubOffset = it->second;
+        }
+        pubRegRanges_[si].second =
+            static_cast<uint32_t>(pubRegs_.size());
+        for (uint32_t bi : portsByOwner[si]) {
+            broadcasts_[bi].pubOffset = off;
+            off += 1 + broadcasts_[bi].entryWords;
+        }
+        pubPortsByShard_[si] = std::move(portsByOwner[si]);
+    }
+    pub_[0].assign(off, 0);
+    pub_[1].assign(off, 0);
+
     // Port bindings.
     inputSlots_.assign(nl.numInputs(), {});
     for (uint32_t si = 0; si < nshards; ++si)
@@ -217,6 +277,12 @@ ShardSet::exchangeRange(size_t begin, size_t end)
 void
 ShardSet::evalRange(size_t begin, size_t end)
 {
+    evalRangeImpl(begin, end, prof_ && prof_->sampling());
+}
+
+void
+ShardSet::evalRangeImpl(size_t begin, size_t end, bool sampled)
+{
     if (!prof_) {
         for (size_t si = begin; si < end; ++si)
             states_[si]->evalComb();
@@ -225,7 +291,6 @@ ShardSet::evalRange(size_t begin, size_t end)
     // Profiled: bump the work counters every cycle; on sampled cycles
     // additionally time each shard individually — that per-shard
     // distribution is the measured straggler histogram.
-    const bool sampled = prof_->sampling();
     uint64_t instrs = 0;
     uint64_t native = 0;
     for (size_t si = begin; si < end; ++si) {
@@ -245,6 +310,209 @@ ShardSet::evalRange(size_t begin, size_t end)
         ctrInstrs_->add(instrs);
     if (native)
         ctrNative_->add(native);
+}
+
+// -- Fused single-barrier superstep --------------------------------------
+
+void
+ShardSet::commitRangeFrom(size_t begin, size_t end, const uint64_t *rd)
+{
+    uint64_t words = 0;
+    for (size_t si = begin; si < end; ++si) {
+        EvalState &mine = *states_[si];
+        for (auto [bi, mi] : replicaPlan_[si]) {
+            const PortBroadcast &b = broadcasts_[bi];
+            const uint64_t *rec = rd + b.pubOffset;
+            uint64_t addr = rec[0];
+            if (addr == kPubSkip)
+                continue;
+            std::memcpy(mine.memImage(mi).data() + addr * b.entryWords,
+                        rec + 1, b.entryWords * sizeof(uint64_t));
+            words += b.entryWords;
+        }
+    }
+    if (ctrExchWords_ && words)
+        ctrExchWords_->add(words);
+}
+
+void
+ShardSet::exchangeRangeFrom(size_t begin, size_t end,
+                            const uint64_t *rd)
+{
+    uint64_t words = 0;
+    for (size_t si = begin; si < end; ++si) {
+        auto [mb, me] = readerRanges_[si];
+        for (uint32_t i = mb; i < me; ++i) {
+            const RegMessage &m = regMessages_[i];
+            std::memcpy(states_[m.readerShard]->slotPtr(m.readerSlot),
+                        rd + m.pubOffset,
+                        m.words * sizeof(uint64_t));
+            words += m.words;
+        }
+    }
+    if (ctrExchWords_ && words)
+        ctrExchWords_->add(words);
+}
+
+void
+ShardSet::publishRange(size_t begin, size_t end, uint64_t *wr)
+{
+    for (size_t si = begin; si < end; ++si) {
+        const EvalState &st = *states_[si];
+        auto [rb, re] = pubRegRanges_[si];
+        for (uint32_t i = rb; i < re; ++i) {
+            const PubReg &pr = pubRegs_[i];
+            std::memcpy(wr + pr.offset, st.slotPtr(pr.nextSlot),
+                        pr.words * sizeof(uint64_t));
+        }
+        for (uint32_t bi : pubPortsByShard_[si]) {
+            const PortBroadcast &b = broadcasts_[bi];
+            uint64_t *rec = wr + b.pubOffset;
+            if (!(st.slotPtr(b.enSlot)[0] & 1)) {
+                rec[0] = kPubSkip;
+                continue;
+            }
+            uint64_t addr = saturatingWideReadBits(
+                st.slotPtr(b.addrSlot), b.addrWidth);
+            if (addr >= b.depth) {
+                rec[0] = kPubSkip;
+                continue;
+            }
+            rec[0] = addr;
+            std::memcpy(rec + 1, st.slotPtr(b.dataSlot),
+                        b.entryWords * sizeof(uint64_t));
+        }
+    }
+}
+
+void
+ShardSet::publishAll()
+{
+    publishRange(0, size(), pub_[pubRead_].data());
+}
+
+void
+ShardSet::fusedCycleRange(size_t begin, size_t end, uint32_t worker,
+                          bool sampled, uint64_t cycle,
+                          uint32_t parity)
+{
+    const uint64_t *rd = pub_[parity].data();
+    uint64_t *wr = pub_[parity ^ 1].data();
+    if (!sampled) {
+        commitRangeFrom(begin, end, rd);
+        latchRange(begin, end);
+        exchangeRangeFrom(begin, end, rd);
+        evalRangeImpl(begin, end, false);
+        publishRange(begin, end, wr);
+        return;
+    }
+    // Sampled cycle: timestamp each sub-phase so the fused path still
+    // yields the full t_comp/t_comm/t_sync decomposition. The cycle
+    // number is passed explicitly — inside a batch, workers other
+    // than 0 must not read the profiler's cycle state.
+    uint64_t t0 = obs::tick(), t1;
+    commitRangeFrom(begin, end, rd);
+    t1 = obs::tick();
+    prof_->record(worker, obs::Phase::Commit, t0, t1, cycle);
+    t0 = t1;
+    latchRange(begin, end);
+    t1 = obs::tick();
+    prof_->record(worker, obs::Phase::Latch, t0, t1, cycle);
+    t0 = t1;
+    exchangeRangeFrom(begin, end, rd);
+    t1 = obs::tick();
+    prof_->record(worker, obs::Phase::Exchange, t0, t1, cycle);
+    t0 = t1;
+    evalRangeImpl(begin, end, true);
+    t1 = obs::tick();
+    prof_->record(worker, obs::Phase::Eval, t0, t1, cycle);
+    t0 = t1;
+    publishRange(begin, end, wr);
+    t1 = obs::tick();
+    prof_->record(worker, obs::Phase::Publish, t0, t1, cycle);
+}
+
+void
+ShardSet::setFused(bool on)
+{
+    if (fused_ != on)
+        pubValid_ = false;
+    fused_ = on;
+}
+
+void
+ShardSet::stepCycles(util::BspPool *pool, uint64_t n)
+{
+    if (!fused_) {
+        for (uint64_t i = 0; i < n; ++i)
+            stepCycle(pool);
+        return;
+    }
+    if (n == 0)
+        return;
+    const uint32_t nw =
+        pool && size() > 1 ? pool->threads() : 1;
+    if (nw <= 1) {
+        // Single worker: fusion only removes barriers, and there are
+        // none — the phased in-place cycle (direct owner-slot
+        // exchange, no publish copy-out) is strictly cheaper than the
+        // fused bodies, so use it. stepCycle invalidates pubValid_,
+        // keeping a later multi-worker fused batch coherent.
+        for (uint64_t i = 0; i < n; ++i)
+            stepCycle(pool);
+        return;
+    }
+    if (!pubValid_) {
+        publishAll();
+        pubValid_ = true;
+    }
+    if (!inner_ || inner_->parties() != nw)
+        inner_ = std::make_unique<util::SpinBarrier>(nw);
+
+    // One pool dispatch for the whole batch: each worker runs its
+    // statically assigned shard range through all n cycles, with the
+    // in-dispatch SpinBarrier as the single synchronization point per
+    // cycle. The barrier both orders the publish-buffer flip (cycle
+    // c+1 writes the buffer cycle c read) and separates cycles, so
+    // no other fence is needed.
+    const uint64_t baseCycle = prof_ ? prof_->cyclesSeen() : 0;
+    const uint64_t every = prof_ ? prof_->options().sampleEvery : 0;
+    const size_t nshards = size();
+    const size_t chunk = (nshards + nw - 1) / nw;
+    const uint32_t basePar = pubRead_;
+    obs::SuperstepProfiler *prof = prof_;
+    util::SpinBarrier *bar = inner_.get();
+    pool->run([=, this](uint32_t w) {
+        const size_t b = std::min(nshards, w * chunk);
+        const size_t e = std::min(nshards, b + chunk);
+        for (uint64_t c = 0; c < n; ++c) {
+            // Workers decide "is this cycle sampled" locally from the
+            // batch base — the profiler's own cycle counter is worker
+            // 0's to mutate.
+            const uint64_t cyc = baseCycle + c;
+            const bool sampled =
+                prof && (every <= 1 || cyc % every == 0);
+            if (w == 0)
+                profileCycleBegin();
+            if (b < e)
+                fusedCycleRange(b, e, w, sampled, cyc,
+                                (basePar + static_cast<uint32_t>(c)) &
+                                    1u);
+            const uint64_t t0 = sampled ? obs::tick() : 0;
+            bar->arriveAndWait();
+            if (sampled) {
+                const uint64_t t1 = obs::tick();
+                prof->recordBarrierWait(w, t0, t1, cyc);
+                // Close the adaptive loop: measured inter-arrival
+                // times retune the barrier's spin budget.
+                bar->observeWaitNs(static_cast<uint64_t>(
+                    obs::ticksToSeconds(t1 - t0) * 1e9));
+            }
+            if (w == 0)
+                profileCycleEnd();
+        }
+    });
+    pubRead_ = (pubRead_ + static_cast<uint32_t>(n & 1)) & 1u;
 }
 
 void
@@ -315,6 +583,9 @@ ShardSet::stepCycle(util::BspPool *pool)
     exchangeRegisters(pool);
     evalAll(pool);
     profileCycleEnd();
+    // Phased stepping advances state without publishing; a later
+    // fused batch must republish from live slots.
+    pubValid_ = false;
 }
 
 void
@@ -323,6 +594,7 @@ ShardSet::reset(util::BspPool *pool)
     for (auto &st : states_)
         st->reset();
     evalAll(pool);
+    pubValid_ = false;
 }
 
 // -- Name-based host access ----------------------------------------------
@@ -339,6 +611,7 @@ ShardSet::poke(const std::string &input, const BitVec &value)
         states_[shard]->writeSlot(slot, value);
         states_[shard]->evalComb();
     }
+    pubValid_ = false;
 }
 
 void
@@ -442,6 +715,7 @@ ShardSet::restore(std::istream &in)
         fatal("checkpoint mismatch: shard count");
     for (auto &st : states_)
         st->restore(in);
+    pubValid_ = false;
 }
 
 } // namespace parendi::rtl

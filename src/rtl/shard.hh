@@ -33,6 +33,26 @@
  *    register it reads. Destination slots are unique per message and
  *    the owner's cur slots are stable after the latch barrier.
  *  - evaluate: purely shard-private.
+ *
+ * The 4-barrier sequence is the reference semantics; the default
+ * execution mode is the *fused* owner-computes superstep (stepCycles),
+ * which needs one barrier per cycle. The trick is a double-buffered
+ * publish area: at the end of cycle c every shard copies out, for each
+ * owned register with foreign readers, the post-eval NEXT value (which
+ * is exactly the post-latch value the phased exchange of cycle c+1
+ * would deliver) and, for each owned write port, a pre-resolved
+ * broadcast record [addr-or-skip, data words] (exactly the values the
+ * phased commit of cycle c+1 would read, since nothing runs between
+ * eval(c) and commit(c+1)). Cycle c+1 then serves commit and exchange
+ * entirely from the stable cycle-c buffer while publishing into the
+ * other one, so commit/latch/exchange/eval/publish all run
+ * back-to-back per shard with no intervening barrier; a single
+ * end-of-cycle barrier flips the buffers. Collision order is
+ * preserved because replica application still walks ascending global
+ * port order against identical records. Any out-of-band state
+ * mutation (poke/reset/restore, or running phased steps in between)
+ * invalidates the buffers; the next fused batch republishes from live
+ * state.
  */
 
 #ifndef PARENDI_RTL_SHARD_HH
@@ -67,6 +87,7 @@ class ShardSet
         uint32_t readerSlot;
         uint16_t words;
         uint32_t bytes;         ///< exchange payload (4B granules)
+        uint32_t pubOffset;     ///< value's offset in the publish buffer
     };
 
     /** One array write port fanned out to every replica. */
@@ -80,9 +101,16 @@ class ShardSet
         MemId mem;
         uint32_t entryWords;
         uint32_t depth;
+        /// Publish-buffer offset of this port's resolved record:
+        /// [addr or kPubSkip, entryWords data words].
+        uint32_t pubOffset;
         /// (shard, program-local memory index) of every replica.
         std::vector<std::pair<uint32_t, uint32_t>> replicas;
     };
+
+    /** Publish-record address marker: port disabled or out of range
+     *  this cycle — replicas skip the record. */
+    static constexpr uint64_t kPubSkip = UINT64_MAX;
 
     ShardSet() = default;
 
@@ -109,8 +137,30 @@ class ShardSet
 
     // -- BSP execution (pool == nullptr -> sequential) -------------------
 
-    /** Full cycle: commit -> latch -> exchange -> evaluate. */
+    /** Full cycle: commit -> latch -> exchange -> evaluate. Always
+     *  runs the phased (4-barrier) sequence regardless of setFused —
+     *  the reference semantics, and the phased A/B path. */
     void stepCycle(util::BspPool *pool);
+
+    /**
+     * Run @p n cycles. In fused mode (the default) the whole batch is
+     * one pool dispatch: every worker executes its shards'
+     * commit/latch/exchange/eval/publish back-to-back each cycle and
+     * cycles are separated by a single in-dispatch SpinBarrier — one
+     * barrier per cycle instead of four arrival+release pairs, and
+     * one pool epoch per *batch* instead of four per cycle. In phased
+     * mode — or with a single effective worker, where fusion has no
+     * barriers to remove and the in-place phased cycle is cheaper
+     * than publishing — this is just n calls to stepCycle.
+     * Bit-identical to the phased path at any worker count and batch
+     * size.
+     */
+    void stepCycles(util::BspPool *pool, uint64_t n);
+
+    /** Select fused (single-barrier, default) vs phased execution for
+     *  stepCycles. */
+    void setFused(bool on);
+    bool fused() const { return fused_; }
 
     /** The individual phases, for hosts with bespoke compute phases. */
     void commitBroadcasts(util::BspPool *pool);
@@ -180,15 +230,39 @@ class ShardSet
     const Netlist &netlist() const { return *nl_; }
 
   private:
+    /** One owner-side publish entry: a register with foreign readers. */
+    struct PubReg
+    {
+        uint32_t nextSlot;  ///< owner's NEXT slot (post-eval value)
+        uint16_t words;
+        uint32_t offset;    ///< into the publish buffer
+    };
+
     void buildExchange();
     void commitRange(size_t begin, size_t end);
     void latchRange(size_t begin, size_t end);
     void exchangeRange(size_t begin, size_t end);
     void evalRange(size_t begin, size_t end);
+    void evalRangeImpl(size_t begin, size_t end, bool sampled);
     /** Dispatch one superstep over the pool (or sequentially),
      *  timestamping per worker when the profiler samples this cycle. */
     void runPhase(util::BspPool *pool, obs::Phase phase,
                   void (ShardSet::*body)(size_t, size_t));
+
+    // Fused-path bodies. @p parity selects the read buffer; the
+    // complementary buffer is written.
+    void commitRangeFrom(size_t begin, size_t end,
+                         const uint64_t *rd);
+    void exchangeRangeFrom(size_t begin, size_t end,
+                           const uint64_t *rd);
+    void publishRange(size_t begin, size_t end, uint64_t *wr);
+    void fusedCycleRange(size_t begin, size_t end, uint32_t worker,
+                         bool sampled, uint64_t cycle,
+                         uint32_t parity);
+    /** (Re)publish every shard's state into the buffer the next fused
+     *  cycle reads — the out-of-band path after construction, poke,
+     *  reset, restore, or any phased stepping. */
+    void publishAll();
 
     obs::SuperstepProfiler *prof_ = nullptr;
     obs::Counter *ctrInstrs_ = nullptr;
@@ -206,6 +280,21 @@ class ShardSet
     std::vector<PortBroadcast> broadcasts_;
     /// per shard: (broadcast index ascending, program-local mem index)
     std::vector<std::vector<std::pair<uint32_t, uint32_t>>> replicaPlan_;
+
+    // -- Fused-superstep publish schedule --------------------------------
+    /// grouped by owner shard; pubRegRanges_[s] = [begin, end)
+    std::vector<PubReg> pubRegs_;
+    std::vector<std::pair<uint32_t, uint32_t>> pubRegRanges_;
+    /// per shard: indices of broadcasts_ it owns (publish order)
+    std::vector<std::vector<uint32_t>> pubPortsByShard_;
+    /// double-buffered publish area; cycle c reads parity (pubRead_+c)&1
+    std::vector<uint64_t> pub_[2];
+    uint32_t pubRead_ = 0;
+    bool pubValid_ = false;
+    bool fused_ = true;
+    /// in-dispatch barrier for batched fused cycles (sized lazily to
+    /// the pool's worker count)
+    std::unique_ptr<util::SpinBarrier> inner_;
 
     /// input port -> [(shard, slot)] replicas
     std::vector<std::vector<std::pair<uint32_t, uint32_t>>> inputSlots_;

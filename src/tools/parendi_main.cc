@@ -14,6 +14,11 @@
  *     --threads N       host worker threads for ipu/par engines
  *     --cgen            JIT-compile shard programs to native kernels
  *                       (par engine; cgen engine implies it)
+ *     --fused 0|1       fused single-barrier supersteps for the
+ *                       par/ipu host paths (default 1; 0 = the
+ *                       4-barrier phased A/B path)
+ *     --batch N         fused path: cycles per pool dispatch
+ *                       (default 0 = one batch per step call)
  *     --tiles N         tiles per chip (default 1472, ipu engine)
  *     --chips N         IPU chips, 1-4 (default 1, ipu engine)
  *     --strategy B|H    single-chip partitioning (default B)
@@ -78,6 +83,8 @@ struct Args
     std::string vcdPath;
     bool reportOnly = false;
     bool cgen = false;
+    bool fused = true;
+    uint64_t batch = 0;
     bool profile = false;
     uint64_t profileEvery = 16;
     std::string profileTrace;
@@ -96,6 +103,7 @@ usage()
                  "[--no-diff]\n"
                  "               [--vcd FILE] [--report] "
                  "[--peek NAME]...\n"
+                 "               [--fused 0|1] [--batch N]\n"
                  "               [--profile] [--profile-every N] "
                  "[--profile-trace FILE]\n"
                  "               <design.v|design.pnl> | --design NAME\n");
@@ -137,6 +145,10 @@ parseArgs(int argc, char **argv)
             a.reportOnly = true;
         else if (arg == "--cgen")
             a.cgen = true;
+        else if (arg == "--fused")
+            a.fused = std::stoul(value()) != 0;
+        else if (arg == "--batch")
+            a.batch = std::stoull(value());
         else if (arg == "--design")
             a.design = value();
         else if (arg == "--profile")
@@ -236,6 +248,8 @@ main(int argc, char **argv)
             opt.optimize = args.optimize;
             opt.machine.differentialExchange = args.diffExchange;
             opt.machine.hostThreads = args.threads;
+            opt.machine.fused = args.fused;
+            opt.machine.batch = args.batch;
             if (args.hyper)
                 opt.single = partition::SingleChipStrategy::Hypergraph;
             if (args.multi == "post")
@@ -280,6 +294,8 @@ main(int argc, char **argv)
             eopt.kind = kind;
             eopt.threads = args.threads;
             eopt.cgen = args.cgen;
+            eopt.fused = args.fused;
+            eopt.batch = args.batch;
             eopt.profile = args.profile;
             eopt.profileOpt.sampleEvery = args.profileEvery;
             if (args.optimize)

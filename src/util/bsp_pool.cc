@@ -13,6 +13,91 @@ constexpr int kSpinIters = 256;
 
 } // namespace
 
+// -- SpinBarrier ---------------------------------------------------------
+
+namespace {
+
+/// Adaptive spin-budget bounds: never below a cache-miss worth of
+/// iterations, never above ~a futex round-trip worth of spinning.
+constexpr uint32_t kMinSpin = 16;
+constexpr uint32_t kMaxSpin = 4096;
+
+/// Rough iterations-per-nanosecond for converting an observed wait
+/// into a spin budget; precision is irrelevant, only the order of
+/// magnitude matters (the budget is clamped anyway).
+constexpr uint64_t kItersPerNs = 1;
+
+} // namespace
+
+SpinBarrier::SpinBarrier(uint32_t parties)
+    : parties_(parties > 0 ? parties : 1), spinBudget_(kSpinIters)
+{
+}
+
+void
+SpinBarrier::arriveAndWait()
+{
+    const uint64_t g = gen_.load(std::memory_order_acquire);
+    if (count_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        parties_) {
+        // Last arriver: reset for the next generation, then release.
+        // The release store of gen_ publishes every party's writes
+        // (their fetch_add was acq_rel) to every waiter's acquire
+        // load below.
+        count_.store(0, std::memory_order_relaxed);
+        // seq_cst pairs with the waiter's seq_cst sleepers_++ /
+        // gen_ recheck: either the waiter's increment precedes this
+        // load (we notify) or this store precedes its recheck (it
+        // never sleeps) — no missed wakeup either way.
+        gen_.store(g + 1, std::memory_order_seq_cst);
+        if (sleepers_.load(std::memory_order_seq_cst) > 0)
+            gen_.notify_all();
+        return;
+    }
+    const uint32_t budget = spinBudget_.load(std::memory_order_relaxed);
+    for (uint32_t i = 0; i < budget; ++i) {
+        if (gen_.load(std::memory_order_acquire) != g) {
+            // Satisfied comfortably inside the window: grow the
+            // budget back toward the cap (cheap success signal).
+            if (i < budget / 2 && budget < kMaxSpin)
+                spinBudget_.store(budget + budget / 4 + 1,
+                                  std::memory_order_relaxed);
+            return;
+        }
+    }
+    // Brief yield phase bridges "slightly over budget" before the
+    // futex engages (a futex sleep+wake is ~microseconds).
+    for (int i = 0; i < 4; ++i) {
+        std::this_thread::yield();
+        if (gen_.load(std::memory_order_acquire) != g)
+            return;
+    }
+    // Futex path: once this engages, spinning was wasted — shrink the
+    // budget so oversubscribed hosts stop burning their timeslice.
+    spinBudget_.store(std::max(budget / 2, kMinSpin),
+                      std::memory_order_relaxed);
+    sleepers_.fetch_add(1, std::memory_order_seq_cst);
+    while (gen_.load(std::memory_order_seq_cst) == g)
+        gen_.wait(g, std::memory_order_seq_cst);
+    sleepers_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+void
+SpinBarrier::observeWaitNs(uint64_t ns)
+{
+    // EMA (alpha = 1/8) over externally measured inter-arrival times;
+    // re-seed the budget from it so workload phase changes retune the
+    // barrier even when the internal signals are saturated.
+    uint64_t ema = emaWaitNs_.load(std::memory_order_relaxed);
+    ema = ema == 0 ? ns : ema - ema / 8 + ns / 8;
+    emaWaitNs_.store(ema, std::memory_order_relaxed);
+    uint64_t target = ema * kItersPerNs;
+    uint32_t budget = static_cast<uint32_t>(
+        std::min<uint64_t>(std::max<uint64_t>(target, kMinSpin),
+                           kMaxSpin));
+    spinBudget_.store(budget, std::memory_order_relaxed);
+}
+
 BspPool::BspPool(uint32_t threads)
     : nthreads_(std::max<uint32_t>(threads, 1))
 {

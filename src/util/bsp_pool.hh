@@ -33,6 +33,67 @@
 namespace parendi::util {
 
 /**
+ * In-dispatch sense-reversing barrier for multi-cycle batch dispatch:
+ * when a k-cycle batch runs inside a single BspPool::run, the workers
+ * separate consecutive simulated cycles with this barrier instead of
+ * returning to the pool's epoch machinery — no job republication, no
+ * completion counter reset by the caller, and in the common case no
+ * futex round-trip at all.
+ *
+ * The spin budget adapts on two signals:
+ *  - internally: a waiter that had to sleep halves the budget (once
+ *    the futex engages, inter-arrival is far beyond any useful spin —
+ *    typically an oversubscribed host), while a wait satisfied early
+ *    in the spin window nudges the budget back up;
+ *  - externally: observeWaitNs() feeds measured inter-arrival times
+ *    (the profiler's sampled barrier waits) into an EMA that re-seeds
+ *    the budget, so a phase change in the workload retunes the
+ *    barrier even when the internal signal is saturated.
+ *
+ * All parties must call arriveAndWait() the same number of times; the
+ * last arrival of each generation releases the rest.
+ */
+class SpinBarrier
+{
+  public:
+    explicit SpinBarrier(uint32_t parties);
+
+    SpinBarrier(const SpinBarrier &) = delete;
+    SpinBarrier &operator=(const SpinBarrier &) = delete;
+
+    /** Block until all parties have arrived at this generation. */
+    void arriveAndWait();
+
+    uint32_t parties() const { return parties_; }
+
+    /** Completed generations (== inner barriers crossed). */
+    uint64_t
+    generations() const
+    {
+        return gen_.load(std::memory_order_relaxed);
+    }
+
+    /** Feed one measured barrier-wait duration (nanoseconds) into the
+     *  adaptive spin budget. Thread-safe; call from any party. */
+    void observeWaitNs(uint64_t ns);
+
+    /** Current spin budget in iterations (tuning/test visibility). */
+    uint32_t
+    spinBudget() const
+    {
+        return spinBudget_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    const uint32_t parties_;
+    std::atomic<uint32_t> count_{0};
+    std::atomic<uint64_t> gen_{0};
+    std::atomic<uint32_t> sleepers_{0};
+    std::atomic<uint32_t> spinBudget_;
+    std::atomic<uint64_t> emaWaitNs_{0};
+};
+
+/**
  * Observer of the pool's barrier waits, so wait time is attributable
  * per worker instead of being buried inside the spin-then-futex path.
  * For every epoch, every worker produces exactly one Begin/End pair:

@@ -4,6 +4,7 @@
 #include <istream>
 #include <numeric>
 #include <ostream>
+#include <thread>
 #include <vector>
 
 #include "fiber/fiber.hh"
@@ -13,12 +14,23 @@ namespace parendi::rtl {
 
 ParallelInterpreter::ParallelInterpreter(Netlist netlist,
                                          uint32_t threads,
-                                         const LowerOptions &lower)
-    : nl_(std::move(netlist))
+                                         const LowerOptions &lower,
+                                         const ParConfig &cfg)
+    : nl_(std::move(netlist)), batch_(cfg.batch)
 {
     fiber::FiberSet fs(nl_);
+    // The shard count adapts to the host's real parallelism (unless
+    // the config pins a worker count): shards beyond the core count
+    // buy no concurrency and only add cross-shard exchange traffic
+    // and barrier parties. The partition is bit-exact at any shard
+    // count, so requesting 8 threads on a 2-core host simply yields
+    // the 2-shard packing.
+    const uint32_t maxw = cfg.maxWorkers
+        ? cfg.maxWorkers
+        : std::max(1u, std::thread::hardware_concurrency());
     size_t nshards = std::max<size_t>(
-        1, std::min<size_t>(threads, fs.size()));
+        1, std::min<size_t>(std::min<uint32_t>(threads, maxw),
+                            fs.size()));
 
     // LPT over the per-fiber x86 cost: heaviest fiber first onto the
     // least-loaded shard. Ties break on ascending fiber index so the
@@ -42,9 +54,11 @@ ParallelInterpreter::ParallelInterpreter(Netlist netlist,
     }
 
     shards_ = ShardSet(nl_, nodeSets, lower);
-    if (threads >= 2 && shards_.size() >= 2)
-        pool_ = std::make_unique<util::BspPool>(
-            static_cast<uint32_t>(shards_.size()));
+    shards_.setFused(cfg.fused);
+    const uint32_t workers = static_cast<uint32_t>(
+        std::min<size_t>(shards_.size(), maxw));
+    if (threads >= 2 && shards_.size() >= 2 && workers >= 2)
+        pool_ = std::make_unique<util::BspPool>(workers);
     // Evaluate combinational logic once so outputs are observable
     // before the first clock edge.
     shards_.evalAll(pool_.get());
@@ -53,9 +67,13 @@ ParallelInterpreter::ParallelInterpreter(Netlist netlist,
 void
 ParallelInterpreter::step(size_t n)
 {
-    for (size_t i = 0; i < n; ++i) {
-        shards_.stepCycle(pool_.get());
-        ++cycleCount_;
+    size_t done = 0;
+    while (done < n) {
+        const size_t k =
+            batch_ ? std::min(batch_, n - done) : n - done;
+        shards_.stepCycles(pool_.get(), k);
+        done += k;
+        cycleCount_ += k;
     }
 }
 

@@ -30,6 +30,29 @@
 
 namespace parendi::rtl {
 
+/** Execution knobs of the parallel host engine. */
+struct ParConfig
+{
+    /** Fused single-barrier supersteps (default) vs the 4-barrier
+     *  phased reference sequence. Bit-identical either way. */
+    bool fused = true;
+    /** Cycles per pool dispatch in fused mode: step(n) is split into
+     *  batches of this many cycles, each one pool epoch with the
+     *  in-dispatch barrier between cycles. 0 = the whole step(n) call
+     *  is one batch. */
+    size_t batch = 0;
+    /**
+     * Cap on shards and pool workers. 0 (default) caps at the host's
+     * hardware concurrency — shards beyond the physical cores buy no
+     * concurrency and only add cross-shard exchange traffic and
+     * barrier parties, and any shard/worker count computes
+     * bit-identical results, so oversubscribing buys nothing. Tests
+     * and A/B benches that *want* a specific partition width or real
+     * thread contention pass an explicit cap.
+     */
+    uint32_t maxWorkers = 0;
+};
+
 class ParallelInterpreter : public core::SimEngine
 {
   public:
@@ -38,7 +61,8 @@ class ParallelInterpreter : public core::SimEngine
      *  min(threads, number of fibers). */
     explicit ParallelInterpreter(Netlist nl, uint32_t threads = 0,
                                  const LowerOptions &lower =
-                                     LowerOptions{});
+                                     LowerOptions{},
+                                 const ParConfig &cfg = ParConfig{});
 
     // The shard set points at the netlist member; the object must
     // stay put.
@@ -99,9 +123,20 @@ class ParallelInterpreter : public core::SimEngine
     /** Shards actually built (<= requested threads). */
     size_t numShards() const { return shards_.size(); }
 
+    /** Pool workers actually running (1 when sequential; can be fewer
+     *  than numShards() under the hardware-concurrency cap). */
+    uint32_t
+    numWorkers() const
+    {
+        return pool_ ? pool_->threads() : 1;
+    }
+
+    bool fused() const { return shards_.fused(); }
+
   private:
     Netlist nl_;
     ShardSet shards_;
+    size_t batch_ = 0;
     // Declared before pool_: the pool holds a raw observer pointer to
     // the profiler, so the pool (destroyed first, in reverse member
     // order) must never outlive it.

@@ -151,7 +151,11 @@ TEST(Cgen, ParallelEngineRunsNativeShardKernels)
 {
     Netlist nl = randomNetlist(7);
     Interpreter ref(nl, rtl::LowerOptions::none());
-    rtl::ParallelInterpreter par(nl, 4);
+    // Pin the partition width: the default clamp to hardware
+    // concurrency could leave a single shard on small CI hosts.
+    rtl::ParConfig pcfg;
+    pcfg.maxWorkers = 4;
+    rtl::ParallelInterpreter par(nl, 4, rtl::LowerOptions{}, pcfg);
     ASSERT_GE(par.numShards(), 2u);
 
     // All shard programs compile into one module; every shard must go

@@ -315,6 +315,9 @@ TEST(Machine, ThreadedHostExecutionIsIdentical)
     Interpreter ref(nl);
     CompilerOptions opt = smallMachine(1, 64);
     opt.machine.hostThreads = 4;
+    // Pin real workers: the default clamp to hardware concurrency
+    // would silently serialize this on small CI hosts.
+    opt.machine.maxHostWorkers = 4;
     auto sim = compile(std::move(nl), opt);
     expectEquivalent(*sim, ref, 80, 40);
 }
@@ -328,6 +331,7 @@ TEST(Machine, SpawnModeHostExecutionIsIdentical)
     Interpreter ref(nl);
     CompilerOptions opt = smallMachine(1, 64);
     opt.machine.hostThreads = 4;
+    opt.machine.maxHostWorkers = 4;
     opt.machine.persistentPool = false;
     auto sim = compile(std::move(nl), opt);
     expectEquivalent(*sim, ref, 80, 40);

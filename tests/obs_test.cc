@@ -94,8 +94,13 @@ namespace {
 std::unique_ptr<rtl::ParallelInterpreter>
 profiledPico(uint32_t threads, uint64_t cycles, uint64_t sample_every)
 {
+    // Pin real workers so multi-worker attribution (t_sync vs
+    // overhead) is exercised regardless of the host's core count.
+    rtl::ParConfig pcfg;
+    pcfg.maxWorkers = threads;
     auto sim = std::make_unique<rtl::ParallelInterpreter>(
-        designs::makePico(designs::defaultCoreConfig()), threads);
+        designs::makePico(designs::defaultCoreConfig()), threads,
+        rtl::LowerOptions{}, pcfg);
     obs::ProfileOptions popt;
     popt.sampleEvery = sample_every;
     EXPECT_TRUE(sim->enableProfiling(popt));
@@ -112,10 +117,19 @@ TEST(Report, MeasuredSplitSumsToSampledWall)
     EXPECT_EQ(rep.cyclesTotal, 128u);
     EXPECT_GT(rep.cyclesSampled, 0u);
     EXPECT_GT(rep.sampledWallSec, 0.0);
-    // t_sync is defined as the residual of the sampled cycle span, so
-    // the three terms sum to the measured wall time by construction.
-    double sum = rep.tCompSec + rep.tCommSec + rep.tSyncSec;
+    // The residual of the sampled cycle span lands in t_sync (multi
+    // worker) or overhead (single worker), so the four terms sum to
+    // the measured wall time by construction.
+    double sum = rep.tCompSec + rep.tCommSec + rep.tSyncSec +
+        rep.overheadSec;
     EXPECT_NEAR(sum, rep.sampledWallSec, 1e-6 * rep.sampledWallSec);
+    // The residual must land in exactly one bucket, keyed on whether
+    // a barrier exists at all: a single-worker engine reporting
+    // nonzero t_sync would be misattribution by definition.
+    if (rep.workers <= 1)
+        EXPECT_EQ(rep.tSyncSec, 0.0);
+    else
+        EXPECT_EQ(rep.overheadSec, 0.0);
     // Every superstep and counter shows up.
     EXPECT_GT(rep.tCompSec, 0.0);
     EXPECT_EQ(rep.workerWorkSec.size(), rep.workers);

@@ -13,6 +13,7 @@
 
 #include <atomic>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #include "core/compiler.hh"
@@ -81,7 +82,12 @@ TEST_P(ParallelEquiv, ParallelInterpreterMatchesReference)
     Interpreter ref(nl);
     ref.step(40);
     for (uint32_t threads : {1u, 2u, 8u}) {
-        ParallelInterpreter par(nl, threads);
+        // Pin real shards/workers: the default clamp to hardware
+        // concurrency would serialize this on small CI hosts.
+        rtl::ParConfig pcfg;
+        pcfg.maxWorkers = threads;
+        ParallelInterpreter par(nl, threads, rtl::LowerOptions{},
+                                pcfg);
         par.step(40);
         compareAllState(par, ref, "par");
     }
@@ -99,9 +105,65 @@ TEST_P(ParallelEquiv, PooledMachineMatchesReference)
         core::CompilerOptions opt;
         opt.tilesPerChip = 24;
         opt.machine.hostThreads = threads;
+        opt.machine.maxHostWorkers = threads;
         auto sim = core::compile(Netlist(nl), opt);
         sim->step(40);
         compareAllState(sim->machine(), ref, "ipu");
+    }
+}
+
+TEST_P(ParallelEquiv, FusedMatchesPhasedAcrossBatchShapes)
+{
+    // The fused single-barrier superstep must stay bit-identical to
+    // the 4-barrier phased sequence over colliding write ports, odd
+    // and even batch lengths (the publish-buffer parity flips), and
+    // mid-run reset and checkpoint intrusions (which invalidate the
+    // publish buffers).
+    uint64_t seed = GetParam();
+    Netlist nl = randomNetlist(seed, collidingConfig());
+    for (uint32_t threads : {1u, 2u, 8u}) {
+        Interpreter ref(nl);
+        rtl::ParConfig fcfg;
+        fcfg.maxWorkers = threads;
+        fcfg.batch = 3; // step(n) splits into odd-length batches
+        rtl::ParConfig pcfg;
+        pcfg.fused = false;
+        pcfg.maxWorkers = threads;
+        ParallelInterpreter fused(nl, threads, rtl::LowerOptions{},
+                                  fcfg);
+        ParallelInterpreter phased(nl, threads, rtl::LowerOptions{},
+                                   pcfg);
+        ASSERT_TRUE(fused.fused());
+        ASSERT_FALSE(phased.fused());
+
+        for (size_t batch : {size_t{1}, size_t{3}, size_t{16}}) {
+            ref.step(batch);
+            fused.step(batch);
+            phased.step(batch);
+            compareAllState(fused, ref, "fused");
+            compareAllState(phased, ref, "phased");
+        }
+
+        // Checkpoint round-trip mid-run: restore must re-publish
+        // before the next fused batch.
+        std::stringstream snap;
+        fused.save(snap);
+        fused.step(5);
+        fused.restore(snap);
+        ref.step(5);
+        fused.step(5);
+        phased.step(5);
+        compareAllState(fused, ref, "fused after restore");
+
+        // Reset mid-run, then another odd/even batch mix.
+        ref.reset();
+        fused.reset();
+        phased.reset();
+        ref.step(7);
+        fused.step(7);
+        phased.step(7);
+        compareAllState(fused, ref, "fused after reset");
+        compareAllState(phased, ref, "phased after reset");
     }
 }
 
@@ -119,7 +181,9 @@ TEST(ParallelInterpreter, PokeResetAndCheckpoint)
     d.output("acc", d.read(acc));
     Netlist nl = d.finish();
 
-    ParallelInterpreter sim(nl, 2);
+    rtl::ParConfig pcfg;
+    pcfg.maxWorkers = 2;
+    ParallelInterpreter sim(nl, 2, rtl::LowerOptions{}, pcfg);
     sim.poke("a", uint64_t{3});
     sim.step(4);
     EXPECT_EQ(sim.peek("acc").toUint64(), 12u);
@@ -199,4 +263,132 @@ TEST(BspPool, ManySuperstepsKeepWorkersInLockstep)
         pool.run([&](uint32_t worker) { sum.fetch_add(worker + 1); });
     // Each superstep runs every worker exactly once: 1+2+3+4 = 10.
     EXPECT_EQ(sum.load(), uint64_t{10} * kSteps);
+}
+
+TEST(ParallelInterpreter, PokeBetweenFusedBatchesIsVisible)
+{
+    // A poke between fused batches rewrites input replicas behind the
+    // publish buffers' back; the next batch must see the new value on
+    // every shard (pubValid_ invalidation), at odd and even batch
+    // lengths so both buffer parities are exercised.
+    rtl::Design d("pokes");
+    rtl::Wire a = d.input("a", 16);
+    auto acc = d.reg("acc", 16, 0);
+    d.next(acc, d.read(acc) + a);
+    d.output("acc", d.read(acc));
+    Netlist nl = d.finish();
+
+    rtl::ParConfig pcfg;
+    pcfg.maxWorkers = 2;
+    ParallelInterpreter sim(nl, 2, rtl::LowerOptions{}, pcfg);
+    uint64_t expect = 0;
+    uint64_t value = 1;
+    for (size_t batch : {size_t{1}, size_t{3}, size_t{16},
+                         size_t{4}}) {
+        sim.poke("a", value);
+        sim.step(batch);
+        expect += value * batch;
+        ASSERT_EQ(sim.peek("acc").toUint64(), expect & 0xffff)
+            << "batch " << batch;
+        value += 3;
+    }
+}
+
+TEST(SpinBarrier, ReleasesEveryPartyEachGeneration)
+{
+    constexpr uint32_t kParties = 4;
+    constexpr int kRounds = 300;
+    util::SpinBarrier bar(kParties);
+    std::atomic<uint32_t> arrived{0};
+    std::vector<std::thread> threads;
+    threads.reserve(kParties);
+    for (uint32_t p = 0; p < kParties; ++p) {
+        threads.emplace_back([&]() {
+            for (int r = 0; r < kRounds; ++r) {
+                arrived.fetch_add(1);
+                bar.arriveAndWait();
+                // All parties of round r incremented before anyone
+                // passes the barrier (later rounds may have started).
+                ASSERT_GE(arrived.load(),
+                          kParties * static_cast<uint32_t>(r + 1));
+            }
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    EXPECT_EQ(bar.generations(), static_cast<uint64_t>(kRounds));
+    EXPECT_EQ(arrived.load(), kParties * kRounds);
+}
+
+TEST(SpinBarrier, AdaptiveBudgetStaysBoundedAndTracksWaits)
+{
+    util::SpinBarrier bar(1);
+    const uint32_t initial = bar.spinBudget();
+    EXPECT_GT(initial, 0u);
+    // Long observed waits saturate the budget at its upper bound;
+    // near-zero waits pull it back to the lower bound. Both bounds
+    // must hold no matter how extreme the inputs.
+    for (int i = 0; i < 64; ++i)
+        bar.observeWaitNs(50'000'000);
+    const uint32_t high = bar.spinBudget();
+    EXPECT_GE(high, initial);
+    for (int i = 0; i < 64; ++i)
+        bar.observeWaitNs(0);
+    const uint32_t low = bar.spinBudget();
+    EXPECT_LE(low, high);
+    EXPECT_GT(low, 0u);
+    // A single party never blocks; generations still advance.
+    bar.arriveAndWait();
+    bar.arriveAndWait();
+    EXPECT_EQ(bar.generations(), 2u);
+}
+
+namespace {
+
+/** Counts pool-epoch wait pairs (one per worker per run()). */
+struct EpochCounter final : util::BspWaitObserver
+{
+    std::atomic<uint32_t> begins{0};
+    std::atomic<uint32_t> ends{0};
+    void epochWaitBegin(uint32_t) override { begins.fetch_add(1); }
+    void epochWaitEnd(uint32_t) override { ends.fetch_add(1); }
+};
+
+} // namespace
+
+TEST(BspPool, BatchDispatchCrossesInnerBarriersInOneEpoch)
+{
+    // The multi-cycle batch shape: one pool.run() dispatch whose
+    // workers separate k inner cycles with a SpinBarrier. The pool's
+    // own epoch machinery (and its wait observer) must fire once per
+    // dispatch, not once per inner cycle — that is the entire point
+    // of batching.
+    constexpr uint32_t kWorkers = 3;
+    constexpr uint32_t kBatches = 4;
+    constexpr int kInner = 17;
+    util::BspPool pool(kWorkers);
+    EpochCounter obs;
+    pool.setWaitObserver(&obs);
+    util::SpinBarrier inner(kWorkers);
+    std::vector<uint64_t> perWorker(kWorkers, 0);
+    for (uint32_t b = 0; b < kBatches; ++b)
+        pool.run([&](uint32_t w) {
+            for (int c = 0; c < kInner; ++c) {
+                perWorker[w] += 1;
+                inner.arriveAndWait();
+            }
+        });
+    for (uint32_t w = 0; w < kWorkers; ++w)
+        EXPECT_EQ(perWorker[w],
+                  static_cast<uint64_t>(kBatches) * kInner);
+    // Every inner cycle crossed the in-dispatch barrier...
+    EXPECT_EQ(inner.generations(),
+              static_cast<uint64_t>(kBatches) * kInner);
+    // ...while the pool's epoch machinery fired one wait pair per
+    // worker per *dispatch* (give or take the workers still entering
+    // their next wait when run() returns) — never per inner cycle.
+    EXPECT_GE(obs.ends.load(), kBatches);
+    EXPECT_LE(obs.begins.load(), (kBatches + 1) * kWorkers);
+    EXPECT_LT(obs.begins.load(), kBatches * kInner);
+    pool.setWaitObserver(nullptr);
 }
