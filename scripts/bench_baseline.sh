@@ -8,14 +8,29 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR=${BUILD_DIR:-build-bench}
-OUT=${1:-BENCH_PR5.json}
+OUT=${1:-BENCH_PR7.json}
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build "$BUILD_DIR" -j"$(nproc)" --target host_throughput
+cmake --build "$BUILD_DIR" -j"$(nproc)" \
+    --target host_throughput serve_throughput
 
 # --benchmark_filter=NONE skips the google-benchmark suite; only the
 # --json engine matrix (pico + bitcoin across every engine) runs.
 # --threads-sweep widens par/par-cgen to the 1/2/4/8 scaling curve.
 "$BUILD_DIR"/bench/host_throughput --benchmark_filter=NONE \
     --threads-sweep --json "$OUT"
+
+# Serving-layer throughput: 8 closed-loop clients on one shared
+# BspPool, appended to the same trajectory file (engines "serve-c1"
+# and "serve-c8").
+SERVE_OUT=$(mktemp)
+"$BUILD_DIR"/bench/serve_throughput --json "$SERVE_OUT"
+python3 - "$OUT" "$SERVE_OUT" <<'EOF'
+import json, sys
+out, serve = sys.argv[1], sys.argv[2]
+base = json.load(open(out))
+base["records"].extend(json.load(open(serve))["records"])
+json.dump(base, open(out, "w"), indent=2)
+EOF
+rm -f "$SERVE_OUT"
 echo "wrote $OUT"

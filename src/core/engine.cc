@@ -11,21 +11,32 @@
 
 namespace parendi::core {
 
+bool
+tryParseEngineKind(const std::string &name, EngineKind &kind)
+{
+    if (name == "interp")
+        kind = EngineKind::Interp;
+    else if (name == "event")
+        kind = EngineKind::Event;
+    else if (name == "ipu")
+        kind = EngineKind::Ipu;
+    else if (name == "par")
+        kind = EngineKind::Par;
+    else if (name == "cgen")
+        kind = EngineKind::Cgen;
+    else
+        return false;
+    return true;
+}
+
 EngineKind
 parseEngineKind(const std::string &name)
 {
-    if (name == "interp")
-        return EngineKind::Interp;
-    if (name == "event")
-        return EngineKind::Event;
-    if (name == "ipu")
-        return EngineKind::Ipu;
-    if (name == "par")
-        return EngineKind::Par;
-    if (name == "cgen")
-        return EngineKind::Cgen;
-    fatal("unknown engine '%s' (expected interp|event|ipu|par|cgen)",
-          name.c_str());
+    EngineKind kind;
+    if (!tryParseEngineKind(name, kind))
+        fatal("unknown engine '%s' (expected interp|event|ipu|par|cgen)",
+              name.c_str());
+    return kind;
 }
 
 namespace {
@@ -88,6 +99,16 @@ class CompiledIpuEngine : public SimEngine
         sim_->machine().peekRegisterInto(reg, out);
     }
     bool
+    saveState(std::ostream &out) const override
+    {
+        return sim_->machine().saveState(out);
+    }
+    bool
+    restoreState(std::istream &in) override
+    {
+        return sim_->machine().restoreState(in);
+    }
+    bool
     enableProfiling(const obs::ProfileOptions &opt) override
     {
         return sim_->machine().enableProfiling(opt);
@@ -126,18 +147,25 @@ makeEngine(rtl::Netlist nl, const EngineOptions &opt)
         engine = std::make_unique<rtl::EventInterpreter>(std::move(nl),
                                                          opt.lower);
         break;
-      case EngineKind::Cgen:
+      case EngineKind::Cgen: {
+        rtl::CgenOptions ccfg;
+        ccfg.store = opt.artifacts;
         engine = std::make_unique<rtl::CgenInterpreter>(std::move(nl),
-                                                        opt.lower);
+                                                        opt.lower, ccfg);
         break;
+      }
       case EngineKind::Par: {
         rtl::ParConfig pcfg;
         pcfg.fused = opt.fused;
         pcfg.batch = opt.batch;
+        pcfg.pool = opt.pool;
         auto par = std::make_unique<rtl::ParallelInterpreter>(
             std::move(nl), opt.threads, opt.lower, pcfg);
-        if (opt.cgen)
-            par->enableNativeKernels();
+        if (opt.cgen) {
+            rtl::CgenOptions ccfg;
+            ccfg.store = opt.artifacts;
+            par->enableNativeKernels(ccfg);
+        }
         engine = std::move(par);
         break;
       }

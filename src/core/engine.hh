@@ -20,12 +20,21 @@
 #define PARENDI_CORE_ENGINE_HH
 
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <string>
 
 #include "obs/profiler.hh"
 #include "rtl/eval.hh"
 #include "rtl/netlist.hh"
+
+namespace parendi::util {
+class BspPool;
+}
+
+namespace parendi::rtl {
+class ArtifactCache;
+}
 
 namespace parendi::core {
 
@@ -104,13 +113,41 @@ class SimEngine
     {
         return nullptr;
     }
+
+    /**
+     * Serialize all mutable simulation state (including the cycle
+     * count) as a raw, headerless blob; restoreState() reads it back
+     * on an engine built from the same design. Returns false when the
+     * engine has no checkpoint support (the default; the event
+     * engine). Hosts should prefer core::saveCheckpoint /
+     * core::restoreCheckpoint (core/session.hh), which wrap the blob
+     * in a versioned, design-hash-stamped header.
+     */
+    virtual bool
+    saveState(std::ostream &out) const
+    {
+        (void)out;
+        return false;
+    }
+
+    virtual bool
+    restoreState(std::istream &in)
+    {
+        (void)in;
+        return false;
+    }
 };
 
 /** Which engine makeEngine() instantiates. */
 enum class EngineKind { Interp, Event, Ipu, Par, Cgen };
 
+/** Parse "interp" / "event" / "ipu" / "par" / "cgen" into @p kind;
+ *  false on an unknown name. The non-throwing form servers use to
+ *  reject a bad create-session request without killing the process. */
+bool tryParseEngineKind(const std::string &name, EngineKind &kind);
+
 /** Parse "interp" / "event" / "ipu" / "par" / "cgen"; fatal()
- *  otherwise. */
+ *  otherwise (the CLI path, where a bad name should end the run). */
 EngineKind parseEngineKind(const std::string &name);
 
 struct EngineOptions
@@ -138,6 +175,15 @@ struct EngineOptions
     /** Fused path: cycles per pool dispatch (`--batch N`; 0 = each
      *  step(n) call is one batch). */
     size_t batch = 0;
+    /** Externally owned BSP worker pool for the par engine, shared
+     *  across engines (the serving layer's fair-share scheduler steps
+     *  many sessions on one pool). Null = the engine owns a private
+     *  pool. See ParConfig::pool for the sharing contract. */
+    std::shared_ptr<util::BspPool> pool;
+    /** Artifact cache that cgen compiles resolve through (par --cgen
+     *  and the cgen engine). Null = the per-process directory cache.
+     *  Must outlive the engine. See rtl::ArtifactCache. */
+    rtl::ArtifactCache *artifacts = nullptr;
 };
 
 /**

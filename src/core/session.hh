@@ -1,0 +1,98 @@
+/**
+ * @file
+ * SessionHandle: the host-facing facade of one simulation session — a
+ * SimEngine plus its design identity (name and content hash) and a
+ * versioned checkpoint envelope. The serving layer (src/serve) wraps
+ * every session in one of these; embedders that want checkpoint
+ * headers without a server use the free functions directly.
+ *
+ * Checkpoint format: engines serialize raw, headerless state blobs
+ * (SimEngine::saveState). saveCheckpoint() prepends an envelope
+ *
+ *    [8B magic "PRNDCKPT"] [u32 version] [u64 design hash]
+ *
+ * so a blob restored into the wrong design — or a blob from a future
+ * format — fails with a clear error instead of a word-count fatal()
+ * deep inside EvalState. restoreCheckpoint() accepts envelope-less
+ * blobs as version 0 (the pre-header format): if the first 8 bytes are
+ * not the magic, the stream is rewound and handed to the engine as-is,
+ * so old checkpoints keep restoring (with only the legacy size
+ * checks).
+ */
+
+#ifndef PARENDI_CORE_SESSION_HH
+#define PARENDI_CORE_SESSION_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "core/engine.hh"
+
+namespace parendi::core {
+
+/** First 8 bytes of a headered checkpoint ("PRNDCKPT", little-endian
+ *  u64). A v0 blob starts with a cycle count instead, which can only
+ *  collide with the magic after ~5.8e18 simulated cycles. */
+inline constexpr uint64_t kCheckpointMagic = 0x54504b43444e5250ull;
+
+/** Current envelope version. v0 is the reserved "headerless" value. */
+inline constexpr uint32_t kCheckpointVersion = 1;
+
+/** Write @p engine's state with the versioned envelope. fatal() when
+ *  the engine has no checkpoint support (the event engine). */
+void saveCheckpoint(const SimEngine &engine, std::ostream &out);
+
+/**
+ * Restore @p engine from a checkpoint stream: verify the envelope
+ * (magic, version, design hash against netlistHash(engine.netlist()))
+ * and hand the body to the engine; envelope-less streams restore as
+ * v0. fatal() with a descriptive message on any mismatch — callers
+ * that must not die (the server) catch FatalError.
+ */
+void restoreCheckpoint(SimEngine &engine, std::istream &in);
+
+/**
+ * One simulation session: an engine, the design name it was created
+ * from, and the design's content hash (computed once at construction).
+ * Movable, not copyable; the engine is owned.
+ */
+class SessionHandle
+{
+  public:
+    /** @p engine must be non-null; @p designName is the creation spec
+     *  (a builtin design name, a file path — whatever the host used),
+     *  kept for listings and error messages. */
+    SessionHandle(std::unique_ptr<SimEngine> engine,
+                  std::string designName);
+
+    SessionHandle(SessionHandle &&) = default;
+    SessionHandle &operator=(SessionHandle &&) = default;
+
+    SimEngine &engine() { return *engine_; }
+    const SimEngine &engine() const { return *engine_; }
+
+    const std::string &designName() const { return designName_; }
+    /** rtl::netlistHash of the engine's design. */
+    uint64_t designHash() const { return designHash_; }
+
+    // Convenience forwards.
+    void step(size_t n = 1) { engine_->step(n); }
+    uint64_t cycles() const { return engine_->cycles(); }
+
+    /** Headered checkpoint of this session (see saveCheckpoint). */
+    void checkpoint(std::ostream &out) const;
+    /** Restore a (headered or v0) checkpoint into this session. */
+    void restore(std::istream &in);
+
+  private:
+    std::unique_ptr<SimEngine> engine_;
+    std::string designName_;
+    uint64_t designHash_ = 0;
+};
+
+} // namespace parendi::core
+
+#endif // PARENDI_CORE_SESSION_HH

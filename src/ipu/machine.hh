@@ -148,6 +148,20 @@ class IpuMachine : public core::SimEngine
     /** Restore a checkpoint from the same compiled configuration. */
     void restore(std::istream &in);
 
+    /** Engine-agnostic checkpointing (see SimEngine). */
+    bool
+    saveState(std::ostream &out) const override
+    {
+        save(out);
+        return true;
+    }
+    bool
+    restoreState(std::istream &in) override
+    {
+        restore(in);
+        return true;
+    }
+
     /** Attach an obs::SuperstepProfiler to the functional execution
      *  (pool-driven or legacy spawn path) and register it as the
      *  pool's barrier-wait observer. Always succeeds. */

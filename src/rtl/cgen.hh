@@ -33,6 +33,7 @@
 #ifndef PARENDI_RTL_CGEN_HH
 #define PARENDI_RTL_CGEN_HH
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -42,6 +43,33 @@
 #include "rtl/shard.hh"
 
 namespace parendi::rtl {
+
+/**
+ * Where compiled artifacts live. CgenModule::compile never touches the
+ * filesystem cache directly — it hashes the generated source plus the
+ * compiler command into a content key and asks an ArtifactCache to
+ * resolve it, invoking the supplied builder only on a miss. The
+ * default implementation is a plain directory cache (one `.so` per
+ * key, hit iff the file exists); serve::ArtifactStore layers LRU
+ * eviction, single-flight compilation and hit/miss counters on the
+ * same interface so every session shares one store.
+ */
+class ArtifactCache
+{
+  public:
+    virtual ~ArtifactCache() = default;
+
+    /**
+     * Resolve @p key to the path of a compiled shared object. On a
+     * miss the cache calls @p build with the destination path; build
+     * returns false if compilation failed (after its own warn()).
+     * Returns "" when the artifact is unavailable.
+     */
+    virtual std::string
+    acquire(uint64_t key,
+            const std::function<bool(const std::string &objectPath)>
+                &build) = 0;
+};
 
 /** Knobs of the native codegen backend. */
 struct CgenOptions
@@ -60,6 +88,13 @@ struct CgenOptions
 
     /** Reuse a cached shared object whose hash matches. */
     bool cache = true;
+
+    /** Artifact cache to resolve compiled objects through. Null (the
+     *  default) selects the plain directory cache under buildDir;
+     *  hosts that share artifacts across sessions pass their
+     *  serve::ArtifactStore. The store must outlive every module
+     *  compiled through it. */
+    ArtifactCache *store = nullptr;
 };
 
 /** The native entry points generated for one EvalProgram. */
@@ -115,6 +150,11 @@ std::string cgenEmitSource(const std::vector<const EvalProgram *> &progs);
 
 /** 64-bit FNV-1a of a byte string (the compile-cache key). */
 uint64_t cgenHash(const std::string &bytes);
+
+/** Canonical file name of the compiled object for @p key
+ *  ("parendi_<key>.so") — shared by every ArtifactCache
+ *  implementation so stores and the directory cache interoperate. */
+std::string cgenObjectName(uint64_t key);
 
 /** Compile @p prog and install the kernel on @p state; false (with a
  *  warning) if native execution is unavailable. */

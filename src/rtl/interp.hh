@@ -69,6 +69,20 @@ class Interpreter : public core::SimEngine
     /** Restore a checkpoint written by save() for the same design. */
     void restore(std::istream &in);
 
+    /** Engine-agnostic checkpointing (see SimEngine). */
+    bool
+    saveState(std::ostream &out) const override
+    {
+        save(out);
+        return true;
+    }
+    bool
+    restoreState(std::istream &in) override
+    {
+        restore(in);
+        return true;
+    }
+
     const Netlist &netlist() const override { return nl; }
     const EvalProgram &program() const { return prog; }
 

@@ -428,4 +428,85 @@ Netlist::check() const
             fatal("register %s never driven", regs_[r].name.c_str());
 }
 
+namespace {
+
+struct Fnv
+{
+    uint64_t h = 0xcbf29ce484222325ull;
+
+    void
+    bytes(const void *p, size_t n)
+    {
+        const unsigned char *c = static_cast<const unsigned char *>(p);
+        for (size_t i = 0; i < n; ++i) {
+            h ^= c[i];
+            h *= 0x100000001b3ull;
+        }
+    }
+
+    void u64(uint64_t v) { bytes(&v, sizeof(v)); }
+
+    void
+    str(const std::string &s)
+    {
+        u64(s.size());
+        bytes(s.data(), s.size());
+    }
+
+    void
+    vec(const BitVec &v)
+    {
+        u64(v.width());
+        for (uint32_t w = 0; w < v.numWords(); ++w)
+            u64(v.word(w));
+    }
+};
+
+} // namespace
+
+uint64_t
+netlistHash(const Netlist &nl)
+{
+    Fnv f;
+    f.u64(nl.numNodes());
+    for (NodeId id = 0; id < nl.numNodes(); ++id) {
+        const Node &n = nl.node(id);
+        f.u64(static_cast<uint64_t>(n.op));
+        f.u64(n.width);
+        f.u64(n.aux);
+        for (NodeId opnd : n.operands)
+            f.u64(opnd);
+        if (n.op == Op::Const)
+            f.vec(nl.constValue(n.aux));
+    }
+    f.u64(nl.numRegisters());
+    for (RegId r = 0; r < nl.numRegisters(); ++r) {
+        const Register &reg = nl.reg(r);
+        f.str(reg.name);
+        f.u64(reg.width);
+        f.vec(reg.init);
+    }
+    f.u64(nl.numMemories());
+    for (MemId m = 0; m < nl.numMemories(); ++m) {
+        const Memory &mem = nl.mem(m);
+        f.str(mem.name);
+        f.u64(mem.width);
+        f.u64(mem.depth);
+        f.u64(mem.init.size());
+        for (const BitVec &v : mem.init)
+            f.vec(v);
+    }
+    f.u64(nl.numInputs());
+    for (PortId p = 0; p < nl.numInputs(); ++p) {
+        f.str(nl.input(p).name);
+        f.u64(nl.input(p).width);
+    }
+    f.u64(nl.numOutputs());
+    for (PortId p = 0; p < nl.numOutputs(); ++p) {
+        f.str(nl.output(p).name);
+        f.u64(nl.output(p).width);
+    }
+    return f.h;
+}
+
 } // namespace parendi::rtl

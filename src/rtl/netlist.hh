@@ -251,6 +251,17 @@ class Netlist
     std::vector<NodeId> sinks_;
 };
 
+/**
+ * 64-bit FNV-1a content hash of a netlist: every node (op, width, aux,
+ * operands), constant value, register (name, width, initial value),
+ * memory (name, shape, initial image) and port (name, width), in
+ * creation order. Two netlists hash equal iff they describe the same
+ * design down to the names the host pokes and peeks by — the key of
+ * the content-addressed artifact store and the design-identity field
+ * of the checkpoint header.
+ */
+uint64_t netlistHash(const Netlist &nl);
+
 } // namespace parendi::rtl
 
 #endif // PARENDI_RTL_NETLIST_HH

@@ -1,0 +1,246 @@
+#include "serve/client.hh"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace parendi::serve {
+
+bool
+Client::connect(uint16_t port)
+{
+    disconnect();
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+        error_ = std::strerror(errno);
+        return false;
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) < 0) {
+        error_ = std::strerror(errno);
+        ::close(fd_);
+        fd_ = -1;
+        return false;
+    }
+    int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return true;
+}
+
+void
+Client::disconnect()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+bool
+Client::roundTrip(const WireWriter &request, std::string &response)
+{
+    if (fd_ < 0) {
+        error_ = "not connected";
+        return false;
+    }
+    if (!sendFrame(fd_, request.data()) ||
+        !recvFrame(fd_, response)) {
+        error_ = "connection lost";
+        disconnect();
+        return false;
+    }
+    WireReader r(response);
+    const auto status = static_cast<Status>(r.u8());
+    if (!r.ok()) {
+        error_ = "malformed response";
+        return false;
+    }
+    if (status != Status::Ok) {
+        error_ = r.str();
+        return false;
+    }
+    // Strip the status byte so callers parse result fields only.
+    response.erase(0, 1);
+    return true;
+}
+
+uint64_t
+Client::createSession(const std::string &design,
+                      const std::string &engine, uint32_t threads,
+                      bool cgen, uint64_t batch, bool *native)
+{
+    WireWriter w;
+    w.u8(static_cast<uint8_t>(Op::Create));
+    w.str(design);
+    w.str(engine);
+    w.u32(threads);
+    w.u8(cgen ? 1 : 0);
+    w.u64(batch);
+    std::string resp;
+    if (!roundTrip(w, resp))
+        return 0;
+    WireReader r(resp);
+    uint64_t id = r.u64();
+    uint8_t nat = r.u8();
+    if (!r.ok() || !id) {
+        error_ = "malformed Create response";
+        return 0;
+    }
+    if (native)
+        *native = nat != 0;
+    return id;
+}
+
+bool
+Client::step(uint64_t id, uint64_t n, uint64_t *cyclesAfter)
+{
+    WireWriter w;
+    w.u8(static_cast<uint8_t>(Op::Step));
+    w.u64(id);
+    w.u64(n);
+    std::string resp;
+    if (!roundTrip(w, resp))
+        return false;
+    WireReader r(resp);
+    uint64_t cycles = r.u64();
+    if (!r.ok()) {
+        error_ = "malformed Step response";
+        return false;
+    }
+    if (cyclesAfter)
+        *cyclesAfter = cycles;
+    return true;
+}
+
+bool
+Client::poke(uint64_t id, const std::string &input,
+             const rtl::BitVec &value)
+{
+    WireWriter w;
+    w.u8(static_cast<uint8_t>(Op::Poke));
+    w.u64(id);
+    w.str(input);
+    w.bitvec(value);
+    std::string resp;
+    return roundTrip(w, resp);
+}
+
+bool
+Client::peek(uint64_t id, const std::string &output, rtl::BitVec *out)
+{
+    WireWriter w;
+    w.u8(static_cast<uint8_t>(Op::Peek));
+    w.u64(id);
+    w.str(output);
+    std::string resp;
+    if (!roundTrip(w, resp))
+        return false;
+    WireReader r(resp);
+    *out = r.bitvec();
+    if (!r.ok()) {
+        error_ = "malformed Peek response";
+        return false;
+    }
+    return true;
+}
+
+bool
+Client::peekRegister(uint64_t id, const std::string &reg,
+                     rtl::BitVec *out)
+{
+    WireWriter w;
+    w.u8(static_cast<uint8_t>(Op::PeekRegister));
+    w.u64(id);
+    w.str(reg);
+    std::string resp;
+    if (!roundTrip(w, resp))
+        return false;
+    WireReader r(resp);
+    *out = r.bitvec();
+    if (!r.ok()) {
+        error_ = "malformed PeekRegister response";
+        return false;
+    }
+    return true;
+}
+
+bool
+Client::checkpoint(uint64_t id, std::string *blob)
+{
+    WireWriter w;
+    w.u8(static_cast<uint8_t>(Op::Checkpoint));
+    w.u64(id);
+    std::string resp;
+    if (!roundTrip(w, resp))
+        return false;
+    WireReader r(resp);
+    *blob = r.str();
+    if (!r.ok()) {
+        error_ = "malformed Checkpoint response";
+        return false;
+    }
+    return true;
+}
+
+bool
+Client::restore(uint64_t id, const std::string &blob)
+{
+    WireWriter w;
+    w.u8(static_cast<uint8_t>(Op::Restore));
+    w.u64(id);
+    w.str(blob);
+    std::string resp;
+    return roundTrip(w, resp);
+}
+
+bool
+Client::destroySession(uint64_t id)
+{
+    WireWriter w;
+    w.u8(static_cast<uint8_t>(Op::Destroy));
+    w.u64(id);
+    std::string resp;
+    return roundTrip(w, resp);
+}
+
+bool
+Client::stats(std::vector<std::pair<std::string, uint64_t>> *out)
+{
+    WireWriter w;
+    w.u8(static_cast<uint8_t>(Op::Stats));
+    std::string resp;
+    if (!roundTrip(w, resp))
+        return false;
+    WireReader r(resp);
+    uint32_t n = r.u32();
+    out->clear();
+    for (uint32_t i = 0; i < n && r.ok(); ++i) {
+        std::string name = r.str();
+        uint64_t value = r.u64();
+        out->emplace_back(std::move(name), value);
+    }
+    if (!r.ok()) {
+        error_ = "malformed Stats response";
+        return false;
+    }
+    return true;
+}
+
+bool
+Client::shutdownServer()
+{
+    WireWriter w;
+    w.u8(static_cast<uint8_t>(Op::Shutdown));
+    std::string resp;
+    return roundTrip(w, resp);
+}
+
+} // namespace parendi::serve

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * serve::Client — the C++ client of the simulation host. One blocking
+ * request/response connection; every method sends a frame and waits
+ * for the reply, returning false (with lastError() set) on a protocol
+ * error, an Error status from the server, or a dropped connection.
+ * Not thread-safe: one Client per client thread (the server copes
+ * with any number of concurrent connections).
+ */
+
+#ifndef PARENDI_SERVE_CLIENT_HH
+#define PARENDI_SERVE_CLIENT_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "rtl/bitvec.hh"
+#include "serve/protocol.hh"
+
+namespace parendi::serve {
+
+class Client
+{
+  public:
+    Client() = default;
+    ~Client() { disconnect(); }
+
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+
+    /** Connect to a host on 127.0.0.1:@p port. */
+    bool connect(uint16_t port);
+    void disconnect();
+    bool connected() const { return fd_ >= 0; }
+
+    /** The failure message of the last method that returned false. */
+    const std::string &lastError() const { return error_; }
+
+    /**
+     * Create a session; returns the id (> 0) or 0 on failure. The
+     * fields mirror serve::SessionOptions. @p native (if non-null)
+     * reports whether the session runs cgen kernels.
+     */
+    uint64_t createSession(const std::string &design,
+                           const std::string &engine = "par",
+                           uint32_t threads = 0, bool cgen = false,
+                           uint64_t batch = 0, bool *native = nullptr);
+
+    /** Run @p n cycles; @p cyclesAfter (if non-null) receives the
+     *  session's cycle count after the step. */
+    bool step(uint64_t id, uint64_t n, uint64_t *cyclesAfter = nullptr);
+
+    bool poke(uint64_t id, const std::string &input,
+              const rtl::BitVec &value);
+    bool peek(uint64_t id, const std::string &output, rtl::BitVec *out);
+    bool peekRegister(uint64_t id, const std::string &reg,
+                      rtl::BitVec *out);
+
+    /** Fetch the session's checkpoint blob (headered; opaque). */
+    bool checkpoint(uint64_t id, std::string *blob);
+    bool restore(uint64_t id, const std::string &blob);
+
+    bool destroySession(uint64_t id);
+
+    /** Snapshot of the host's obs::Counters. */
+    bool stats(std::vector<std::pair<std::string, uint64_t>> *out);
+
+    /** Ask the host to exit serveForever(). */
+    bool shutdownServer();
+
+  private:
+    /** Send @p request, receive into @p response, check the status
+     *  byte; on Error status the message is parsed into error_. The
+     *  returned reader is positioned after the status byte. */
+    bool roundTrip(const WireWriter &request, std::string &response);
+
+    int fd_ = -1;
+    std::string error_;
+};
+
+} // namespace parendi::serve
+
+#endif // PARENDI_SERVE_CLIENT_HH

@@ -1,0 +1,78 @@
+#include "serve/protocol.hh"
+
+#include <cerrno>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace parendi::serve {
+
+namespace {
+
+bool
+writeAll(int fd, const char *data, size_t n)
+{
+    while (n) {
+        // MSG_NOSIGNAL: a peer that closed mid-frame surfaces as an
+        // EPIPE error return, not a process-killing SIGPIPE.
+        ssize_t w = ::send(fd, data, n, MSG_NOSIGNAL);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        data += w;
+        n -= static_cast<size_t>(w);
+    }
+    return true;
+}
+
+bool
+readAll(int fd, char *data, size_t n)
+{
+    while (n) {
+        ssize_t r = ::read(fd, data, n);
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        if (r == 0)
+            return false;   // EOF mid-frame (or before one: clean close)
+        data += r;
+        n -= static_cast<size_t>(r);
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+sendFrame(int fd, const std::string &payload)
+{
+    if (payload.size() > kMaxFrameBytes)
+        return false;
+    char len[4];
+    uint32_t n = static_cast<uint32_t>(payload.size());
+    for (int i = 0; i < 4; ++i)
+        len[i] = static_cast<char>((n >> (8 * i)) & 0xff);
+    return writeAll(fd, len, 4) &&
+           writeAll(fd, payload.data(), payload.size());
+}
+
+bool
+recvFrame(int fd, std::string &payload)
+{
+    char len[4];
+    if (!readAll(fd, len, 4))
+        return false;
+    uint32_t n = 0;
+    for (int i = 0; i < 4; ++i)
+        n |= static_cast<uint32_t>(static_cast<unsigned char>(len[i]))
+            << (8 * i);
+    if (n > kMaxFrameBytes)
+        return false;
+    payload.resize(n);
+    return n == 0 || readAll(fd, payload.data(), n);
+}
+
+} // namespace parendi::serve

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Wire protocol of the simulation host: length-prefixed binary frames
+ * over a local stream socket. Every message is
+ *
+ *    [u32 payload length] [payload]
+ *
+ * with all integers little-endian. A request payload is one opcode
+ * byte followed by opcode-specific fields; a response payload is one
+ * status byte (Ok/Error) followed by result fields (Ok) or a
+ * human-readable message string (Error). Strings and byte blobs are
+ * u32-length-prefixed; a BitVec is [u32 width][wordsFor(width) u64s].
+ *
+ * Request layouts (after the opcode byte):
+ *   Create        str designSpec, str engine, u32 threads, u8 cgen,
+ *                 u64 batch          -> u64 sessionId, u8 native
+ *   Step          u64 id, u64 n      -> u64 cycles (after the step)
+ *   Poke          u64 id, str input, bitvec
+ *   Peek          u64 id, str output -> bitvec
+ *   PeekRegister  u64 id, str reg    -> bitvec
+ *   Checkpoint    u64 id             -> str blob (headered, see
+ *                                       core/session.hh)
+ *   Restore       u64 id, str blob
+ *   Destroy       u64 id
+ *   Stats         -                  -> u32 n, n x (str name, u64 val)
+ *   Shutdown      -                  (server exits serveForever)
+ *
+ * The protocol is deliberately host-local (no endianness negotiation,
+ * no authentication): the server binds 127.0.0.1 only.
+ */
+
+#ifndef PARENDI_SERVE_PROTOCOL_HH
+#define PARENDI_SERVE_PROTOCOL_HH
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "rtl/bitvec.hh"
+
+namespace parendi::serve {
+
+/** Refuse frames beyond this size (corrupt length prefix guard). */
+inline constexpr uint32_t kMaxFrameBytes = 256u << 20;
+
+enum class Op : uint8_t {
+    Create = 1,
+    Step,
+    Poke,
+    Peek,
+    PeekRegister,
+    Checkpoint,
+    Restore,
+    Destroy,
+    Stats,
+    Shutdown,
+};
+
+enum class Status : uint8_t { Ok = 0, Error = 1 };
+
+/** Append-only little-endian serializer for one frame payload. */
+class WireWriter
+{
+  public:
+    void
+    u8(uint8_t v)
+    {
+        buf_.push_back(static_cast<char>(v));
+    }
+
+    void
+    u32(uint32_t v)
+    {
+        for (int i = 0; i < 4; ++i)
+            buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+
+    void
+    u64(uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+
+    /** Length-prefixed string / byte blob. */
+    void
+    str(const std::string &s)
+    {
+        u32(static_cast<uint32_t>(s.size()));
+        buf_.append(s);
+    }
+
+    void
+    bitvec(const rtl::BitVec &v)
+    {
+        u32(v.width());
+        for (uint32_t w = 0; w < v.numWords(); ++w)
+            u64(v.word(w));
+    }
+
+    const std::string &data() const { return buf_; }
+
+  private:
+    std::string buf_;
+};
+
+/**
+ * Bounds-checked deserializer. Any over-read latches ok() to false and
+ * yields zero values, so callers can parse a whole message and check
+ * validity once at the end.
+ */
+class WireReader
+{
+  public:
+    explicit WireReader(const std::string &frame)
+        : p_(frame.data()), end_(frame.data() + frame.size())
+    {
+    }
+
+    bool ok() const { return ok_; }
+    size_t remaining() const { return static_cast<size_t>(end_ - p_); }
+
+    uint8_t
+    u8()
+    {
+        if (!need(1))
+            return 0;
+        return static_cast<uint8_t>(*p_++);
+    }
+
+    uint32_t
+    u32()
+    {
+        if (!need(4))
+            return 0;
+        uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<uint32_t>(
+                     static_cast<unsigned char>(p_[i]))
+                << (8 * i);
+        p_ += 4;
+        return v;
+    }
+
+    uint64_t
+    u64()
+    {
+        if (!need(8))
+            return 0;
+        uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<uint64_t>(
+                     static_cast<unsigned char>(p_[i]))
+                << (8 * i);
+        p_ += 8;
+        return v;
+    }
+
+    std::string
+    str()
+    {
+        uint32_t n = u32();
+        if (!need(n))
+            return std::string();
+        std::string s(p_, n);
+        p_ += n;
+        return s;
+    }
+
+    rtl::BitVec
+    bitvec()
+    {
+        uint32_t width = u32();
+        uint32_t nwords = rtl::wordsFor(width);
+        std::vector<uint64_t> words(nwords);
+        for (uint32_t w = 0; w < nwords; ++w)
+            words[w] = u64();
+        if (!ok_)
+            return rtl::BitVec(1, uint64_t{0});
+        return rtl::BitVec(width, std::move(words));
+    }
+
+  private:
+    bool
+    need(size_t n)
+    {
+        if (!ok_ || static_cast<size_t>(end_ - p_) < n) {
+            ok_ = false;
+            return false;
+        }
+        return true;
+    }
+
+    const char *p_;
+    const char *end_;
+    bool ok_ = true;
+};
+
+/** Write one frame (length prefix + payload) to @p fd; full-write
+ *  loop. False on any I/O error. */
+bool sendFrame(int fd, const std::string &payload);
+
+/** Read one frame from @p fd into @p payload; full-read loop. False
+ *  on EOF, I/O error, or an over-limit length prefix. */
+bool recvFrame(int fd, std::string &payload);
+
+} // namespace parendi::serve
+
+#endif // PARENDI_SERVE_PROTOCOL_HH

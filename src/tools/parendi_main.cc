@@ -40,6 +40,19 @@
  *                       1 = every cycle)
  *     --profile-trace FILE  export the sampled supersteps as a Chrome
  *                       trace-event JSON (chrome://tracing, Perfetto)
+ *
+ * Server mode (no design argument; see DESIGN.md "Serving layer"):
+ *   parendi --serve PORT [--threads N] [--max-sessions N] [--quantum N]
+ *     --serve PORT      host a multi-session simulation service on
+ *                       127.0.0.1:PORT (0 = pick an ephemeral port;
+ *                       the chosen port is printed). Clients create
+ *                       sessions by design spec — a builtin name or a
+ *                       .v/.pnl path — and drive them over the binary
+ *                       protocol (serve::Client). --threads sizes the
+ *                       ONE BspPool all sessions share; --quantum is
+ *                       the fair-share DRR grant in cycles. The
+ *                       artifact store honors $PARENDI_ARTIFACT_DIR
+ *                       and $PARENDI_ARTIFACT_BYTES.
  */
 
 #include <algorithm>
@@ -60,6 +73,8 @@
 #include "obs/report.hh"
 #include "obs/trace.hh"
 #include "rtl/vcd.hh"
+#include "serve/server.hh"
+#include "serve/session.hh"
 #include "util/logging.hh"
 #include "x86/model.hh"
 
@@ -89,6 +104,10 @@ struct Args
     uint64_t profileEvery = 16;
     std::string profileTrace;
     std::vector<std::string> peeks;
+    bool serve = false;
+    uint16_t servePort = 0;
+    uint32_t maxSessions = 64;
+    uint64_t quantum = 1024;
 };
 
 [[noreturn]] void
@@ -106,7 +125,9 @@ usage()
                  "               [--fused 0|1] [--batch N]\n"
                  "               [--profile] [--profile-every N] "
                  "[--profile-trace FILE]\n"
-                 "               <design.v|design.pnl> | --design NAME\n");
+                 "               <design.v|design.pnl> | --design NAME\n"
+                 "       parendi --serve PORT [--threads N] "
+                 "[--max-sessions N] [--quantum N]\n");
     std::exit(2);
 }
 
@@ -161,6 +182,13 @@ parseArgs(int argc, char **argv)
             a.profile = true;
         } else if (arg == "--peek")
             a.peeks.push_back(value());
+        else if (arg == "--serve") {
+            a.serve = true;
+            a.servePort = static_cast<uint16_t>(std::stoul(value()));
+        } else if (arg == "--max-sessions")
+            a.maxSessions = static_cast<uint32_t>(std::stoul(value()));
+        else if (arg == "--quantum")
+            a.quantum = std::stoull(value());
         else if (arg.rfind("--", 0) == 0)
             usage();
         else if (a.file.empty())
@@ -168,7 +196,10 @@ parseArgs(int argc, char **argv)
         else
             usage();
     }
-    if (a.file.empty() == a.design.empty())
+    if (a.serve) {
+        if (!a.file.empty() || !a.design.empty())
+            usage();
+    } else if (a.file.empty() == a.design.empty())
         usage();
     if (a.profileEvery == 0)
         a.profileEvery = 1;
@@ -210,6 +241,43 @@ endsWith(const std::string &s, const std::string &suffix)
             0;
 }
 
+/** `parendi --serve PORT`: host sessions until a client sends
+ *  Shutdown (or the process is killed). */
+int
+runServe(const Args &args)
+{
+    serve::ManagerOptions mopt;
+    mopt.maxSessions = args.maxSessions;
+    mopt.poolThreads = args.threads;
+    mopt.quantumCycles = args.quantum ? args.quantum : 1024;
+    // A design spec is a builtin name or a netlist file path — the
+    // same resolution the CLI's positional argument gets, optimizer
+    // included.
+    mopt.resolveDesign = [](const std::string &spec) {
+        rtl::Netlist nl;
+        if (endsWith(spec, ".pnl"))
+            nl = frontend::parsePnlFile(spec);
+        else if (endsWith(spec, ".v"))
+            nl = frontend::parseVerilogFile(spec);
+        else
+            nl = makeNamedDesign(spec);
+        return rtl::optimize(std::move(nl));
+    };
+    serve::SessionManager manager(std::move(mopt));
+    serve::Server server(manager, args.servePort);
+    std::printf("parendi: serving on 127.0.0.1:%u (pool %u threads, "
+                "quantum %llu cycles, max %u sessions)\n",
+                static_cast<unsigned>(server.port()),
+                manager.pool() ? manager.pool()->threads() : 1,
+                static_cast<unsigned long long>(mopt.quantumCycles),
+                args.maxSessions);
+    std::fflush(stdout);    // scripts parse the port line
+    server.serveForever();
+    std::printf("parendi: server shut down (%zu sessions left)\n",
+                manager.numSessions());
+    return 0;
+}
+
 } // namespace
 
 int
@@ -217,6 +285,8 @@ main(int argc, char **argv)
 {
     Args args = parseArgs(argc, argv);
     try {
+        if (args.serve)
+            return runServe(args);
         rtl::Netlist nl;
         if (!args.design.empty()) {
             nl = makeNamedDesign(args.design);

@@ -24,10 +24,14 @@ ParallelInterpreter::ParallelInterpreter(Netlist netlist,
     // buy no concurrency and only add cross-shard exchange traffic
     // and barrier parties. The partition is bit-exact at any shard
     // count, so requesting 8 threads on a 2-core host simply yields
-    // the 2-shard packing.
-    const uint32_t maxw = cfg.maxWorkers
+    // the 2-shard packing. A shared pool pins the width instead: the
+    // pool's worker count is the parallelism actually available.
+    const uint32_t maxw = cfg.pool ? cfg.pool->threads()
+        : cfg.maxWorkers
         ? cfg.maxWorkers
         : std::max(1u, std::thread::hardware_concurrency());
+    if (cfg.pool && threads == 0)
+        threads = cfg.pool->threads();
     size_t nshards = std::max<size_t>(
         1, std::min<size_t>(std::min<uint32_t>(threads, maxw),
                             fs.size()));
@@ -55,13 +59,19 @@ ParallelInterpreter::ParallelInterpreter(Netlist netlist,
 
     shards_ = ShardSet(nl_, nodeSets, lower);
     shards_.setFused(cfg.fused);
-    const uint32_t workers = static_cast<uint32_t>(
-        std::min<size_t>(shards_.size(), maxw));
-    if (threads >= 2 && shards_.size() >= 2 && workers >= 2)
-        pool_ = std::make_unique<util::BspPool>(workers);
+    if (cfg.pool) {
+        pool_ = cfg.pool;
+        poolShared_ = true;
+    } else {
+        const uint32_t workers = static_cast<uint32_t>(
+            std::min<size_t>(shards_.size(), maxw));
+        if (threads >= 2 && shards_.size() >= 2 && workers >= 2)
+            pool_ = std::make_unique<util::BspPool>(workers);
+    }
     // Evaluate combinational logic once so outputs are observable
-    // before the first clock edge.
-    shards_.evalAll(pool_.get());
+    // before the first clock edge. (Sequentially under a shared pool
+    // — a sibling engine may be mid-step on it.)
+    shards_.evalAll(controlPool());
 }
 
 void
@@ -71,7 +81,7 @@ ParallelInterpreter::step(size_t n)
     while (done < n) {
         const size_t k =
             batch_ ? std::min(batch_, n - done) : n - done;
-        shards_.stepCycles(pool_.get(), k);
+        shards_.stepCycles(stepPool(), k);
         done += k;
         cycleCount_ += k;
     }
@@ -80,7 +90,7 @@ ParallelInterpreter::step(size_t n)
 void
 ParallelInterpreter::reset()
 {
-    shards_.reset(pool_.get());
+    shards_.reset(controlPool());
     cycleCount_ = 0;
 }
 
@@ -138,7 +148,9 @@ ParallelInterpreter::enableProfiling(const obs::ProfileOptions &opt)
     profiler_ = std::make_unique<obs::SuperstepProfiler>(
         workers, shards_.size(), opt);
     shards_.setProfiler(profiler_.get());
-    if (pool_)
+    // A shared pool serves many engines; its wait observer slot
+    // cannot belong to any one of them.
+    if (pool_ && !poolShared_)
         pool_->setWaitObserver(profiler_.get());
     return true;
 }

@@ -51,6 +51,20 @@ struct ParConfig
      * thread contention pass an explicit cap.
      */
     uint32_t maxWorkers = 0;
+    /**
+     * Externally owned worker pool, shared across engines — the
+     * serving layer's fair-share scheduler steps many sessions on one
+     * pool instead of paying N pools' worth of idle worker threads.
+     * When set, the engine never creates its own pool and the shard
+     * count adapts to the pool's width. Sharing contract: a BspPool
+     * dispatch has exactly one caller, so hosts must serialize step()
+     * calls across every engine on the pool (the scheduler thread);
+     * to keep the pool free for whichever engine is stepping, all
+     * *other* entry points of a shared-pool engine (construction,
+     * reset(), restore()) run their re-evaluations sequentially, and
+     * enableProfiling() does not install a pool wait observer.
+     */
+    std::shared_ptr<util::BspPool> pool;
 };
 
 class ParallelInterpreter : public core::SimEngine
@@ -120,6 +134,20 @@ class ParallelInterpreter : public core::SimEngine
     void save(std::ostream &out) const;
     void restore(std::istream &in);
 
+    /** Engine-agnostic checkpointing (see SimEngine). */
+    bool
+    saveState(std::ostream &out) const override
+    {
+        save(out);
+        return true;
+    }
+    bool
+    restoreState(std::istream &in) override
+    {
+        restore(in);
+        return true;
+    }
+
     /** Shards actually built (<= requested threads). */
     size_t numShards() const { return shards_.size(); }
 
@@ -134,6 +162,16 @@ class ParallelInterpreter : public core::SimEngine
     bool fused() const { return shards_.fused(); }
 
   private:
+    /** The pool step() dispatches on (null = sequential). */
+    util::BspPool *stepPool() const { return pool_.get(); }
+    /** The pool for non-step re-evaluations: null when the pool is
+     *  shared, so control ops never race a sibling engine's step. */
+    util::BspPool *
+    controlPool() const
+    {
+        return poolShared_ ? nullptr : pool_.get();
+    }
+
     Netlist nl_;
     ShardSet shards_;
     size_t batch_ = 0;
@@ -141,7 +179,8 @@ class ParallelInterpreter : public core::SimEngine
     // the profiler, so the pool (destroyed first, in reverse member
     // order) must never outlive it.
     std::unique_ptr<obs::SuperstepProfiler> profiler_;
-    std::unique_ptr<util::BspPool> pool_;   ///< null -> sequential
+    std::shared_ptr<util::BspPool> pool_;   ///< null -> sequential
+    bool poolShared_ = false;               ///< pool_ came from ParConfig
     uint64_t cycleCount_ = 0;
     bool native_ = false;                   ///< cgen kernels installed
 };
