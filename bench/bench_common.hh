@@ -157,6 +157,13 @@ struct PerfRecord
     double tCompFrac = 0;
     double tCommFrac = 0;
     double tSyncFrac = 0;
+
+    /** Gang rows (--replicas-sweep): replica lanes stepped per cycle.
+     *  cyclesPerSec is per lane; the JSON additionally carries the
+     *  aggregate replicas * cyclesPerSec as agg_lane_cycles_per_sec.
+     *  Both fields are emitted only when replicas > 1, so older
+     *  readers keep working. */
+    uint32_t replicas = 1;
 };
 
 /**
@@ -268,6 +275,10 @@ writePerfJson(const std::string &path,
             out << ", \"t_comp_frac\": " << r.tCompFrac
                 << ", \"t_comm_frac\": " << r.tCommFrac
                 << ", \"t_sync_frac\": " << r.tSyncFrac;
+        if (r.replicas > 1)
+            out << ", \"replicas\": " << r.replicas
+                << ", \"agg_lane_cycles_per_sec\": "
+                << r.cyclesPerSec * r.replicas;
         out << "}" << (i + 1 < records.size() ? "," : "") << "\n";
     }
     out << "  ]\n}\n";

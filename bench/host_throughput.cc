@@ -25,6 +25,12 @@
  * with the hardware-concurrency worker clamp overridden: the PR4
  * four-barrier configuration, kept as the reference point the CI
  * scaling guard compares the fused engine against.
+ *
+ * `--replicas-sweep` appends gang-simulation rows: the cgen engine and
+ * par-cgen (4 threads) at R = 1/4/8/16 replica lanes on pico and
+ * bitcoin. cycles_per_sec stays per lane; the rows additionally carry
+ * replicas and agg_lane_cycles_per_sec = R * cycles_per_sec (the
+ * batched-throughput figure the CI gang guard checks).
  */
 
 #include <benchmark/benchmark.h>
@@ -370,13 +376,56 @@ runEngineMatrixFor(const std::string &design, size_t cycles,
     }
 }
 
+/**
+ * Gang-simulation rows: one instruction stream stepping R replica
+ * lanes (rtl::GangState SoA layout + lane-vectorized cgen kernels).
+ * cyclesPerSec is measured per lane as usual — step(n) advances all
+ * lanes n cycles — and the record's replicas field lets readers form
+ * the aggregate R * cyclesPerSec.
+ */
+void
+runReplicasSweepFor(const std::string &design, size_t cycles,
+                    std::vector<bench::PerfRecord> &recs)
+{
+    for (uint32_t r : {1u, 4u, 8u, 16u}) {
+        rtl::CgenOptions copt;
+        copt.lanes = r;
+        rtl::CgenInterpreter sim(bench::makeOptimized(design),
+                                 rtl::LowerOptions{}, copt);
+        if (!sim.native()) {
+            warn("cgen toolchain unavailable; omitting gang rows "
+                 "for %s", design.c_str());
+            return;
+        }
+        bench::PerfRecord rec{design, "cgen", 1,
+                              measureCyclesPerSec(sim, cycles)};
+        rec.replicas = r;
+        recs.push_back(rec);
+    }
+    for (uint32_t r : {1u, 4u, 8u, 16u}) {
+        rtl::ParConfig pcfg;
+        pcfg.replicas = r;
+        rtl::ParallelInterpreter sim(bench::makeOptimized(design), 4,
+                                     rtl::LowerOptions{}, pcfg);
+        if (sim.enableNativeKernels() != sim.numShards())
+            return;
+        bench::PerfRecord rec{design, "par-cgen", 4,
+                              measureCyclesPerSec(sim, cycles)};
+        rec.replicas = r;
+        recs.push_back(rec);
+    }
+}
+
 std::vector<bench::PerfRecord>
-runEngineMatrix(bool threads_sweep)
+runEngineMatrix(bool threads_sweep, bool replicas_sweep)
 {
     const size_t cycles = bench::fastMode() ? 200 : 2000;
     std::vector<bench::PerfRecord> recs;
     for (const char *design : {"pico", "bitcoin"})
         runEngineMatrixFor(design, cycles, threads_sweep, recs);
+    if (replicas_sweep)
+        for (const char *design : {"pico", "bitcoin"})
+            runReplicasSweepFor(design, cycles, recs);
     return recs;
 }
 
@@ -388,13 +437,15 @@ main(int argc, char **argv)
     std::string json_path = bench::extractJsonFlag(argc, argv);
     bool threads_sweep =
         bench::extractBoolFlag(argc, argv, "--threads-sweep");
+    bool replicas_sweep =
+        bench::extractBoolFlag(argc, argv, "--replicas-sweep");
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))
         return 1;
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     if (!json_path.empty())
-        bench::writePerfJson(json_path,
-                             runEngineMatrix(threads_sweep));
+        bench::writePerfJson(
+            json_path, runEngineMatrix(threads_sweep, replicas_sweep));
     return 0;
 }

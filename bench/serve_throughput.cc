@@ -22,8 +22,11 @@
  * --cycles N per session, --batch N cycles per step request,
  * --think-ms T, --port P (drive an external host instead of the
  * in-process one; fairness sampling is then skipped), --no-cgen,
- * --json FILE (BENCH_*.json trajectory rows: engine "serve-c1" is
- * the baseline, "serve-cM" the M-client aggregate).
+ * --replicas R (every session is a gang of R replica lanes; the
+ * report then adds aggregate lane-cycles/sec = cycles/sec x R,
+ * cross-checked against the host's serve_lane_cycles_executed
+ * counter), --json FILE (BENCH_*.json trajectory rows: engine
+ * "serve-c1" is the baseline, "serve-cM" the M-client aggregate).
  */
 
 #include <algorithm>
@@ -71,8 +74,8 @@ struct ClientResult
  *  in step(batch) requests with a fixed think time between them. */
 void
 runClient(uint16_t port, const std::string &design, bool cgen,
-          uint64_t budget, uint64_t batch, uint64_t thinkMs,
-          ClientResult &out)
+          uint32_t replicas, uint64_t budget, uint64_t batch,
+          uint64_t thinkMs, ClientResult &out)
 {
     serve::Client client;
     if (!client.connect(port)) {
@@ -80,7 +83,8 @@ runClient(uint16_t port, const std::string &design, bool cgen,
         return;
     }
     Clock::time_point t0 = Clock::now();
-    uint64_t id = client.createSession(design, "par", 0, cgen);
+    uint64_t id =
+        client.createSession(design, "par", 0, cgen, 0, replicas);
     if (!id) {
         warn("bench client: %s", client.lastError().c_str());
         return;
@@ -129,6 +133,7 @@ main(int argc, char **argv)
     uint64_t cycles = bench::fastMode() ? 40000 : 400000;
     uint64_t batch = 2048;
     uint64_t thinkMs = 0;
+    uint32_t replicas = 1;
     uint16_t externalPort = 0;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -145,6 +150,8 @@ main(int argc, char **argv)
             batch = std::stoull(value());
         else if (arg == "--think-ms")
             thinkMs = std::stoull(value());
+        else if (arg == "--replicas")
+            replicas = static_cast<uint32_t>(std::stoul(value()));
         else if (arg == "--port")
             externalPort = static_cast<uint16_t>(std::stoul(value()));
         else
@@ -175,11 +182,12 @@ main(int argc, char **argv)
     // to the measured session).
     if (cgen) {
         ClientResult warm;
-        runClient(port, design, cgen, std::min<uint64_t>(cycles, 1024),
-                  batch, 0, warm);
+        runClient(port, design, cgen, replicas,
+                  std::min<uint64_t>(cycles, 1024), batch, 0, warm);
     }
     ClientResult base;
-    runClient(port, design, cgen, cycles, batch, thinkMs, base);
+    runClient(port, design, cgen, replicas, cycles, batch, thinkMs,
+              base);
     if (!base.ok)
         fatal("baseline client failed");
     double baseCps = static_cast<double>(cycles) / base.seconds;
@@ -195,8 +203,8 @@ main(int argc, char **argv)
     Clock::time_point t0 = Clock::now();
     for (uint32_t c = 0; c < clients; ++c)
         threads.emplace_back([&, c] {
-            runClient(port, design, cgen, cycles, batch, thinkMs,
-                      results[c]);
+            runClient(port, design, cgen, replicas, cycles, batch,
+                      thinkMs, results[c]);
             anyDone.store(true);
         });
     std::thread sampler([&] {
@@ -269,6 +277,16 @@ main(int argc, char **argv)
     t.row().cell("base cycles/sec (1 session)").cell(baseCps, 0);
     t.row().cell("aggregate cycles/sec").cell(aggregateCps, 0);
     t.row().cell("aggregate / base").cell(aggregateCps / baseCps, 3);
+    if (replicas > 1) {
+        // Gang sessions: R design instances advance per scheduled
+        // cycle, so lane throughput is the honest aggregate metric.
+        t.row()
+            .cell("replica lanes / session")
+            .cell(static_cast<uint64_t>(replicas));
+        t.row()
+            .cell("aggregate lane-cycles/sec")
+            .cell(aggregateCps * replicas, 0);
+    }
     t.row().cell("session creates/sec").cell(createsPerSec, 1);
     t.row().cell("step p50 ms").cell(p50, 3);
     t.row().cell("step p99 ms").cell(p99, 3);
@@ -287,6 +305,10 @@ main(int argc, char **argv)
             t.row()
                 .cell("artifact warm starts")
                 .cell(statValue(c, serve::kArtifactWarmStarts));
+            if (replicas > 1)
+                t.row()
+                    .cell("host lane-cycles executed")
+                    .cell(statValue(c, "serve_lane_cycles_executed"));
         }
     }
     t.print("Serve throughput (closed-loop, shared BspPool)");
@@ -308,12 +330,14 @@ main(int argc, char **argv)
         one.engine = "serve-c1";
         one.threads = poolThreads;
         one.cyclesPerSec = baseCps;
+        one.replicas = replicas;
         records.push_back(one);
         bench::PerfRecord many;
         many.design = design;
         many.engine = "serve-c" + std::to_string(clients);
         many.threads = poolThreads;
         many.cyclesPerSec = aggregateCps;
+        many.replicas = replicas;
         records.push_back(many);
         bench::writePerfJson(jsonPath, records);
         std::printf("wrote %s\n", jsonPath.c_str());

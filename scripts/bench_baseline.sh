@@ -8,7 +8,7 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR=${BUILD_DIR:-build-bench}
-OUT=${1:-BENCH_PR7.json}
+OUT=${1:-BENCH_PR8.json}
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
@@ -16,9 +16,11 @@ cmake --build "$BUILD_DIR" -j"$(nproc)" \
 
 # --benchmark_filter=NONE skips the google-benchmark suite; only the
 # --json engine matrix (pico + bitcoin across every engine) runs.
-# --threads-sweep widens par/par-cgen to the 1/2/4/8 scaling curve.
+# --threads-sweep widens par/par-cgen to the 1/2/4/8 scaling curve;
+# --replicas-sweep appends the gang rows (cgen and par-cgen at
+# R=1/4/8/16 replica lanes).
 "$BUILD_DIR"/bench/host_throughput --benchmark_filter=NONE \
-    --threads-sweep --json "$OUT"
+    --threads-sweep --replicas-sweep --json "$OUT"
 
 # Serving-layer throughput: 8 closed-loop clients on one shared
 # BspPool, appended to the same trajectory file (engines "serve-c1"

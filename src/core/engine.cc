@@ -137,11 +137,18 @@ makeEngine(rtl::Netlist nl, const EngineOptions &opt)
         opt.kind != EngineKind::Cgen)
         warn("native kernels (--cgen) only apply to the par and cgen "
              "engines; ignoring");
+    uint32_t replicas = opt.replicas ? opt.replicas : 1;
+    if (replicas > 1 &&
+        (opt.kind == EngineKind::Event || opt.kind == EngineKind::Ipu)) {
+        warn("gang simulation (--replicas) is not supported by the "
+             "event and ipu engines; running a single replica");
+        replicas = 1;
+    }
     std::unique_ptr<SimEngine> engine;
     switch (opt.kind) {
       case EngineKind::Interp:
         engine = std::make_unique<rtl::Interpreter>(std::move(nl),
-                                                    opt.lower);
+                                                    opt.lower, replicas);
         break;
       case EngineKind::Event:
         engine = std::make_unique<rtl::EventInterpreter>(std::move(nl),
@@ -150,6 +157,7 @@ makeEngine(rtl::Netlist nl, const EngineOptions &opt)
       case EngineKind::Cgen: {
         rtl::CgenOptions ccfg;
         ccfg.store = opt.artifacts;
+        ccfg.lanes = replicas;
         engine = std::make_unique<rtl::CgenInterpreter>(std::move(nl),
                                                         opt.lower, ccfg);
         break;
@@ -159,6 +167,7 @@ makeEngine(rtl::Netlist nl, const EngineOptions &opt)
         pcfg.fused = opt.fused;
         pcfg.batch = opt.batch;
         pcfg.pool = opt.pool;
+        pcfg.replicas = replicas;
         auto par = std::make_unique<rtl::ParallelInterpreter>(
             std::move(nl), opt.threads, opt.lower, pcfg);
         if (opt.cgen) {

@@ -73,6 +73,62 @@ class SimEngine
     virtual rtl::BitVec peekMemory(const std::string &mem,
                                    uint64_t index) const = 0;
 
+    // -- Gang simulation (replica lanes) --------------------------------
+    //
+    // Engines built with EngineOptions::replicas = R > 1 step R
+    // independent instances of the design in lock-step (one instruction
+    // stream, R SoA lanes). The scalar poke/peek API keeps working on a
+    // gang engine with broadcast/lane-0 semantics: poke drives every
+    // lane (so identical stimuli reproduce the scalar run bit-for-bit
+    // in all lanes), peek reads lane 0. The lane-indexed calls below
+    // give each lane its own stimuli and observation; the defaults
+    // forward to the scalar API so single-replica engines need no
+    // changes.
+
+    /** Number of replica lanes this engine steps per cycle (1 unless
+     *  built as a gang). */
+    virtual uint32_t replicas() const { return 1; }
+
+    /** Drive an input port of one lane only. */
+    virtual void
+    pokeLane(const std::string &input, const rtl::BitVec &value,
+             uint32_t lane)
+    {
+        (void)lane;
+        poke(input, value);
+    }
+    virtual void
+    pokeLane(const std::string &input, uint64_t value, uint32_t lane)
+    {
+        (void)lane;
+        poke(input, value);
+    }
+
+    /** Sample an output port of one lane. */
+    virtual rtl::BitVec
+    peekLane(const std::string &output, uint32_t lane) const
+    {
+        (void)lane;
+        return peek(output);
+    }
+
+    /** Read a register's current value in one lane. */
+    virtual rtl::BitVec
+    peekRegisterLane(const std::string &reg, uint32_t lane) const
+    {
+        (void)lane;
+        return peekRegister(reg);
+    }
+
+    /** Read one memory entry in one lane. */
+    virtual rtl::BitVec
+    peekMemoryLane(const std::string &mem, uint64_t index,
+                   uint32_t lane) const
+    {
+        (void)lane;
+        return peekMemory(mem, index);
+    }
+
     /**
      * peek()/peekRegister() into a caller-owned BitVec. Engines with
      * direct slot access override these to reuse @p out's buffer (the
@@ -184,6 +240,11 @@ struct EngineOptions
      *  and the cgen engine). Null = the per-process directory cache.
      *  Must outlive the engine. See rtl::ArtifactCache. */
     rtl::ArtifactCache *artifacts = nullptr;
+    /** Gang simulation: replica lanes stepped in lock-step per cycle
+     *  (`--replicas N`). Supported by the interp, cgen and par engines
+     *  (lanes compose with par threads); event and ipu warn and run a
+     *  single replica. 1 = scalar. */
+    uint32_t replicas = 1;
 };
 
 /**

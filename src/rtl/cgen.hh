@@ -89,6 +89,19 @@ struct CgenOptions
     /** Reuse a cached shared object whose hash matches. */
     bool cache = true;
 
+    /**
+     * Replica lanes the emitted kernels step in lock-step (gang
+     * simulation). 1 emits the scalar kernels; R > 1 emits every
+     * statement as an auto-vectorizable `for (lane = 0..R)` loop over
+     * the lane-major EvalState layout (compiled with -fopenmp-simd so
+     * -O2 turns the lane loops into SIMD). The attach helpers
+     * (cgenAttach / cgenAttachShards) override this with the target
+     * state's actual lane count; it only needs to be set when calling
+     * CgenModule::compile directly. Always part of the cache key, so
+     * gang and scalar builds of one design never collide.
+     */
+    uint32_t lanes = 1;
+
     /** Artifact cache to resolve compiled objects through. Null (the
      *  default) selects the plain directory cache under buildDir;
      *  hosts that share artifacts across sessions pass their
@@ -144,9 +157,13 @@ class CgenModule
  * The emitter alone: the C++ source of a translation unit with
  * `extern "C" void parendi_{eval,commit,latch}_<i>(uint64_t *slots,
  * uint64_t *const *mems)` entries per program. Deterministic
- * (hashable) for identical programs.
+ * (hashable) for identical programs. @p lanes > 1 emits gang
+ * (lane-vectorized) kernels over the lane-major SoA layout; 1 emits
+ * the scalar kernels, byte-identical to what this emitted before gang
+ * simulation existed.
  */
-std::string cgenEmitSource(const std::vector<const EvalProgram *> &progs);
+std::string cgenEmitSource(const std::vector<const EvalProgram *> &progs,
+                           uint32_t lanes = 1);
 
 /** 64-bit FNV-1a of a byte string (the compile-cache key). */
 uint64_t cgenHash(const std::string &bytes);
@@ -175,6 +192,9 @@ size_t cgenAttachShards(ShardSet &shards,
  * program compiled to native code. Construction never fails on a
  * missing toolchain — it warns and keeps the interpreter loop, so the
  * engine is always functional (native() reports which path runs).
+ * copt.lanes > 1 builds a gang engine: the state holds that many
+ * replica lanes and the compiled kernels step them all per cycle (the
+ * interpreter fallback steps them via gather/scatter).
  */
 class CgenInterpreter : public Interpreter
 {

@@ -712,7 +712,8 @@ ProgramBuilder::build()
     return std::move(prog_);
 }
 
-EvalState::EvalState(const EvalProgram &prog) : prog_(prog)
+EvalState::EvalState(const EvalProgram &prog, uint32_t lanes)
+    : prog_(prog), lanes_(lanes ? lanes : 1)
 {
     reset();
 }
@@ -720,8 +721,21 @@ EvalState::EvalState(const EvalProgram &prog) : prog_(prog)
 void
 EvalState::reset()
 {
-    slots_ = prog_.initSlots;
-    mems_ = prog_.memInit;
+    // Broadcast the scalar init images across all lanes (lane-major:
+    // word w of lane l at [w * L + l]). At L == 1 this is a plain copy.
+    const uint32_t L = lanes_;
+    slots_.resize(uint64_t(prog_.initSlots.size()) * L);
+    for (size_t w = 0; w < prog_.initSlots.size(); ++w)
+        for (uint32_t l = 0; l < L; ++l)
+            slots_[w * L + l] = prog_.initSlots[w];
+    mems_.resize(prog_.memInit.size());
+    for (size_t m = 0; m < prog_.memInit.size(); ++m) {
+        const auto &init = prog_.memInit[m];
+        mems_[m].resize(uint64_t(init.size()) * L);
+        for (size_t w = 0; w < init.size(); ++w)
+            for (uint32_t l = 0; l < L; ++l)
+                mems_[m][w * L + l] = init[w];
+    }
     refreshMemPtrs();
 }
 
@@ -745,24 +759,62 @@ EvalState::setNativeEval(NativeEvalFn fn, std::shared_ptr<void> code,
 }
 
 BitVec
-EvalState::readSlot(uint32_t slot, uint16_t width) const
+EvalState::readSlot(uint32_t slot, uint16_t width, uint32_t lane) const
 {
-    std::vector<uint64_t> words(slots_.begin() + slot,
-                                slots_.begin() + slot + nw(width));
+    uint32_t n = nw(width);
+    const uint64_t *p = &slots_[uint64_t(slot) * lanes_ + lane];
+    std::vector<uint64_t> words(n);
+    for (uint32_t i = 0; i < n; ++i)
+        words[i] = p[i * lanes_];
     return BitVec(width, std::move(words));
 }
 
 void
-EvalState::readSlotInto(uint32_t slot, uint16_t width, BitVec &out) const
+EvalState::readSlotInto(uint32_t slot, uint16_t width, BitVec &out,
+                        uint32_t lane) const
 {
-    out.assign(width, slots_.data() + slot, nw(width));
+    uint32_t n = nw(width);
+    const uint64_t *p = &slots_[uint64_t(slot) * lanes_ + lane];
+    if (lanes_ == 1) {
+        out.assign(width, p, n);
+        return;
+    }
+    uint64_t tmp[nw(kMaxWidth)];
+    for (uint32_t i = 0; i < n; ++i)
+        tmp[i] = p[i * lanes_];
+    out.assign(width, tmp, n);
 }
 
 void
 EvalState::writeSlot(uint32_t slot, const BitVec &v)
 {
+    uint64_t *p = &slots_[uint64_t(slot) * lanes_];
     for (uint32_t i = 0; i < v.numWords(); ++i)
-        slots_[slot + i] = v.word(i);
+        for (uint32_t l = 0; l < lanes_; ++l)
+            p[i * lanes_ + l] = v.word(i);
+}
+
+void
+EvalState::writeSlotLane(uint32_t slot, const BitVec &v, uint32_t lane)
+{
+    uint64_t *p = &slots_[uint64_t(slot) * lanes_ + lane];
+    for (uint32_t i = 0; i < v.numWords(); ++i)
+        p[i * lanes_] = v.word(i);
+}
+
+BitVec
+EvalState::readMemEntry(uint32_t memIndex, uint64_t index, uint16_t width,
+                        uint32_t lane) const
+{
+    const ProgMem &pm = prog_.mems[memIndex];
+    std::vector<uint64_t> words(pm.entryWords, 0);
+    if (index < pm.depth) {
+        const uint64_t *p =
+            &mems_[memIndex][(index * pm.entryWords) * lanes_ + lane];
+        for (uint32_t i = 0; i < pm.entryWords; ++i)
+            words[i] = p[i * lanes_];
+    }
+    return BitVec(width, std::move(words));
 }
 
 // Computed-goto dispatch removes the per-instruction bounds check and
@@ -780,6 +832,10 @@ EvalState::evalComb()
 {
     if (nativeFn_) {
         nativeFn_(slots_.data(), memPtrs_.data());
+        return;
+    }
+    if (lanes_ > 1) {
+        evalCombGang();
         return;
     }
     const EvalInstr *ip = prog_.instrs.data();
@@ -829,7 +885,7 @@ EvalState::evalComb()
     goto *jump[static_cast<size_t>(ip->op)];
 
   op_generic:
-    execGeneric(*ip);
+    execGeneric(*ip, s);
     PARENDI_DISPATCH();
 #define PARENDI_LABEL(name)                                             \
   op_##name:                                                            \
@@ -885,16 +941,19 @@ EvalState::evalComb()
 void
 EvalState::evalOne(const EvalInstr &in)
 {
+    if (lanes_ > 1) {
+        execGangInstr(in);
+        return;
+    }
     if (isGenericEvalOp(in.op))
-        execGeneric(in);
+        execGeneric(in, slots_.data());
     else
-        execSpecial(in);
+        execSpecial(in, slots_.data());
 }
 
 void
-EvalState::execSpecial(const EvalInstr &in)
+EvalState::execSpecial(const EvalInstr &in, uint64_t *s)
 {
-    uint64_t *s = slots_.data();
     switch (in.op) {
       case EvalOp::NotW: kNotW(in, s); break;
       case EvalOp::NegW: kNegW(in, s); break;
@@ -945,9 +1004,8 @@ EvalState::execMemReadW(const EvalInstr &in)
 }
 
 void
-EvalState::execGeneric(const EvalInstr &in)
+EvalState::execGeneric(const EvalInstr &in, uint64_t *s)
 {
-    uint64_t *s = slots_.data();
     {
         uint64_t *d = s + in.dst;
         const uint64_t *a = s + in.a;
@@ -1100,7 +1158,7 @@ EvalState::execGeneric(const EvalInstr &in)
           }
           case Op::MemRead: {
             const ProgMem &pm = prog_.mems[in.aux];
-            const std::vector<uint64_t> &img = mems_[in.aux];
+            const LaneWords &img = mems_[in.aux];
             uint64_t addr = shiftAmount(a, in.wa); // saturating read
             if (addr < pm.depth)
                 copyVal(d, img.data() + addr * pm.entryWords,
@@ -1115,11 +1173,152 @@ EvalState::execGeneric(const EvalInstr &in)
     }
 }
 
+// -- Gang (lanes > 1) interpreter tier -----------------------------------
+//
+// The correctness fallback when no cgen kernel is attached: each
+// instruction is executed once per lane by gathering that lane's
+// word-strided operands into a scalar-layout staging buffer, running
+// the unmodified scalar kernel on it, and scattering the destination
+// back. Memory reads are handled directly against the strided image
+// (the staging remap cannot carry a memory index). Bit-identical to a
+// scalar EvalState per lane by construction — it runs the same kernels.
+
+void
+EvalState::evalCombGang()
+{
+    for (const EvalInstr &in : prog_.instrs)
+        execGangInstr(in);
+}
+
+namespace {
+
+/** saturatingWideRead over a lane-strided value. */
+inline uint64_t
+stridedSatRead(const uint64_t *p, uint32_t numWords, uint32_t stride)
+{
+    for (uint32_t i = 1; i < numWords; ++i)
+        if (p[i * stride])
+            return UINT64_MAX;
+    return p[0];
+}
+
+} // namespace
+
+void
+EvalState::execGangInstr(const EvalInstr &in)
+{
+    const uint32_t L = lanes_;
+    uint64_t *s = slots_.data();
+
+    if (in.op == EvalOp::MemReadW) {
+        const ProgMem &pm = prog_.mems[in.aux];
+        const uint64_t *img = mems_[in.aux].data();
+        uint64_t *d = s + uint64_t(in.dst) * L;
+        const uint64_t *a = s + uint64_t(in.a) * L;
+        for (uint32_t l = 0; l < L; ++l) {
+            uint64_t addr = a[l];
+            d[l] = addr < pm.depth ? img[addr * L + l] : 0;
+        }
+        return;
+    }
+    if (in.op == EvalOp::MemRead) {
+        const ProgMem &pm = prog_.mems[in.aux];
+        const uint64_t *img = mems_[in.aux].data();
+        uint32_t ew = pm.entryWords;
+        uint32_t na = nw(in.wa);
+        for (uint32_t l = 0; l < L; ++l) {
+            const uint64_t *a = s + uint64_t(in.a) * L + l;
+            uint64_t addr = stridedSatRead(a, na, L);
+            uint64_t *d = s + uint64_t(in.dst) * L + l;
+            if (addr < pm.depth) {
+                const uint64_t *e = img + (addr * ew) * L + l;
+                for (uint32_t i = 0; i < ew; ++i)
+                    d[i * L] = e[i * L];
+            } else {
+                for (uint32_t i = 0; i < ew; ++i)
+                    d[i * L] = 0;
+            }
+        }
+        return;
+    }
+
+    // Staging buffer in scalar layout: [a | b | c | aux | dst], one
+    // kMaxWidth-sized region each (2.5 KiB on the stack).
+    constexpr uint32_t NW = nw(kMaxWidth);
+    uint64_t buf[5 * NW];
+    EvalInstr t = in;
+    t.a = 0;
+    t.b = NW;
+    t.c = 2 * NW;
+    t.dst = 4 * NW;
+    uint32_t ops[4];
+    int arity = evalInstrOperands(in, ops);
+    bool generic = isGenericEvalOp(in.op);
+    if (!generic && arity == 4)
+        t.aux = 3 * NW; // CmpMux 4th operand; otherwise aux is immediate
+    uint32_t na = nw(in.wa ? in.wa : 1);
+    uint32_t nb = nw(in.wb ? in.wb : 1);
+    uint32_t nc = nw(in.width ? in.width : 1);
+    uint32_t nd = nw(in.width ? in.width : 1);
+    for (uint32_t l = 0; l < L; ++l) {
+        const uint64_t *pa = s + uint64_t(in.a) * L + l;
+        for (uint32_t i = 0; i < na; ++i)
+            buf[i] = pa[i * L];
+        if (arity >= 2) {
+            const uint64_t *pb = s + uint64_t(in.b) * L + l;
+            for (uint32_t i = 0; i < nb; ++i)
+                buf[NW + i] = pb[i * L];
+        }
+        if (arity >= 3) {
+            const uint64_t *pc = s + uint64_t(in.c) * L + l;
+            for (uint32_t i = 0; i < nc; ++i)
+                buf[2 * NW + i] = pc[i * L];
+        }
+        if (!generic && arity == 4)
+            buf[3 * NW] = s[uint64_t(in.aux) * L + l];
+        if (generic)
+            execGeneric(t, buf);
+        else
+            execSpecial(t, buf);
+        uint64_t *pd = s + uint64_t(in.dst) * L + l;
+        for (uint32_t i = 0; i < nd; ++i)
+            pd[i * L] = buf[4 * NW + i];
+    }
+}
+
+void
+EvalState::commitWritesGang()
+{
+    const uint32_t L = lanes_;
+    uint64_t *s = slots_.data();
+    for (const ProgWrite &w : prog_.writes) {
+        const ProgMem &pm = prog_.mems[w.memIndex];
+        uint64_t *img = mems_[w.memIndex].data();
+        uint32_t na = nw(w.addrWidth ? w.addrWidth : 1);
+        for (uint32_t l = 0; l < L; ++l) {
+            if (!(s[uint64_t(w.en) * L + l] & 1))
+                continue;
+            uint64_t addr =
+                stridedSatRead(s + uint64_t(w.addr) * L + l, na, L);
+            if (addr >= pm.depth)
+                continue;
+            const uint64_t *dp = s + uint64_t(w.data) * L + l;
+            uint64_t *ep = img + (addr * pm.entryWords) * L + l;
+            for (uint32_t i = 0; i < pm.entryWords; ++i)
+                ep[i * L] = dp[i * L];
+        }
+    }
+}
+
 void
 EvalState::commitWrites()
 {
     if (nativeCommit_) {
         nativeCommit_(slots_.data(), memPtrs_.data());
+        return;
+    }
+    if (lanes_ > 1) {
+        commitWritesGang();
         return;
     }
     uint64_t *s = slots_.data();
@@ -1145,20 +1344,25 @@ EvalState::latchRegisters()
     // Two phases (double buffering): a register's next-value slot may
     // alias another register's current-value slot (e.g. a swap), so
     // all next values are staged before any current value is written.
+    // Lane-major layout keeps each register's words-across-lanes block
+    // contiguous, so the gang case only scales the word counts by L.
     uint64_t *s = slots_.data();
+    const uint64_t L = lanes_;
     scratch_.clear();
     for (const ProgReg &r : prog_.regs) {
         if (!r.owned || r.next == kNoSlot)
             continue;
-        for (uint32_t i = 0; i < nw(r.width); ++i)
-            scratch_.push_back(s[r.next + i]);
+        const uint64_t *p = s + uint64_t(r.next) * L;
+        scratch_.insert(scratch_.end(), p, p + nw(r.width) * L);
     }
     size_t at = 0;
     for (const ProgReg &r : prog_.regs) {
         if (!r.owned || r.next == kNoSlot)
             continue;
-        for (uint32_t i = 0; i < nw(r.width); ++i)
-            s[r.cur + i] = scratch_[at++];
+        uint64_t n = nw(r.width) * L;
+        std::memcpy(s + uint64_t(r.cur) * L, scratch_.data() + at,
+                    n * sizeof(uint64_t));
+        at += n;
     }
 }
 
@@ -1173,40 +1377,40 @@ EvalState::step()
 void
 EvalState::save(std::ostream &out) const
 {
-    auto write_vec = [&](const std::vector<uint64_t> &v) {
-        uint64_t n = v.size();
+    auto write_vec = [&](const uint64_t *p, uint64_t n) {
         out.write(reinterpret_cast<const char *>(&n), sizeof(n));
-        out.write(reinterpret_cast<const char *>(v.data()),
+        out.write(reinterpret_cast<const char *>(p),
                   static_cast<std::streamsize>(n * 8));
     };
-    write_vec(slots_);
+    write_vec(slots_.data(), slots_.size());
     uint64_t nmems = mems_.size();
     out.write(reinterpret_cast<const char *>(&nmems), sizeof(nmems));
     for (const auto &m : mems_)
-        write_vec(m);
+        write_vec(m.data(), m.size());
 }
 
 void
 EvalState::restore(std::istream &in)
 {
-    auto read_vec = [&](std::vector<uint64_t> &v) {
+    auto read_vec = [&](uint64_t *p, uint64_t size) {
         uint64_t n = 0;
         in.read(reinterpret_cast<char *>(&n), sizeof(n));
-        if (!in || n != v.size())
-            fatal("checkpoint mismatch: expected %zu words, got %llu",
-                  v.size(), static_cast<unsigned long long>(n));
-        in.read(reinterpret_cast<char *>(v.data()),
+        if (!in || n != size)
+            fatal("checkpoint mismatch: expected %llu words, got %llu",
+                  static_cast<unsigned long long>(size),
+                  static_cast<unsigned long long>(n));
+        in.read(reinterpret_cast<char *>(p),
                 static_cast<std::streamsize>(n * 8));
         if (!in)
             fatal("checkpoint truncated");
     };
-    read_vec(slots_);
+    read_vec(slots_.data(), slots_.size());
     uint64_t nmems = 0;
     in.read(reinterpret_cast<char *>(&nmems), sizeof(nmems));
     if (!in || nmems != mems_.size())
         fatal("checkpoint mismatch: memory count");
     for (auto &m : mems_)
-        read_vec(m);
+        read_vec(m.data(), m.size());
     refreshMemPtrs();
 }
 

@@ -23,12 +23,58 @@
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
+#include <new>
 #include <unordered_map>
 #include <vector>
 
 #include "rtl/netlist.hh"
 
 namespace parendi::rtl {
+
+/**
+ * 64-byte-aligned allocator for lane storage: gang (SoA) slot and
+ * memory arrays start on a cache-line boundary so an R-lane vector of
+ * any slot word never straddles lines and auto-vectorized lane loops
+ * can use aligned accesses.
+ */
+template <class T>
+struct LaneAlloc
+{
+    using value_type = T;
+    static constexpr std::align_val_t kAlign{64};
+
+    LaneAlloc() = default;
+    template <class U>
+    LaneAlloc(const LaneAlloc<U> &)
+    {
+    }
+
+    T *
+    allocate(size_t n)
+    {
+        return static_cast<T *>(::operator new(n * sizeof(T), kAlign));
+    }
+    void
+    deallocate(T *p, size_t)
+    {
+        ::operator delete(p, kAlign);
+    }
+    template <class U>
+    bool
+    operator==(const LaneAlloc<U> &) const
+    {
+        return true;
+    }
+    template <class U>
+    bool
+    operator!=(const LaneAlloc<U> &) const
+    {
+        return false;
+    }
+};
+
+/** Lane-major storage word array (slots and memory images). */
+using LaneWords = std::vector<uint64_t, LaneAlloc<uint64_t>>;
 
 /**
  * Opcodes of the lowered instruction stream. Three tiers:
@@ -287,11 +333,34 @@ using NativeEvalFn = void (*)(uint64_t *slots, uint64_t *const *mems);
  * Mutable run state for an EvalProgram: the slot array and memory
  * images. One EvalState per simulated tile (or one for the whole
  * design in the reference interpreter).
+ *
+ * Gang simulation: constructed with @p lanes = R > 1 the state holds R
+ * independent replicas of the design laid out structure-of-arrays,
+ * lane-major — word w of slot s for lane l lives at
+ * slots_[(s + w) * R + l], and word w of memory entry e at
+ * mems_[m][(e * entryWords + w) * R + l]. Consequences the rest of the
+ * system builds on:
+ *
+ *  - at R = 1 the layout is word-for-word identical to the scalar
+ *    layout, so every existing consumer is unaffected;
+ *  - the R lane words of any slot word are contiguous (and 64-byte
+ *    aligned), so per-instruction lane loops auto-vectorize;
+ *  - a multi-word value's words are contiguous *as a block across all
+ *    lanes*: slotPtr(s) points at words*R consecutive u64s, so
+ *    whole-value copies (register latch, shard exchange) are the
+ *    scalar memcpys with word counts scaled by R.
+ *
+ * The interpreter tier executes gangs by per-lane gather/scatter
+ * around the scalar kernels (the correctness fallback); the cgen tier
+ * emits lane-vectorized kernels over this layout (rtl/cgen).
  */
 class EvalState
 {
   public:
-    explicit EvalState(const EvalProgram &prog);
+    explicit EvalState(const EvalProgram &prog, uint32_t lanes = 1);
+
+    /** Replica lanes held by this state (1 = scalar layout). */
+    uint32_t lanes() const { return lanes_; }
 
     /** Restore initial slot and memory images. */
     void reset();
@@ -325,28 +394,45 @@ class EvalState
     /** Full local cycle: evalComb + commitWrites + latchRegisters. */
     void step();
 
-    // Slot access (word granularity).
-    uint64_t *slotPtr(uint32_t slot) { return &slots_[slot]; }
-    const uint64_t *slotPtr(uint32_t slot) const { return &slots_[slot]; }
+    // Slot access (word granularity). With lanes > 1 the returned
+    // pointer addresses the lane-major block: word w of lane l is at
+    // ptr[w * lanes() + l].
+    uint64_t *
+    slotPtr(uint32_t slot)
+    {
+        return &slots_[uint64_t(slot) * lanes_];
+    }
+    const uint64_t *
+    slotPtr(uint32_t slot) const
+    {
+        return &slots_[uint64_t(slot) * lanes_];
+    }
 
     /** Read a value of @p width bits at @p slot into a BitVec. */
-    BitVec readSlot(uint32_t slot, uint16_t width) const;
+    BitVec readSlot(uint32_t slot, uint16_t width,
+                    uint32_t lane = 0) const;
 
     /** readSlot() into an existing BitVec, reusing its buffer (the
      *  allocation-free peek path used by the VCD tracer). */
-    void readSlotInto(uint32_t slot, uint16_t width, BitVec &out) const;
+    void readSlotInto(uint32_t slot, uint16_t width, BitVec &out,
+                      uint32_t lane = 0) const;
 
-    /** Write a BitVec into @p slot (value is normalized to @p width). */
+    /** Write a BitVec into @p slot (value is normalized to @p width).
+     *  With lanes > 1 the value is broadcast to every lane. */
     void writeSlot(uint32_t slot, const BitVec &v);
+
+    /** Write a BitVec into @p slot of a single lane. */
+    void writeSlotLane(uint32_t slot, const BitVec &v, uint32_t lane);
+
+    /** Read one entry of a memory image (per-lane). */
+    BitVec readMemEntry(uint32_t memIndex, uint64_t index, uint16_t width,
+                        uint32_t lane = 0) const;
 
     const EvalProgram &program() const { return prog_; }
 
-    std::vector<uint64_t> &memImage(uint32_t mem_index)
-    {
-        return mems_[mem_index];
-    }
+    LaneWords &memImage(uint32_t mem_index) { return mems_[mem_index]; }
 
-    const std::vector<uint64_t> &
+    const LaneWords &
     memImage(uint32_t mem_index) const
     {
         return mems_[mem_index];
@@ -359,19 +445,28 @@ class EvalState
     void restore(std::istream &in);
 
   private:
-    /** Generic-tier kernels (the original multi-word switch). */
-    void execGeneric(const EvalInstr &in);
+    /** Generic-tier kernels (the original multi-word switch), over the
+     *  scalar-layout base pointer @p s. */
+    void execGeneric(const EvalInstr &in, uint64_t *s);
     /** Specialized/fused-tier kernels (switch fallback path). */
-    void execSpecial(const EvalInstr &in);
+    void execSpecial(const EvalInstr &in, uint64_t *s);
     /** Single-word memory read (needs the memory images). */
     void execMemReadW(const EvalInstr &in);
+
+    /** Gang (lanes > 1) interpreter: full program, all lanes. */
+    void evalCombGang();
+    /** One instruction across all lanes via gather/scatter remap. */
+    void execGangInstr(const EvalInstr &in);
+    /** Gang commit/latch fallbacks (per-lane strided). */
+    void commitWritesGang();
 
     /** Re-derive memPtrs_ after mems_ may have reallocated. */
     void refreshMemPtrs();
 
     const EvalProgram &prog_;
-    std::vector<uint64_t> slots_;
-    std::vector<std::vector<uint64_t>> mems_;
+    uint32_t lanes_ = 1;
+    LaneWords slots_;
+    std::vector<LaneWords> mems_;
     std::vector<uint64_t> scratch_;   ///< latch staging (double buffer)
 
     NativeEvalFn nativeFn_ = nullptr;     ///< cgen kernel (null -> interpret)
@@ -379,6 +474,20 @@ class EvalState
     NativeEvalFn nativeLatch_ = nullptr;  ///< cgen latch phase
     std::shared_ptr<void> nativeCode_;  ///< keeps the dlopened object alive
     std::vector<uint64_t *> memPtrs_;   ///< memory images, kernel ABI form
+};
+
+/**
+ * An EvalState constructed for R replica lanes — the storage layer of
+ * gang simulation. A distinct type only for call-site clarity; all
+ * behavior lives in EvalState, which is fully lane-aware.
+ */
+class GangState : public EvalState
+{
+  public:
+    GangState(const EvalProgram &prog, uint32_t lanes)
+        : EvalState(prog, lanes)
+    {
+    }
 };
 
 } // namespace parendi::rtl

@@ -7,14 +7,15 @@
 
 namespace parendi::rtl {
 
-Interpreter::Interpreter(Netlist netlist, const LowerOptions &lower)
+Interpreter::Interpreter(Netlist netlist, const LowerOptions &lower,
+                         uint32_t replicas)
     : nl(std::move(netlist))
 {
     ProgramBuilder builder(nl);
     builder.addAll();
     prog = builder.build();
     lowerProgram(prog, lower);
-    state = std::make_unique<EvalState>(prog);
+    state = std::make_unique<EvalState>(prog, replicas);
     // Evaluate combinational logic once so outputs are observable
     // before the first clock edge.
     state->evalComb();
@@ -196,6 +197,79 @@ Interpreter::peekRegisterInto(const std::string &reg, BitVec &out) const
 BitVec
 Interpreter::peekMemory(const std::string &mem, uint64_t index) const
 {
+    return peekMemoryLane(mem, index, 0);
+}
+
+void
+Interpreter::pokeLane(const std::string &input, const BitVec &value,
+                      uint32_t lane)
+{
+    if (lane >= state->lanes())
+        fatal("pokeLane: lane %u out of range (replicas=%u)", lane,
+              state->lanes());
+    PortId id = nl.findInput(input);
+    if (id == nl.numInputs())
+        fatal("no input port named %s", input.c_str());
+    for (const ProgPort &p : prog.inputs) {
+        if (p.port == id) {
+            if (value.width() != p.width)
+                fatal("poke %s: width %u != port width %u",
+                      input.c_str(), value.width(), p.width);
+            state->writeSlotLane(p.slot, value, lane);
+            state->evalComb();
+            return;
+        }
+    }
+    fatal("input port %s not in program", input.c_str());
+}
+
+void
+Interpreter::pokeLane(const std::string &input, uint64_t value,
+                      uint32_t lane)
+{
+    PortId id = nl.findInput(input);
+    if (id == nl.numInputs())
+        fatal("no input port named %s", input.c_str());
+    pokeLane(input, BitVec(nl.input(id).width, value), lane);
+}
+
+BitVec
+Interpreter::peekLane(const std::string &output, uint32_t lane) const
+{
+    if (lane >= state->lanes())
+        fatal("peekLane: lane %u out of range (replicas=%u)", lane,
+              state->lanes());
+    PortId id = nl.findOutput(output);
+    if (id == nl.numOutputs())
+        fatal("no output port named %s", output.c_str());
+    for (const ProgPort &p : prog.outputs)
+        if (p.port == id)
+            return state->readSlot(p.slot, p.width, lane);
+    fatal("output port %s not in program", output.c_str());
+}
+
+BitVec
+Interpreter::peekRegisterLane(const std::string &reg, uint32_t lane) const
+{
+    if (lane >= state->lanes())
+        fatal("peekRegisterLane: lane %u out of range (replicas=%u)",
+              lane, state->lanes());
+    RegId id = nl.findRegister(reg);
+    if (id == nl.numRegisters())
+        fatal("no register named %s", reg.c_str());
+    for (const ProgReg &r : prog.regs)
+        if (r.reg == id)
+            return state->readSlot(r.cur, r.width, lane);
+    fatal("register %s not in program", reg.c_str());
+}
+
+BitVec
+Interpreter::peekMemoryLane(const std::string &mem, uint64_t index,
+                            uint32_t lane) const
+{
+    if (lane >= state->lanes())
+        fatal("peekMemoryLane: lane %u out of range (replicas=%u)", lane,
+              state->lanes());
     MemId id = nl.findMemory(mem);
     if (id == nl.numMemories())
         fatal("no memory named %s", mem.c_str());
@@ -206,11 +280,8 @@ Interpreter::peekMemory(const std::string &mem, uint64_t index) const
         if (index >= pm.depth)
             fatal("memory %s index %llu out of range", mem.c_str(),
                   static_cast<unsigned long long>(index));
-        const auto &img = state->memImage(static_cast<uint32_t>(i));
-        std::vector<uint64_t> words(
-            img.begin() + index * pm.entryWords,
-            img.begin() + (index + 1) * pm.entryWords);
-        return BitVec(nl.mem(id).width, std::move(words));
+        return state->readMemEntry(static_cast<uint32_t>(i), index,
+                                   nl.mem(id).width, lane);
     }
     fatal("memory %s not in program", mem.c_str());
 }

@@ -29,9 +29,12 @@ class Interpreter : public core::SimEngine
     /** Takes the netlist by value (copy or move) so the interpreter
      *  owns its design and temporaries are safe to pass. The compiled
      *  program is lowered (specialized + fused) by default; pass
-     *  LowerOptions::none() for the fully generic A/B baseline. */
+     *  LowerOptions::none() for the fully generic A/B baseline.
+     *  @p replicas > 1 builds a gang: R independent instances in one
+     *  lane-major EvalState, stepped together. */
     explicit Interpreter(Netlist nl,
-                         const LowerOptions &lower = LowerOptions{});
+                         const LowerOptions &lower = LowerOptions{},
+                         uint32_t replicas = 1);
 
     // The state holds a reference to the program member; the object
     // must stay put.
@@ -63,6 +66,20 @@ class Interpreter : public core::SimEngine
     /** Read one memory entry by memory name. */
     BitVec peekMemory(const std::string &mem,
                       uint64_t index) const override;
+
+    // Gang lane access (see SimEngine). Scalar poke broadcasts to all
+    // lanes; scalar peeks read lane 0.
+    uint32_t replicas() const override { return state->lanes(); }
+    void pokeLane(const std::string &input, const BitVec &value,
+                  uint32_t lane) override;
+    void pokeLane(const std::string &input, uint64_t value,
+                  uint32_t lane) override;
+    BitVec peekLane(const std::string &output,
+                    uint32_t lane) const override;
+    BitVec peekRegisterLane(const std::string &reg,
+                            uint32_t lane) const override;
+    BitVec peekMemoryLane(const std::string &mem, uint64_t index,
+                          uint32_t lane) const override;
 
     /** Checkpoint all simulation state (including the cycle count). */
     void save(std::ostream &out) const;

@@ -11,10 +11,27 @@
 
 namespace parendi::rtl {
 
+namespace {
+
+/** saturatingWideReadBits over one lane of a lane-major value: word w
+ *  of the value lives at p[w * stride]. */
+uint64_t
+stridedSatReadBits(const uint64_t *p, uint16_t widthBits,
+                   uint64_t stride)
+{
+    const uint32_t numWords = wordsFor(widthBits);
+    for (uint32_t w = 1; w < numWords; ++w)
+        if (p[w * stride])
+            return UINT64_MAX;
+    return p[0];
+}
+
+} // namespace
+
 ShardSet::ShardSet(const Netlist &nl,
                    const std::vector<std::vector<NodeId>> &nodeSets,
-                   const LowerOptions &lower)
-    : nl_(&nl)
+                   const LowerOptions &lower, uint32_t lanes)
+    : nl_(&nl), lanes_(lanes ? lanes : 1)
 {
     programs_.reserve(nodeSets.size());
     for (const std::vector<NodeId> &nodes : nodeSets) {
@@ -28,7 +45,7 @@ ShardSet::ShardSet(const Netlist &nl,
     // EvalState references its program at the final heap address.
     states_.reserve(programs_.size());
     for (const EvalProgram &prog : programs_)
-        states_.push_back(std::make_unique<EvalState>(prog));
+        states_.push_back(std::make_unique<EvalState>(prog, lanes_));
     buildExchange();
 }
 
@@ -159,7 +176,7 @@ ShardSet::buildExchange()
                 pr.nextSlot = next;
                 pr.words = words;
                 pr.offset = off;
-                off += words;
+                off += uint32_t(words) * lanes_;
                 it = pubOfOwnerSlot.emplace(m.ownerSlot, pr.offset)
                          .first;
                 pubRegs_.push_back(pr);
@@ -170,7 +187,10 @@ ShardSet::buildExchange()
             static_cast<uint32_t>(pubRegs_.size());
         for (uint32_t bi : portsByOwner[si]) {
             broadcasts_[bi].pubOffset = off;
-            off += 1 + broadcasts_[bi].entryWords;
+            // Per-port record: lanes_ resolved addresses (one per
+            // lane, kPubSkip where disabled/OOR) followed by the data
+            // value's lane-major block, copied verbatim.
+            off += (1 + broadcasts_[bi].entryWords) * lanes_;
         }
         pubPortsByShard_[si] = std::move(portsByOwner[si]);
     }
@@ -227,22 +247,29 @@ ShardSet::profileCycleEnd()
 void
 ShardSet::commitRange(size_t begin, size_t end)
 {
+    const uint64_t L = lanes_;
     uint64_t words = 0;
     for (size_t si = begin; si < end; ++si) {
         EvalState &mine = *states_[si];
         for (auto [bi, mi] : replicaPlan_[si]) {
             const PortBroadcast &b = broadcasts_[bi];
             const EvalState &owner = *states_[b.ownerShard];
-            if (!(owner.slotPtr(b.enSlot)[0] & 1))
-                continue;
-            uint64_t addr = saturatingWideReadBits(
-                owner.slotPtr(b.addrSlot), b.addrWidth);
-            if (addr >= b.depth)
-                continue;
-            std::memcpy(mine.memImage(mi).data() + addr * b.entryWords,
-                        owner.slotPtr(b.dataSlot),
-                        b.entryWords * sizeof(uint64_t));
-            words += b.entryWords;
+            const uint64_t *en = owner.slotPtr(b.enSlot);
+            const uint64_t *ap = owner.slotPtr(b.addrSlot);
+            const uint64_t *dp = owner.slotPtr(b.dataSlot);
+            uint64_t *img = mine.memImage(mi).data();
+            for (uint64_t l = 0; l < L; ++l) {
+                if (!(en[l] & 1))
+                    continue;
+                uint64_t addr =
+                    stridedSatReadBits(ap + l, b.addrWidth, L);
+                if (addr >= b.depth)
+                    continue;
+                for (uint32_t w = 0; w < b.entryWords; ++w)
+                    img[(addr * b.entryWords + w) * L + l] =
+                        dp[w * L + l];
+                words += b.entryWords;
+            }
         }
     }
     if (ctrExchWords_ && words)
@@ -264,10 +291,12 @@ ShardSet::exchangeRange(size_t begin, size_t end)
         auto [mb, me] = readerRanges_[si];
         for (uint32_t i = mb; i < me; ++i) {
             const RegMessage &m = regMessages_[i];
+            // A value's words are one contiguous lane-major block, so
+            // moving all lanes is the scalar memcpy scaled by lanes_.
             std::memcpy(states_[m.readerShard]->slotPtr(m.readerSlot),
                         states_[m.ownerShard]->slotPtr(m.ownerSlot),
-                        m.words * sizeof(uint64_t));
-            words += m.words;
+                        uint64_t(m.words) * lanes_ * sizeof(uint64_t));
+            words += uint64_t(m.words) * lanes_;
         }
     }
     if (ctrExchWords_ && words)
@@ -317,18 +346,26 @@ ShardSet::evalRangeImpl(size_t begin, size_t end, bool sampled)
 void
 ShardSet::commitRangeFrom(size_t begin, size_t end, const uint64_t *rd)
 {
+    const uint64_t L = lanes_;
     uint64_t words = 0;
     for (size_t si = begin; si < end; ++si) {
         EvalState &mine = *states_[si];
         for (auto [bi, mi] : replicaPlan_[si]) {
             const PortBroadcast &b = broadcasts_[bi];
             const uint64_t *rec = rd + b.pubOffset;
-            uint64_t addr = rec[0];
-            if (addr == kPubSkip)
-                continue;
-            std::memcpy(mine.memImage(mi).data() + addr * b.entryWords,
-                        rec + 1, b.entryWords * sizeof(uint64_t));
-            words += b.entryWords;
+            const uint64_t *data = rec + L;
+            uint64_t *img = mine.memImage(mi).data();
+            for (uint64_t l = 0; l < L; ++l) {
+                uint64_t addr = rec[l];
+                if (addr == kPubSkip)
+                    continue;
+                // The data block keeps the state's lane-major layout,
+                // so the per-lane copy has the same stride both sides.
+                for (uint32_t w = 0; w < b.entryWords; ++w)
+                    img[(addr * b.entryWords + w) * L + l] =
+                        data[w * L + l];
+                words += b.entryWords;
+            }
         }
     }
     if (ctrExchWords_ && words)
@@ -346,8 +383,8 @@ ShardSet::exchangeRangeFrom(size_t begin, size_t end,
             const RegMessage &m = regMessages_[i];
             std::memcpy(states_[m.readerShard]->slotPtr(m.readerSlot),
                         rd + m.pubOffset,
-                        m.words * sizeof(uint64_t));
-            words += m.words;
+                        uint64_t(m.words) * lanes_ * sizeof(uint64_t));
+            words += uint64_t(m.words) * lanes_;
         }
     }
     if (ctrExchWords_ && words)
@@ -357,30 +394,38 @@ ShardSet::exchangeRangeFrom(size_t begin, size_t end,
 void
 ShardSet::publishRange(size_t begin, size_t end, uint64_t *wr)
 {
+    const uint64_t L = lanes_;
     for (size_t si = begin; si < end; ++si) {
         const EvalState &st = *states_[si];
         auto [rb, re] = pubRegRanges_[si];
         for (uint32_t i = rb; i < re; ++i) {
             const PubReg &pr = pubRegs_[i];
             std::memcpy(wr + pr.offset, st.slotPtr(pr.nextSlot),
-                        pr.words * sizeof(uint64_t));
+                        uint64_t(pr.words) * L * sizeof(uint64_t));
         }
         for (uint32_t bi : pubPortsByShard_[si]) {
             const PortBroadcast &b = broadcasts_[bi];
             uint64_t *rec = wr + b.pubOffset;
-            if (!(st.slotPtr(b.enSlot)[0] & 1)) {
-                rec[0] = kPubSkip;
-                continue;
+            const uint64_t *en = st.slotPtr(b.enSlot);
+            const uint64_t *ap = st.slotPtr(b.addrSlot);
+            bool any = false;
+            for (uint64_t l = 0; l < L; ++l) {
+                if (!(en[l] & 1)) {
+                    rec[l] = kPubSkip;
+                    continue;
+                }
+                uint64_t addr =
+                    stridedSatReadBits(ap + l, b.addrWidth, L);
+                if (addr >= b.depth) {
+                    rec[l] = kPubSkip;
+                    continue;
+                }
+                rec[l] = addr;
+                any = true;
             }
-            uint64_t addr = saturatingWideReadBits(
-                st.slotPtr(b.addrSlot), b.addrWidth);
-            if (addr >= b.depth) {
-                rec[0] = kPubSkip;
-                continue;
-            }
-            rec[0] = addr;
-            std::memcpy(rec + 1, st.slotPtr(b.dataSlot),
-                        b.entryWords * sizeof(uint64_t));
+            if (any)
+                std::memcpy(rec + L, st.slotPtr(b.dataSlot),
+                            b.entryWords * L * sizeof(uint64_t));
         }
     }
 }
@@ -674,6 +719,65 @@ ShardSet::peekRegisterInto(const std::string &reg, BitVec &out) const
 BitVec
 ShardSet::peekMemory(const std::string &mem, uint64_t index) const
 {
+    return peekMemoryLane(mem, index, 0);
+}
+
+void
+ShardSet::pokeLane(const std::string &input, const BitVec &value,
+                   uint32_t lane)
+{
+    if (lane >= lanes_)
+        fatal("pokeLane: lane %u out of range (replicas=%u)", lane,
+              lanes_);
+    PortId id = nl_->findInput(input);
+    if (id == nl_->numInputs())
+        fatal("no input port named %s", input.c_str());
+    if (value.width() != nl_->input(id).width)
+        fatal("poke %s: width mismatch", input.c_str());
+    for (auto [shard, slot] : inputSlots_[id]) {
+        states_[shard]->writeSlotLane(slot, value, lane);
+        states_[shard]->evalComb();
+    }
+    pubValid_ = false;
+}
+
+BitVec
+ShardSet::peekLane(const std::string &output, uint32_t lane) const
+{
+    if (lane >= lanes_)
+        fatal("peekLane: lane %u out of range (replicas=%u)", lane,
+              lanes_);
+    PortId id = nl_->findOutput(output);
+    if (id == nl_->numOutputs())
+        fatal("no output port named %s", output.c_str());
+    auto [shard, slot] = outputSlots_[id];
+    if (shard == UINT32_MAX)
+        fatal("output %s not placed", output.c_str());
+    return states_[shard]->readSlot(slot, nl_->output(id).width, lane);
+}
+
+BitVec
+ShardSet::peekRegisterLane(const std::string &reg, uint32_t lane) const
+{
+    if (lane >= lanes_)
+        fatal("peekRegisterLane: lane %u out of range (replicas=%u)",
+              lane, lanes_);
+    RegId id = nl_->findRegister(reg);
+    if (id == nl_->numRegisters())
+        fatal("no register named %s", reg.c_str());
+    auto [shard, slot] = regHome_[id];
+    if (shard == UINT32_MAX)
+        fatal("register %s not placed", reg.c_str());
+    return states_[shard]->readSlot(slot, nl_->reg(id).width, lane);
+}
+
+BitVec
+ShardSet::peekMemoryLane(const std::string &mem, uint64_t index,
+                         uint32_t lane) const
+{
+    if (lane >= lanes_)
+        fatal("peekMemoryLane: lane %u out of range (replicas=%u)",
+              lane, lanes_);
     MemId id = nl_->findMemory(mem);
     if (id == nl_->numMemories())
         fatal("no memory named %s", mem.c_str());
@@ -686,11 +790,8 @@ ShardSet::peekMemory(const std::string &mem, uint64_t index) const
             if (index >= pm.depth)
                 fatal("memory %s index %llu out of range", mem.c_str(),
                       static_cast<unsigned long long>(index));
-            const auto &img = states_[si]->memImage(mi);
-            std::vector<uint64_t> words(
-                img.begin() + index * pm.entryWords,
-                img.begin() + (index + 1) * pm.entryWords);
-            return BitVec(nl_->mem(id).width, std::move(words));
+            return states_[si]->readMemEntry(mi, index,
+                                             nl_->mem(id).width, lane);
         }
     }
     fatal("memory %s not placed on any shard", mem.c_str());

@@ -102,7 +102,8 @@ class ShardSet
         uint32_t entryWords;
         uint32_t depth;
         /// Publish-buffer offset of this port's resolved record:
-        /// [addr or kPubSkip, entryWords data words].
+        /// [lanes addrs (each addr or kPubSkip), entryWords * lanes
+        /// data words in the state's lane-major order].
         uint32_t pubOffset;
         /// (shard, program-local memory index) of every replica.
         std::vector<std::pair<uint32_t, uint32_t>> replicas;
@@ -118,11 +119,16 @@ class ShardSet
      * Build one shard per entry of @p nodeSets (each a topologically
      * ascending node-id list, e.g. a sorted union of fiber cones) and
      * derive the exchange schedule. Every register/memory-write/output
-     * sink of @p nl must be covered by some shard.
+     * sink of @p nl must be covered by some shard. @p lanes > 1 builds
+     * a gang: every shard state holds that many replica lanes
+     * (lane-major SoA, see EvalState), and the exchange schedule moves
+     * all lanes of every message — publish offsets, broadcast records
+     * and memcpy extents scale by the lane count while the schedule
+     * itself (who talks to whom) is lane-invariant.
      */
     ShardSet(const Netlist &nl,
              const std::vector<std::vector<NodeId>> &nodeSets,
-             const LowerOptions &lower);
+             const LowerOptions &lower, uint32_t lanes = 1);
 
     // EvalStates hold references into programs_; both live in vectors
     // whose heap buffers are stable, so the set is movable but not
@@ -134,6 +140,8 @@ class ShardSet
     const EvalProgram &program(size_t i) const { return programs_[i]; }
     EvalState &state(size_t i) { return *states_[i]; }
     const EvalState &state(size_t i) const { return *states_[i]; }
+    /** Replica lanes every shard state steps per cycle (1 = scalar). */
+    uint32_t lanes() const { return lanes_; }
 
     // -- BSP execution (pool == nullptr -> sequential) -------------------
 
@@ -206,6 +214,15 @@ class ShardSet
      *  keeps them identical). */
     BitVec peekMemory(const std::string &mem, uint64_t index) const;
 
+    // -- Gang lane access (scalar poke broadcasts; scalar peeks read
+    //    lane 0; see core::SimEngine) ------------------------------------
+    void pokeLane(const std::string &input, const BitVec &value,
+                  uint32_t lane);
+    BitVec peekLane(const std::string &output, uint32_t lane) const;
+    BitVec peekRegisterLane(const std::string &reg, uint32_t lane) const;
+    BitVec peekMemoryLane(const std::string &mem, uint64_t index,
+                          uint32_t lane) const;
+
     /** Serialize every shard's mutable state (count-prefixed). */
     void save(std::ostream &out) const;
     /** Restore a checkpoint from the same compiled configuration. */
@@ -271,6 +288,7 @@ class ShardSet
     std::vector<uint64_t> shardInstrs_;     ///< instrs per shard program
 
     const Netlist *nl_ = nullptr;
+    uint32_t lanes_ = 1;
     std::vector<EvalProgram> programs_;
     std::vector<std::unique_ptr<EvalState>> states_;
 

@@ -75,7 +75,8 @@ Client::roundTrip(const WireWriter &request, std::string &response)
 uint64_t
 Client::createSession(const std::string &design,
                       const std::string &engine, uint32_t threads,
-                      bool cgen, uint64_t batch, bool *native)
+                      bool cgen, uint64_t batch, uint32_t replicas,
+                      bool *native)
 {
     WireWriter w;
     w.u8(static_cast<uint8_t>(Op::Create));
@@ -84,6 +85,7 @@ Client::createSession(const std::string &design,
     w.u32(threads);
     w.u8(cgen ? 1 : 0);
     w.u64(batch);
+    w.u32(replicas);
     std::string resp;
     if (!roundTrip(w, resp))
         return 0;

@@ -46,7 +46,9 @@ class Client
     uint64_t createSession(const std::string &design,
                            const std::string &engine = "par",
                            uint32_t threads = 0, bool cgen = false,
-                           uint64_t batch = 0, bool *native = nullptr);
+                           uint64_t batch = 0,
+                           uint32_t replicas = 1,
+                           bool *native = nullptr);
 
     /** Run @p n cycles; @p cyclesAfter (if non-null) receives the
      *  session's cycle count after the step. */

@@ -13,7 +13,8 @@
  *
  * Request layouts (after the opcode byte):
  *   Create        str designSpec, str engine, u32 threads, u8 cgen,
- *                 u64 batch          -> u64 sessionId, u8 native
+ *                 u64 batch, u32 replicas
+ *                                    -> u64 sessionId, u8 native
  *   Step          u64 id, u64 n      -> u64 cycles (after the step)
  *   Poke          u64 id, str input, bitvec
  *   Peek          u64 id, str output -> bitvec

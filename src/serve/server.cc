@@ -183,6 +183,7 @@ Server::handleRequest(const std::string &request, bool *shutdownAfter)
         sopt.threads = r.u32();
         sopt.cgen = r.u8() != 0;
         sopt.batch = r.u64();
+        sopt.replicas = r.u32();
         if (!r.ok())
             return errorResponse("malformed Create request");
         bool native = false;

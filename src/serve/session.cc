@@ -17,6 +17,8 @@ SessionManager::SessionManager(ManagerOptions opt)
       ctrSessionsCreated_(counters_.get("sessions_created")),
       ctrSessionsDestroyed_(counters_.get("sessions_destroyed")),
       ctrCyclesExecuted_(counters_.get("serve_cycles_executed")),
+      ctrLaneCyclesExecuted_(
+          counters_.get("serve_lane_cycles_executed")),
       ctrSchedulerTurns_(counters_.get("scheduler_turns"))
 {
     uint32_t threads = opt_.poolThreads
@@ -78,6 +80,7 @@ SessionManager::createSession(const std::string &designSpec,
         eopt.threads = sopt.threads;
         eopt.cgen = sopt.cgen;
         eopt.batch = sopt.batch;
+        eopt.replicas = sopt.replicas;
         eopt.pool = kind == core::EngineKind::Par ? pool_ : nullptr;
         eopt.artifacts = store_.get();
         engine = core::makeEngine(std::move(nl), eopt);
@@ -98,6 +101,9 @@ SessionManager::createSession(const std::string &designSpec,
     auto session = std::make_shared<Session>();
     session->handle = std::make_unique<core::SessionHandle>(
         std::move(engine), designSpec);
+    // Ask the engine, not the request: event/ipu force replicas to 1,
+    // and lane-cycle accounting must bill what actually runs.
+    session->replicas = session->handle->engine().replicas();
 
     std::lock_guard<std::mutex> lk(mutex_);
     if (sessions_.size() >= opt_.maxSessions) {
@@ -161,6 +167,7 @@ SessionManager::schedulerLoop()
         next->cyclesSnapshot = cyc;
         next->busy = false;
         ctrCyclesExecuted_.add(slice);
+        ctrLaneCyclesExecuted_.add(slice * next->replicas);
         ctrSchedulerTurns_.add();
         doneCv_.notify_all();
         workCv_.notify_all();

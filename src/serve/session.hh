@@ -59,6 +59,12 @@ struct SessionOptions
     uint32_t threads = 0;   ///< 0 = the shared pool's width
     bool cgen = false;      ///< native kernels via the artifact store
     size_t batch = 0;       ///< fused cycles per pool dispatch
+    /** Gang simulation: replica lanes stepped per cycle (see
+     *  EngineOptions::replicas). A session created with R > 1 runs R
+     *  design instances per scheduler slice; the host bills its work
+     *  to the serve_lane_cycles_executed counter at R lane-cycles per
+     *  cycle, so aggregate lane-cycles/sec is reportable per host. */
+    uint32_t replicas = 1;
 };
 
 struct ManagerOptions
@@ -144,6 +150,9 @@ class SessionManager
          *  every scheduler slice and restore — what step() reports,
          *  so clients never read the engine while it may be mid-step. */
         uint64_t cyclesSnapshot = 0;
+        /** Replica lanes the engine actually runs (the engine may have
+         *  forced 1, e.g. for event/ipu) — the lane-cycle multiplier. */
+        uint32_t replicas = 1;
         bool busy = false;      ///< scheduler or a control op owns it
         bool dead = false;      ///< destroyed; waiters must bail out
     };
@@ -177,6 +186,9 @@ class SessionManager
     obs::Counter &ctrSessionsCreated_;
     obs::Counter &ctrSessionsDestroyed_;
     obs::Counter &ctrCyclesExecuted_;
+    /** Cycles x replica lanes: equals serve_cycles_executed on a host
+     *  with only scalar sessions; gang sessions add R per cycle. */
+    obs::Counter &ctrLaneCyclesExecuted_;
     obs::Counter &ctrSchedulerTurns_;
 
     std::thread scheduler_;

@@ -19,6 +19,10 @@
  *                       4-barrier phased A/B path)
  *     --batch N         fused path: cycles per pool dispatch
  *                       (default 0 = one batch per step call)
+ *     --replicas N      gang simulation: step N independent replicas
+ *                       of the design in lock-step (SoA lanes; interp,
+ *                       cgen and par engines). Scalar pokes drive all
+ *                       lanes, scalar peeks read lane 0.
  *     --tiles N         tiles per chip (default 1472, ipu engine)
  *     --chips N         IPU chips, 1-4 (default 1, ipu engine)
  *     --strategy B|H    single-chip partitioning (default B)
@@ -100,6 +104,7 @@ struct Args
     bool cgen = false;
     bool fused = true;
     uint64_t batch = 0;
+    uint32_t replicas = 1;
     bool profile = false;
     uint64_t profileEvery = 16;
     std::string profileTrace;
@@ -122,7 +127,8 @@ usage()
                  "[--no-diff]\n"
                  "               [--vcd FILE] [--report] "
                  "[--peek NAME]...\n"
-                 "               [--fused 0|1] [--batch N]\n"
+                 "               [--fused 0|1] [--batch N] "
+                 "[--replicas N]\n"
                  "               [--profile] [--profile-every N] "
                  "[--profile-trace FILE]\n"
                  "               <design.v|design.pnl> | --design NAME\n"
@@ -170,6 +176,8 @@ parseArgs(int argc, char **argv)
             a.fused = std::stoul(value()) != 0;
         else if (arg == "--batch")
             a.batch = std::stoull(value());
+        else if (arg == "--replicas")
+            a.replicas = static_cast<uint32_t>(std::stoul(value()));
         else if (arg == "--design")
             a.design = value();
         else if (arg == "--profile")
@@ -312,6 +320,9 @@ main(int argc, char **argv)
             if (args.cgen)
                 warn("--cgen is not supported by the ipu engine; "
                      "ignoring");
+            if (args.replicas > 1)
+                warn("--replicas is not supported by the ipu engine; "
+                     "running a single replica");
             core::CompilerOptions opt;
             opt.chips = args.chips;
             opt.tilesPerChip = args.tiles;
@@ -366,6 +377,7 @@ main(int argc, char **argv)
             eopt.cgen = args.cgen;
             eopt.fused = args.fused;
             eopt.batch = args.batch;
+            eopt.replicas = args.replicas;
             eopt.profile = args.profile;
             eopt.profileOpt.sampleEvery = args.profileEvery;
             if (args.optimize)

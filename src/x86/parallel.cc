@@ -9,6 +9,7 @@
 
 #include "fiber/fiber.hh"
 #include "partition/process.hh"
+#include "util/logging.hh"
 
 namespace parendi::rtl {
 
@@ -57,7 +58,7 @@ ParallelInterpreter::ParallelInterpreter(Netlist netlist,
             partition::sortedUnion(nodeSets[best], fs[fi].cone);
     }
 
-    shards_ = ShardSet(nl_, nodeSets, lower);
+    shards_ = ShardSet(nl_, nodeSets, lower, cfg.replicas);
     shards_.setFused(cfg.fused);
     if (cfg.pool) {
         pool_ = cfg.pool;
@@ -137,6 +138,44 @@ ParallelInterpreter::peekRegisterInto(const std::string &reg,
                                       BitVec &out) const
 {
     shards_.peekRegisterInto(reg, out);
+}
+
+void
+ParallelInterpreter::pokeLane(const std::string &input,
+                              const BitVec &value, uint32_t lane)
+{
+    shards_.pokeLane(input, value, lane);
+}
+
+void
+ParallelInterpreter::pokeLane(const std::string &input, uint64_t value,
+                              uint32_t lane)
+{
+    PortId id = nl_.findInput(input);
+    if (id == nl_.numInputs())
+        fatal("no input port named %s", input.c_str());
+    shards_.pokeLane(input, BitVec(nl_.input(id).width, value), lane);
+}
+
+BitVec
+ParallelInterpreter::peekLane(const std::string &output,
+                              uint32_t lane) const
+{
+    return shards_.peekLane(output, lane);
+}
+
+BitVec
+ParallelInterpreter::peekRegisterLane(const std::string &reg,
+                                      uint32_t lane) const
+{
+    return shards_.peekRegisterLane(reg, lane);
+}
+
+BitVec
+ParallelInterpreter::peekMemoryLane(const std::string &mem,
+                                    uint64_t index, uint32_t lane) const
+{
+    return shards_.peekMemoryLane(mem, index, lane);
 }
 
 bool

@@ -65,6 +65,9 @@ struct ParConfig
      * enableProfiling() does not install a pool wait observer.
      */
     std::shared_ptr<util::BspPool> pool;
+    /** Gang simulation: replica lanes per shard state, stepped in
+     *  lock-step (threads × lanes total instances). 1 = scalar. */
+    uint32_t replicas = 1;
 };
 
 class ParallelInterpreter : public core::SimEngine
@@ -99,6 +102,19 @@ class ParallelInterpreter : public core::SimEngine
     void peekInto(const std::string &output, BitVec &out) const override;
     void peekRegisterInto(const std::string &reg,
                           BitVec &out) const override;
+
+    // Gang lane access (see SimEngine); forwards to the shard set.
+    uint32_t replicas() const override { return shards_.lanes(); }
+    void pokeLane(const std::string &input, const BitVec &value,
+                  uint32_t lane) override;
+    void pokeLane(const std::string &input, uint64_t value,
+                  uint32_t lane) override;
+    BitVec peekLane(const std::string &output,
+                    uint32_t lane) const override;
+    BitVec peekRegisterLane(const std::string &reg,
+                            uint32_t lane) const override;
+    BitVec peekMemoryLane(const std::string &mem, uint64_t index,
+                          uint32_t lane) const override;
 
     /**
      * Compile every shard program to a native kernel (one TU, one

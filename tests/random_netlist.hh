@@ -24,6 +24,10 @@ struct RandomNetlistConfig
     uint32_t combNodes = 120;
     uint32_t outputs = 3;
     uint16_t maxWidth = 96;
+    /** Input ports mixed into the combinational pool (0 keeps the
+     *  historical netlists for a given seed byte-identical). Tests
+     *  that drive per-lane stimuli (gang simulation) need inputs. */
+    uint32_t inputs = 0;
 };
 
 inline rtl::Netlist
@@ -63,6 +67,8 @@ randomNetlist(uint64_t seed, const RandomNetlistConfig &cfg =
     }
     pool.push_back(d.lit(32, rng.next()));
     pool.push_back(d.lit(1, 1));
+    for (uint32_t i = 0; i < cfg.inputs; ++i)
+        pool.push_back(d.input("in" + std::to_string(i), rand_width()));
 
     auto pick = [&]() { return pool[rng.below(pool.size())]; };
     auto pick_w = [&](uint16_t w) { return pick().resize(w); };

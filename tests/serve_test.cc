@@ -282,11 +282,11 @@ TEST(Serve, StatsAndArtifactWarmStart)
     // served from the artifact store (hit or warm start — never a
     // second compile of the same key).
     bool native1 = false, native2 = false;
-    uint64_t a =
-        fx.client.createSession("counter", "par", 2, true, 0, &native1);
+    uint64_t a = fx.client.createSession("counter", "par", 2, true, 0,
+                                         1, &native1);
     ASSERT_NE(a, 0u) << fx.client.lastError();
-    uint64_t b =
-        fx.client.createSession("counter", "par", 2, true, 0, &native2);
+    uint64_t b = fx.client.createSession("counter", "par", 2, true, 0,
+                                         1, &native2);
     ASSERT_NE(b, 0u) << fx.client.lastError();
 
     std::vector<std::pair<std::string, uint64_t>> stats;
@@ -313,6 +313,46 @@ TEST(Serve, StatsAndArtifactWarmStart)
     rtl::BitVec v;
     ASSERT_TRUE(fx.client.peek(a, "value", &v));
     EXPECT_EQ(v.toUint64(), 5u);
+}
+
+TEST(Serve, GangSessionBillsLaneCycles)
+{
+    ServeFixture fx;
+    // A gang session (replicas=4) runs four design instances per
+    // scheduled cycle: the host bills serve_lane_cycles_executed at
+    // 4x serve_cycles_executed — the aggregate-lane-throughput metric.
+    uint64_t id = fx.client.createSession("counter", "interp", 0,
+                                          false, 0, 4);
+    ASSERT_NE(id, 0u) << fx.client.lastError();
+
+    // Scalar pokes broadcast to every lane; scalar peeks read lane 0.
+    ASSERT_TRUE(fx.client.poke(id, "en", rtl::BitVec(1, uint64_t{1})));
+    uint64_t cycles = 0;
+    ASSERT_TRUE(fx.client.step(id, 25, &cycles));
+    EXPECT_EQ(cycles, 25u);
+    rtl::BitVec value;
+    ASSERT_TRUE(fx.client.peek(id, "value", &value));
+    EXPECT_EQ(value.toUint64(), 25u);
+
+    std::vector<std::pair<std::string, uint64_t>> stats;
+    ASSERT_TRUE(fx.client.stats(&stats));
+    auto value_of = [&](const std::string &name) -> uint64_t {
+        for (const auto &[n, v] : stats)
+            if (n == name)
+                return v;
+        return 0;
+    };
+    EXPECT_EQ(value_of("serve_cycles_executed"), 25u);
+    EXPECT_EQ(value_of("serve_lane_cycles_executed"), 100u);
+
+    // Checkpoints round-trip every lane through the wire.
+    std::string blob;
+    ASSERT_TRUE(fx.client.checkpoint(id, &blob));
+    ASSERT_TRUE(fx.client.step(id, 5));
+    ASSERT_TRUE(fx.client.restore(id, blob));
+    ASSERT_TRUE(fx.client.peek(id, "value", &value));
+    EXPECT_EQ(value.toUint64(), 25u);
+    EXPECT_TRUE(fx.client.destroySession(id));
 }
 
 TEST(Serve, ShutdownReleasesServeForever)
