@@ -164,6 +164,15 @@ struct PerfRecord
      *  Both fields are emitted only when replicas > 1, so older
      *  readers keep working. */
     uint32_t replicas = 1;
+
+    /** Checkpoint columns (attached to the interp row of each
+     *  design): v2 compressed snapshot bytes vs the raw v1 engine
+     *  blob, plus save/restore wall latency. Emitted only when
+     *  snapshotBytes > 0, so older readers keep working. */
+    uint64_t snapshotBytes = 0;
+    uint64_t rawBlobBytes = 0;
+    double saveMs = 0;
+    double restoreMs = 0;
 };
 
 /**
@@ -279,6 +288,16 @@ writePerfJson(const std::string &path,
             out << ", \"replicas\": " << r.replicas
                 << ", \"agg_lane_cycles_per_sec\": "
                 << r.cyclesPerSec * r.replicas;
+        if (r.snapshotBytes > 0)
+            out << ", \"snapshot_bytes\": " << r.snapshotBytes
+                << ", \"raw_blob_bytes\": " << r.rawBlobBytes
+                << ", \"snapshot_ratio\": "
+                << (r.rawBlobBytes
+                        ? static_cast<double>(r.snapshotBytes) /
+                            static_cast<double>(r.rawBlobBytes)
+                        : 0.0)
+                << ", \"save_ms\": " << r.saveMs
+                << ", \"restore_ms\": " << r.restoreMs;
         out << "}" << (i + 1 < records.size() ? "," : "") << "\n";
     }
     out << "  ]\n}\n";

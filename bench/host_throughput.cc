@@ -31,6 +31,11 @@
  * bitcoin. cycles_per_sec stays per lane; the rows additionally carry
  * replicas and agg_lane_cycles_per_sec = R * cycles_per_sec (the
  * batched-throughput figure the CI gang guard checks).
+ *
+ * Each design's interp row additionally carries checkpoint columns
+ * (snapshot_bytes, raw_blob_bytes, snapshot_ratio, save_ms,
+ * restore_ms): the v2 compressed snapshot against the raw v1 engine
+ * blob, and the save/restore wall latency.
  */
 
 #include <benchmark/benchmark.h>
@@ -39,10 +44,12 @@
 #include <chrono>
 
 #include <fstream>
+#include <sstream>
 
 #include "bench_common.hh"
 #include "core/compiler.hh"
 #include "core/engine.hh"
+#include "core/session.hh"
 #include "designs/designs.hh"
 #include "obs/report.hh"
 #include "rtl/cgen.hh"
@@ -307,6 +314,33 @@ attachMeasuredSplit(core::SimEngine &engine, bench::PerfRecord &rec)
     rec.tSyncFrac = rep.tSyncSec / rep.sampledWallSec;
 }
 
+/**
+ * Checkpoint columns for the design's interp row: the v2 compressed
+ * snapshot size against the raw v1 engine blob, plus the save and
+ * restore wall latency (src/ckpt; see DESIGN.md "Checkpoint &
+ * replay"). The CI perf smoke asserts snapshot_ratio <= 0.5.
+ */
+void
+attachCkptColumns(core::SimEngine &engine, bench::PerfRecord &rec)
+{
+    using clock = std::chrono::steady_clock;
+    std::stringstream v2, v1;
+    auto t0 = clock::now();
+    core::saveCheckpoint(engine, v2);
+    auto t1 = clock::now();
+    core::saveCheckpointV1(engine, v1);
+    rec.snapshotBytes = v2.str().size();
+    rec.rawBlobBytes = v1.str().size();
+    rec.saveMs =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    std::stringstream in(v2.str());
+    auto t2 = clock::now();
+    core::restoreCheckpoint(engine, in);
+    rec.restoreMs =
+        std::chrono::duration<double, std::milli>(clock::now() - t2)
+            .count();
+}
+
 void
 runEngineMatrixFor(const std::string &design, size_t cycles,
                    bool threads_sweep,
@@ -323,6 +357,7 @@ runEngineMatrixFor(const std::string &design, size_t cycles,
     {
         rtl::Interpreter sim(bench::makeOptimized(design));
         record("interp", 1, sim);
+        attachCkptColumns(sim, recs.back());
     }
     {
         rtl::CgenInterpreter sim(bench::makeOptimized(design));

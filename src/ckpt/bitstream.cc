@@ -1,0 +1,136 @@
+#include "ckpt/bitstream.hh"
+
+namespace parendi::ckpt {
+
+void
+BitWriter::writeBits(uint64_t v, unsigned n)
+{
+    for (unsigned i = 0; i < n; ++i) {
+        unsigned off = bits_ & 7;
+        if (off == 0)
+            bytes_.push_back(0);
+        if ((v >> i) & 1)
+            bytes_.back() |= static_cast<uint8_t>(1u << off);
+        ++bits_;
+    }
+}
+
+void
+BitWriter::writeUEG(uint64_t v)
+{
+    uint64_t x = v + 1;
+    unsigned k = 0;
+    while ((x >> (k + 1)) != 0)
+        ++k;
+    writeBits(0, k);                 // k zero bits
+    writeBit(true);                  // the leading 1 of x
+    writeBits(x & ((uint64_t{1} << k) - 1), k); // low k bits of x
+}
+
+void
+BitWriter::alignByte()
+{
+    if (bits_ & 7)
+        writeBits(0, 8 - (bits_ & 7));
+}
+
+void
+BitWriter::clear()
+{
+    bytes_.clear();
+    bits_ = 0;
+}
+
+uint64_t
+BitReader::readBits(unsigned n)
+{
+    uint64_t v = 0;
+    for (unsigned i = 0; i < n; ++i) {
+        if (pos_ >= size_ * 8) {
+            overran_ = true;
+            return v;
+        }
+        if ((data_[pos_ >> 3] >> (pos_ & 7)) & 1)
+            v |= uint64_t{1} << i;
+        ++pos_;
+    }
+    return v;
+}
+
+uint64_t
+BitReader::readUEG()
+{
+    unsigned k = 0;
+    while (!readBit()) {
+        if (overran_ || k >= 64) {
+            overran_ = true;
+            return 0;
+        }
+        ++k;
+    }
+    uint64_t low = readBits(k);
+    return ((uint64_t{1} << k) | low) - 1;
+}
+
+void
+BitReader::alignByte()
+{
+    if (pos_ & 7)
+        readBits(8 - static_cast<unsigned>(pos_ & 7));
+}
+
+// A word is UEG-coded only when the code is no longer than the raw
+// escape (flag + 64 bits); the threshold keeps v + 1 far from
+// overflow too.
+static constexpr uint64_t kUegLimit = uint64_t{1} << 32;
+
+void
+codeWords(BitWriter &w, const uint64_t *words, size_t n)
+{
+    size_t run = 0;
+    for (size_t i = 0; i < n; ++i) {
+        if (words[i] == 0) {
+            ++run;
+            continue;
+        }
+        w.writeUEG(run);
+        run = 0;
+        if (words[i] < kUegLimit) {
+            w.writeBit(false);
+            w.writeUEG(words[i]);
+        } else {
+            w.writeBit(true);
+            w.writeBits(words[i], 64);
+        }
+    }
+    if (run)
+        w.writeUEG(run);
+}
+
+void
+decodeWords(BitReader &r, uint64_t *words, size_t n)
+{
+    for (size_t i = 0; i < n; ++i)
+        words[i] = 0;
+    size_t i = 0;
+    while (i < n && !r.overran()) {
+        i += r.readUEG();       // zero-word gap
+        if (i >= n)
+            break;
+        words[i++] = r.readBit() ? r.readBits(64) : r.readUEG();
+    }
+}
+
+uint64_t
+fnv1a(const void *data, size_t bytes, uint64_t seed)
+{
+    const uint8_t *p = static_cast<const uint8_t *>(data);
+    uint64_t h = seed;
+    for (size_t i = 0; i < bytes; ++i) {
+        h ^= p[i];
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+} // namespace parendi::ckpt

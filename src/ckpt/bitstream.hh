@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Bit-granular stream coding for the checkpoint/waveform formats:
+ * LSB-first bit packing, unsigned Exp-Golomb codes, and the shared
+ * word-stream coder (zero-run gaps + flagged Exp-Golomb/raw literals)
+ * that both the v2 snapshot payloads and the compressed waveform
+ * value deltas use.
+ *
+ * Code layout:
+ *  - writeBits(v, n): the low n bits of v, least significant first.
+ *  - Exp-Golomb of v: k zero bits, a 1 bit, then the low k bits of
+ *    (v + 1) where k = floor(log2(v + 1)). Small values are 1-9 bits;
+ *    the coder is only used where v + 1 cannot overflow (the word
+ *    coder escapes to a raw 64-bit literal first).
+ *  - Word streams (codeWords): ascending 64-bit words, encoded as
+ *    [UEG gap of zero words] then one nonzero word as a 1-bit escape
+ *    flag (0 = UEG-coded, for words < 2^32; 1 = 64 raw bits),
+ *    repeated; a final gap covers trailing zeros. XOR-delta images
+ *    and value-change deltas are near-all-zero, so they collapse to
+ *    a few bits per changed word; a dense random image pays only the
+ *    1 flag bit per word over raw storage.
+ */
+
+#ifndef PARENDI_CKPT_BITSTREAM_HH
+#define PARENDI_CKPT_BITSTREAM_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace parendi::ckpt {
+
+/** Append-only bit stream (LSB-first within each byte). */
+class BitWriter
+{
+  public:
+    /** Append the low @p n bits of @p v (n <= 64). */
+    void writeBits(uint64_t v, unsigned n);
+
+    /** Append one bit. */
+    void
+    writeBit(bool b)
+    {
+        writeBits(b ? 1 : 0, 1);
+    }
+
+    /** Unsigned Exp-Golomb code of @p v (v must be < UINT64_MAX). */
+    void writeUEG(uint64_t v);
+
+    /** Pad with zero bits to the next byte boundary. */
+    void alignByte();
+
+    /** Bits written so far. */
+    uint64_t bitSize() const { return bits_; }
+
+    /** The coded bytes (the last byte is zero-padded). */
+    const std::vector<uint8_t> &bytes() const { return bytes_; }
+
+    /** Reset to an empty stream, keeping the buffer capacity. */
+    void clear();
+
+  private:
+    std::vector<uint8_t> bytes_;
+    uint64_t bits_ = 0;
+};
+
+/** Reader over a byte buffer written by BitWriter. Overruns never
+ *  fault: reads past the end return zeros and set a sticky error flag
+ *  the caller checks once per record (corrupt streams are rejected by
+ *  the record checksum anyway). */
+class BitReader
+{
+  public:
+    BitReader(const uint8_t *data, size_t size)
+        : data_(data), size_(size)
+    {
+    }
+
+    /** Read @p n bits (n <= 64), LSB-first. */
+    uint64_t readBits(unsigned n);
+
+    bool
+    readBit()
+    {
+        return readBits(1) != 0;
+    }
+
+    /** Decode one unsigned Exp-Golomb code. */
+    uint64_t readUEG();
+
+    /** Skip to the next byte boundary. */
+    void alignByte();
+
+    /** True once any read ran past the end of the buffer. */
+    bool overran() const { return overran_; }
+
+    /** Bits consumed so far. */
+    uint64_t bitPos() const { return pos_; }
+
+  private:
+    const uint8_t *data_;
+    size_t size_;
+    uint64_t pos_ = 0;
+    bool overran_ = false;
+};
+
+/**
+ * Encode @p n 64-bit words with the zero-run/flagged-literal scheme
+ * described above. decodeWords() reads them back; the word count is
+ * carried out of band (both sides know the image shape).
+ */
+void codeWords(BitWriter &w, const uint64_t *words, size_t n);
+void decodeWords(BitReader &r, uint64_t *words, size_t n);
+
+/** 64-bit FNV-1a, byte at a time. */
+inline constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+
+uint64_t fnv1a(const void *data, size_t bytes,
+               uint64_t seed = kFnvOffset);
+
+} // namespace parendi::ckpt
+
+#endif // PARENDI_CKPT_BITSTREAM_HH

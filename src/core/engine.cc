@@ -1,5 +1,7 @@
 #include "core/engine.hh"
 
+#include <unistd.h>
+
 #include <utility>
 
 #include "core/compiler.hh"
@@ -109,6 +111,16 @@ class CompiledIpuEngine : public SimEngine
         return sim_->machine().restoreState(in);
     }
     bool
+    exportArch(ArchState &out) const override
+    {
+        return sim_->machine().exportArch(out);
+    }
+    bool
+    importArch(const ArchState &st) override
+    {
+        return sim_->machine().importArch(st);
+    }
+    bool
     enableProfiling(const obs::ProfileOptions &opt) override
     {
         return sim_->machine().enableProfiling(opt);
@@ -128,6 +140,61 @@ class CompiledIpuEngine : public SimEngine
     std::unique_ptr<Simulation> sim_;
 };
 
+/** Bytes one replica of @p nl needs live per lane: every node's slot
+ *  words plus every memory image. The gang multiplies this by R. */
+uint64_t
+estimateReplicaBytes(const rtl::Netlist &nl)
+{
+    uint64_t bytes = 0;
+    for (rtl::NodeId n = 0; n < nl.numNodes(); ++n)
+        bytes += uint64_t(rtl::wordsFor(nl.widthOf(n))) * 8;
+    for (rtl::MemId m = 0; m < nl.numMemories(); ++m)
+        bytes += nl.mem(m).sizeBytes();
+    return bytes;
+}
+
+/** Last-level cache size, or a 32 MiB guess when sysconf can't say. */
+uint64_t
+llcBytes()
+{
+#ifdef _SC_LEVEL3_CACHE_SIZE
+    long sz = sysconf(_SC_LEVEL3_CACHE_SIZE);
+    if (sz > 0)
+        return static_cast<uint64_t>(sz);
+#endif
+    return uint64_t{32} << 20;
+}
+
+/**
+ * Gang throughput falls off a cliff once R replicas of the design no
+ * longer fit the last-level cache (the documented R=16 knee in
+ * BENCH_PR8.json): every slot access then streams from DRAM. Warn once
+ * per process with the largest R that still fits.
+ */
+void
+maybeWarnGangCacheCliff(const rtl::Netlist &nl, uint32_t replicas)
+{
+    static bool warned = false;
+    if (warned || replicas <= 1)
+        return;
+    uint64_t per = estimateReplicaBytes(nl);
+    uint64_t total = per * replicas;
+    uint64_t llc = llcBytes();
+    if (total <= llc)
+        return;
+    warned = true;
+    uint64_t fit = per ? llc / per : replicas;
+    if (fit < 1)
+        fit = 1;
+    warn("gang state for --replicas %u is ~%llu KiB, past the ~%llu "
+         "MiB last-level cache — throughput drops off this cliff "
+         "(see BENCH_PR8.json at R=16); consider --replicas %llu or "
+         "fewer",
+         replicas, static_cast<unsigned long long>(total >> 10),
+         static_cast<unsigned long long>(llc >> 20),
+         static_cast<unsigned long long>(fit));
+}
+
 } // namespace
 
 std::unique_ptr<SimEngine>
@@ -144,6 +211,7 @@ makeEngine(rtl::Netlist nl, const EngineOptions &opt)
              "event and ipu engines; running a single replica");
         replicas = 1;
     }
+    maybeWarnGangCacheCliff(nl, replicas);
     std::unique_ptr<SimEngine> engine;
     switch (opt.kind) {
       case EngineKind::Interp:

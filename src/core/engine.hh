@@ -23,6 +23,7 @@
 #include <iosfwd>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "obs/profiler.hh"
 #include "rtl/eval.hh"
@@ -37,6 +38,29 @@ class ArtifactCache;
 }
 
 namespace parendi::core {
+
+/**
+ * Canonical architectural state of one simulation session, in netlist
+ * identity order — the engine-independent currency of the v2
+ * checkpoint format (src/ckpt). Registers, memory entries and input
+ * port values are indexed by their netlist ids; gang engines carry
+ * every replica lane. Because every engine is bit-identical by
+ * construction, a state exported from one engine imports into any
+ * other engine of the same design (par@8 -> interp, cgen -> gang par)
+ * and the continuation stays bit-identical — shard layout, slot
+ * numbering and lane-major padding never leak into the format.
+ */
+struct ArchState
+{
+    uint64_t cycles = 0;
+    uint32_t lanes = 1;
+    /** [RegId][lane] current register values. */
+    std::vector<std::vector<rtl::BitVec>> regs;
+    /** [MemId][entry * lanes + lane] memory images. */
+    std::vector<std::vector<rtl::BitVec>> mems;
+    /** [PortId][lane] last poked input port values. */
+    std::vector<std::vector<rtl::BitVec>> inputs;
+};
 
 class SimEngine
 {
@@ -190,6 +214,35 @@ class SimEngine
     restoreState(std::istream &in)
     {
         (void)in;
+        return false;
+    }
+
+    /**
+     * Export the canonical architectural state (see ArchState) —
+     * the engine-portable alternative to saveState's raw blob, and
+     * what the v2 checkpoint format (src/ckpt) serializes. Returns
+     * false when the engine has no architectural view (the default;
+     * the event engine).
+     */
+    virtual bool
+    exportArch(ArchState &out) const
+    {
+        (void)out;
+        return false;
+    }
+
+    /**
+     * Import an architectural state exported by any engine of the
+     * same design (and, for gang engines, the same lane count):
+     * restores registers, memories, inputs and the cycle count, then
+     * re-evaluates combinational logic, so the continuation is
+     * bit-identical to the exporting engine's. Returns false when
+     * unsupported; fatal() on a shape mismatch.
+     */
+    virtual bool
+    importArch(const ArchState &st)
+    {
+        (void)st;
         return false;
     }
 };

@@ -3,15 +3,17 @@
 #include <istream>
 #include <ostream>
 
+#include "ckpt/journal.hh"
+#include "ckpt/snapshot.hh"
 #include "util/logging.hh"
 
 namespace parendi::core {
 
 void
-saveCheckpoint(const SimEngine &engine, std::ostream &out)
+saveCheckpointV1(const SimEngine &engine, std::ostream &out)
 {
     uint64_t magic = kCheckpointMagic;
-    uint32_t version = kCheckpointVersion;
+    uint32_t version = 1;
     uint64_t hash = rtl::netlistHash(engine.netlist());
     out.write(reinterpret_cast<const char *>(&magic), sizeof(magic));
     out.write(reinterpret_cast<const char *>(&version),
@@ -20,6 +22,20 @@ saveCheckpoint(const SimEngine &engine, std::ostream &out)
     if (!engine.saveState(out))
         fatal("engine %s has no checkpoint support",
               engine.engineName());
+}
+
+void
+saveCheckpoint(const SimEngine &engine, std::ostream &out)
+{
+    // v2 when the engine has an architectural view (compact,
+    // engine-portable); the raw-blob v1 envelope otherwise.
+    ArchState st;
+    if (engine.exportArch(st)) {
+        ckpt::SnapshotWriter writer(out, engine.netlist());
+        writer.write(st);
+        return;
+    }
+    saveCheckpointV1(engine, out);
 }
 
 void
@@ -48,7 +64,7 @@ restoreCheckpoint(SimEngine &engine, std::istream &in)
     in.read(reinterpret_cast<char *>(&hash), sizeof(hash));
     if (!in)
         fatal("checkpoint header truncated");
-    if (version != kCheckpointVersion)
+    if (version == 0 || version > kCheckpointVersion)
         fatal("checkpoint format version %u not supported (this build "
               "reads versions 0-%u)", version, kCheckpointVersion);
     uint64_t want = rtl::netlistHash(engine.netlist());
@@ -58,6 +74,18 @@ restoreCheckpoint(SimEngine &engine, std::istream &in)
               "restore it into a session created from the same design",
               static_cast<unsigned long long>(hash),
               static_cast<unsigned long long>(want));
+    if (version == 2) {
+        // The snapshot reader consumes the envelope itself; rewind to
+        // the stream start and hand it the whole chain (restoring the
+        // last record).
+        in.clear();
+        in.seekg(start);
+        if (!in)
+            fatal("checkpoint stream is not seekable; cannot restore "
+                  "a v2 snapshot chain");
+        ckpt::restoreSnapshotChain(in, engine);
+        return;
+    }
     if (!engine.restoreState(in))
         fatal("engine %s has no checkpoint support",
               engine.engineName());
@@ -73,9 +101,45 @@ SessionHandle::SessionHandle(std::unique_ptr<SimEngine> engine,
 }
 
 void
-SessionHandle::checkpoint(std::ostream &out) const
+SessionHandle::step(size_t n)
+{
+    engine_->step(n);
+    if (journal_)
+        journal_->recordStep(n);
+}
+
+void
+SessionHandle::poke(const std::string &input, const rtl::BitVec &value)
+{
+    engine_->poke(input, value);
+    if (journal_)
+        journal_->recordPoke(input, value);
+}
+
+void
+SessionHandle::pokeLane(const std::string &input,
+                        const rtl::BitVec &value, uint32_t lane)
+{
+    engine_->pokeLane(input, value, lane);
+    if (journal_)
+        journal_->recordPoke(input, value, lane);
+}
+
+void
+SessionHandle::reset()
+{
+    engine_->reset();
+    if (journal_)
+        journal_->recordReset();
+}
+
+void
+SessionHandle::checkpoint(std::ostream &out)
 {
     saveCheckpoint(*engine_, out);
+    if (journal_)
+        journal_->recordSnapshot(checkpoints_, engine_->cycles());
+    ++checkpoints_;
 }
 
 void

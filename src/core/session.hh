@@ -6,18 +6,29 @@
  * every session in one of these; embedders that want checkpoint
  * headers without a server use the free functions directly.
  *
- * Checkpoint format: engines serialize raw, headerless state blobs
- * (SimEngine::saveState). saveCheckpoint() prepends an envelope
+ * Checkpoint format: every stream carries the envelope
  *
  *    [8B magic "PRNDCKPT"] [u32 version] [u64 design hash]
  *
  * so a blob restored into the wrong design — or a blob from a future
  * format — fails with a clear error instead of a word-count fatal()
- * deep inside EvalState. restoreCheckpoint() accepts envelope-less
- * blobs as version 0 (the pre-header format): if the first 8 bytes are
- * not the magic, the stream is rewound and handed to the engine as-is,
- * so old checkpoints keep restoring (with only the legacy size
- * checks).
+ * deep inside EvalState. Three versions restore:
+ *
+ *  - v0: envelope-less (the pre-header format). If the first 8 bytes
+ *    are not the magic, the stream is rewound and handed to the
+ *    engine's raw restoreState as-is.
+ *  - v1: envelope + the engine's raw, headerless state blob
+ *    (SimEngine::saveState) — engine-layout-specific, so it only
+ *    restores into the same engine kind at the same shard/thread
+ *    configuration.
+ *  - v2 (current): envelope + a bit-packed, delta-coded snapshot chain
+ *    of the canonical architectural state (src/ckpt/snapshot.hh) —
+ *    engine-portable (save from par@8, restore into interp) and
+ *    typically a fraction of the v1 blob size.
+ *
+ * saveCheckpoint() writes v2 when the engine exports architectural
+ * state and falls back to v1 otherwise (saveCheckpointV1 forces the
+ * raw-blob format, e.g. for the cross-version compatibility tests).
  */
 
 #ifndef PARENDI_CORE_SESSION_HH
@@ -31,6 +42,10 @@
 
 #include "core/engine.hh"
 
+namespace parendi::ckpt {
+class JournalWriter;
+}
+
 namespace parendi::core {
 
 /** First 8 bytes of a headered checkpoint ("PRNDCKPT", little-endian
@@ -39,11 +54,16 @@ namespace parendi::core {
 inline constexpr uint64_t kCheckpointMagic = 0x54504b43444e5250ull;
 
 /** Current envelope version. v0 is the reserved "headerless" value. */
-inline constexpr uint32_t kCheckpointVersion = 1;
+inline constexpr uint32_t kCheckpointVersion = 2;
 
-/** Write @p engine's state with the versioned envelope. fatal() when
- *  the engine has no checkpoint support (the event engine). */
+/** Write @p engine's state with the versioned envelope: v2 (compact
+ *  architectural snapshot) when the engine supports it, v1 (raw
+ *  blob) otherwise. fatal() when the engine has no checkpoint support
+ *  at all (the event engine). */
 void saveCheckpoint(const SimEngine &engine, std::ostream &out);
+
+/** Force the v1 raw-blob format (engine-layout-specific). */
+void saveCheckpointV1(const SimEngine &engine, std::ostream &out);
 
 /**
  * Restore @p engine from a checkpoint stream: verify the envelope
@@ -78,19 +98,42 @@ class SessionHandle
     /** rtl::netlistHash of the engine's design. */
     uint64_t designHash() const { return designHash_; }
 
-    // Convenience forwards.
-    void step(size_t n = 1) { engine_->step(n); }
+    // Convenience forwards. Routing stimulus through these (rather
+    // than engine() directly) records it in the attached journal, so
+    // the session's runs are replayable (ckpt::replayJournal).
+    void step(size_t n = 1);
+    void poke(const std::string &input, const rtl::BitVec &value);
+    void pokeLane(const std::string &input, const rtl::BitVec &value,
+                  uint32_t lane);
+    void reset();
     uint64_t cycles() const { return engine_->cycles(); }
 
-    /** Headered checkpoint of this session (see saveCheckpoint). */
-    void checkpoint(std::ostream &out) const;
-    /** Restore a (headered or v0) checkpoint into this session. */
+    /**
+     * Attach (or detach, with nullptr) a deterministic input journal:
+     * every step/poke/reset routed through this handle is recorded,
+     * and checkpoint() marks its snapshot point. The writer is not
+     * owned and must outlive the attachment.
+     */
+    void attachJournal(ckpt::JournalWriter *journal)
+    {
+        journal_ = journal;
+    }
+    ckpt::JournalWriter *journal() const { return journal_; }
+
+    /** Headered checkpoint of this session (see saveCheckpoint).
+     *  With a journal attached, also records the snapshot marker
+     *  replayJournal() resumes from. */
+    void checkpoint(std::ostream &out);
+    /** Restore a (headered v1/v2 or headerless v0) checkpoint into
+     *  this session. */
     void restore(std::istream &in);
 
   private:
     std::unique_ptr<SimEngine> engine_;
     std::string designName_;
     uint64_t designHash_ = 0;
+    ckpt::JournalWriter *journal_ = nullptr;
+    uint32_t checkpoints_ = 0;  ///< snapshot markers recorded so far
 };
 
 } // namespace parendi::core

@@ -162,6 +162,22 @@ class IpuMachine : public core::SimEngine
         return true;
     }
 
+    /** Canonical architectural state (see SimEngine / src/ckpt). */
+    bool
+    exportArch(core::ArchState &out) const override
+    {
+        shards.exportArch(out);
+        out.cycles = cycleCount;
+        return true;
+    }
+    bool
+    importArch(const core::ArchState &st) override
+    {
+        shards.importArch(st);
+        cycleCount = st.cycles;
+        return true;
+    }
+
     /** Attach an obs::SuperstepProfiler to the functional execution
      *  (pool-driven or legacy spawn path) and register it as the
      *  pool's barrier-wait observer. Always succeeds. */

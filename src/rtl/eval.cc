@@ -817,6 +817,18 @@ EvalState::readMemEntry(uint32_t memIndex, uint64_t index, uint16_t width,
     return BitVec(width, std::move(words));
 }
 
+void
+EvalState::writeMemEntry(uint32_t memIndex, uint64_t index,
+                         const BitVec &v, uint32_t lane)
+{
+    const ProgMem &pm = prog_.mems[memIndex];
+    if (index >= pm.depth)
+        return;
+    uint64_t *p = &mems_[memIndex][(index * pm.entryWords) * lanes_ + lane];
+    for (uint32_t i = 0; i < pm.entryWords; ++i)
+        p[i * lanes_] = i < v.numWords() ? v.word(i) : 0;
+}
+
 // Computed-goto dispatch removes the per-instruction bounds check and
 // branch mispredictions of a switch: each kernel jumps directly to the
 // next instruction's kernel. Define PARENDI_SWITCH_DISPATCH to force

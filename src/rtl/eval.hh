@@ -428,6 +428,11 @@ class EvalState
     BitVec readMemEntry(uint32_t memIndex, uint64_t index, uint16_t width,
                         uint32_t lane = 0) const;
 
+    /** Write one entry of a memory image in one lane (out-of-range
+     *  indices are dropped, matching write-port semantics). */
+    void writeMemEntry(uint32_t memIndex, uint64_t index, const BitVec &v,
+                       uint32_t lane = 0);
+
     const EvalProgram &program() const { return prog_; }
 
     LaneWords &memImage(uint32_t mem_index) { return mems_[mem_index]; }

@@ -140,6 +140,102 @@ Interpreter::restore(std::istream &in)
     state->restore(in);
 }
 
+bool
+Interpreter::exportArch(core::ArchState &out) const
+{
+    uint32_t lanes = state->lanes();
+    out.cycles = cycleCount;
+    out.lanes = lanes;
+    out.regs.assign(nl.numRegisters(), {});
+    for (RegId r = 0; r < nl.numRegisters(); ++r)
+        out.regs[r].assign(lanes, nl.reg(r).init);
+    for (const ProgReg &pr : prog.regs)
+        for (uint32_t l = 0; l < lanes; ++l)
+            out.regs[pr.reg][l] = state->readSlot(pr.cur, pr.width, l);
+    out.mems.assign(nl.numMemories(), {});
+    for (MemId m = 0; m < nl.numMemories(); ++m)
+        out.mems[m].assign(uint64_t(nl.mem(m).depth) * lanes,
+                           BitVec(nl.mem(m).width));
+    for (size_t i = 0; i < prog.mems.size(); ++i) {
+        const ProgMem &pm = prog.mems[i];
+        for (uint64_t e = 0; e < pm.depth; ++e)
+            for (uint32_t l = 0; l < lanes; ++l)
+                out.mems[pm.mem][e * lanes + l] = state->readMemEntry(
+                    static_cast<uint32_t>(i), e, nl.mem(pm.mem).width,
+                    l);
+    }
+    out.inputs.assign(nl.numInputs(), {});
+    for (PortId p = 0; p < nl.numInputs(); ++p)
+        out.inputs[p].assign(lanes, BitVec(nl.input(p).width));
+    for (const ProgPort &pp : prog.inputs)
+        for (uint32_t l = 0; l < lanes; ++l)
+            out.inputs[pp.port][l] =
+                state->readSlot(pp.slot, pp.width, l);
+    return true;
+}
+
+bool
+Interpreter::importArch(const core::ArchState &st)
+{
+    uint32_t lanes = state->lanes();
+    if (st.lanes != lanes)
+        fatal("importArch: state holds %u lanes, this engine runs %u",
+              st.lanes, lanes);
+    if (st.regs.size() != nl.numRegisters() ||
+        st.mems.size() != nl.numMemories() ||
+        st.inputs.size() != nl.numInputs())
+        fatal("importArch: state shape does not match the design");
+    for (const ProgReg &pr : prog.regs) {
+        const auto &perLane = st.regs[pr.reg];
+        if (perLane.size() != lanes)
+            fatal("importArch: register %s lane count mismatch",
+                  nl.reg(pr.reg).name.c_str());
+        for (uint32_t l = 0; l < lanes; ++l) {
+            if (perLane[l].width() != pr.width)
+                fatal("importArch: register %s width mismatch",
+                      nl.reg(pr.reg).name.c_str());
+            state->writeSlotLane(pr.cur, perLane[l], l);
+        }
+    }
+    for (size_t i = 0; i < prog.mems.size(); ++i) {
+        const ProgMem &pm = prog.mems[i];
+        const Memory &mem = nl.mem(pm.mem);
+        const auto &entries = st.mems[pm.mem];
+        if (entries.size() != uint64_t(mem.depth) * lanes)
+            fatal("importArch: memory %s entry count mismatch",
+                  mem.name.c_str());
+        for (uint64_t e = 0; e < pm.depth; ++e) {
+            for (uint32_t l = 0; l < lanes; ++l) {
+                const BitVec &v = entries[e * lanes + l];
+                if (v.width() != mem.width)
+                    fatal("importArch: memory %s width mismatch",
+                          mem.name.c_str());
+                state->writeMemEntry(static_cast<uint32_t>(i), e, v, l);
+            }
+        }
+    }
+    for (const ProgPort &pp : prog.inputs) {
+        const auto &perLane = st.inputs[pp.port];
+        if (perLane.size() != lanes)
+            fatal("importArch: input %s lane count mismatch",
+                  nl.input(pp.port).name.c_str());
+        for (uint32_t l = 0; l < lanes; ++l) {
+            if (perLane[l].width() != pp.width)
+                fatal("importArch: input %s width mismatch",
+                      nl.input(pp.port).name.c_str());
+            state->writeSlotLane(pp.slot, perLane[l], l);
+        }
+    }
+    cycleCount = st.cycles;
+    // Rebuild every combinational slot from the imported architectural
+    // values; pending deferred writes and next-values are recomputed
+    // exactly as in the exporting engine (the cycle order is
+    // commit -> latch -> eval, so at-rest comb state is a pure function
+    // of regs + mems + inputs).
+    state->evalComb();
+    return true;
+}
+
 BitVec
 Interpreter::peek(const std::string &output) const
 {

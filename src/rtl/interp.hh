@@ -100,6 +100,10 @@ class Interpreter : public core::SimEngine
         return true;
     }
 
+    /** Canonical architectural state (see SimEngine / src/ckpt). */
+    bool exportArch(core::ArchState &out) const override;
+    bool importArch(const core::ArchState &st) override;
+
     const Netlist &netlist() const override { return nl; }
     const EvalProgram &program() const { return prog; }
 

@@ -819,4 +819,130 @@ ShardSet::restore(std::istream &in)
     pubValid_ = false;
 }
 
+void
+ShardSet::exportArch(core::ArchState &st) const
+{
+    st.lanes = lanes_;
+    st.regs.assign(nl_->numRegisters(), {});
+    for (RegId r = 0; r < nl_->numRegisters(); ++r) {
+        auto [shard, slot] = regHome_[r];
+        auto &perLane = st.regs[r];
+        perLane.resize(lanes_);
+        for (uint32_t l = 0; l < lanes_; ++l)
+            perLane[l] = shard == UINT32_MAX
+                ? nl_->reg(r).init
+                : states_[shard]->readSlot(slot, nl_->reg(r).width, l);
+    }
+    st.mems.assign(nl_->numMemories(), {});
+    for (MemId m = 0; m < nl_->numMemories(); ++m) {
+        const Memory &mem = nl_->mem(m);
+        auto &entries = st.mems[m];
+        entries.assign(uint64_t(mem.depth) * lanes_, BitVec(mem.width));
+        // A placed memory: read any replica (the exchange keeps them
+        // identical). Unplaced: the initial image is the live value.
+        bool placed = false;
+        for (size_t si = 0; si < programs_.size() && !placed; ++si) {
+            for (uint32_t mi = 0; mi < programs_[si].mems.size(); ++mi) {
+                if (programs_[si].mems[mi].mem != m)
+                    continue;
+                for (uint64_t e = 0; e < mem.depth; ++e)
+                    for (uint32_t l = 0; l < lanes_; ++l)
+                        entries[e * lanes_ + l] =
+                            states_[si]->readMemEntry(
+                                static_cast<uint32_t>(mi), e,
+                                mem.width, l);
+                placed = true;
+                break;
+            }
+        }
+        if (!placed)
+            for (uint64_t e = 0;
+                 e < mem.init.size() && e < mem.depth; ++e)
+                for (uint32_t l = 0; l < lanes_; ++l)
+                    entries[e * lanes_ + l] = mem.init[e];
+    }
+    st.inputs.assign(nl_->numInputs(), {});
+    for (PortId p = 0; p < nl_->numInputs(); ++p) {
+        auto &perLane = st.inputs[p];
+        perLane.resize(lanes_);
+        for (uint32_t l = 0; l < lanes_; ++l)
+            perLane[l] = inputSlots_[p].empty()
+                ? BitVec(nl_->input(p).width)
+                : states_[inputSlots_[p][0].first]->readSlot(
+                      inputSlots_[p][0].second, nl_->input(p).width,
+                      l);
+    }
+}
+
+void
+ShardSet::importArch(const core::ArchState &st)
+{
+    if (st.lanes != lanes_)
+        fatal("importArch: state holds %u lanes, this engine runs %u",
+              st.lanes, lanes_);
+    if (st.regs.size() != nl_->numRegisters() ||
+        st.mems.size() != nl_->numMemories() ||
+        st.inputs.size() != nl_->numInputs())
+        fatal("importArch: state shape does not match the design");
+
+    for (RegId r = 0; r < nl_->numRegisters(); ++r) {
+        auto [shard, slot] = regHome_[r];
+        const auto &perLane = st.regs[r];
+        if (perLane.size() != lanes_)
+            fatal("importArch: register %s lane count mismatch",
+                  nl_->reg(r).name.c_str());
+        if (shard == UINT32_MAX)
+            continue;
+        for (uint32_t l = 0; l < lanes_; ++l) {
+            if (perLane[l].width() != nl_->reg(r).width)
+                fatal("importArch: register %s width mismatch",
+                      nl_->reg(r).name.c_str());
+            states_[shard]->writeSlotLane(slot, perLane[l], l);
+        }
+    }
+
+    for (size_t si = 0; si < programs_.size(); ++si) {
+        for (uint32_t mi = 0; mi < programs_[si].mems.size(); ++mi) {
+            const ProgMem &pm = programs_[si].mems[mi];
+            const Memory &mem = nl_->mem(pm.mem);
+            const auto &entries = st.mems[pm.mem];
+            if (entries.size() != uint64_t(mem.depth) * lanes_)
+                fatal("importArch: memory %s entry count mismatch",
+                      mem.name.c_str());
+            for (uint64_t e = 0; e < pm.depth; ++e) {
+                for (uint32_t l = 0; l < lanes_; ++l) {
+                    const BitVec &v = entries[e * lanes_ + l];
+                    if (v.width() != mem.width)
+                        fatal("importArch: memory %s width mismatch",
+                              mem.name.c_str());
+                    states_[si]->writeMemEntry(mi, e, v, l);
+                }
+            }
+        }
+    }
+
+    for (PortId p = 0; p < nl_->numInputs(); ++p) {
+        const auto &perLane = st.inputs[p];
+        if (perLane.size() != lanes_)
+            fatal("importArch: input %s lane count mismatch",
+                  nl_->input(p).name.c_str());
+        for (auto [shard, slot] : inputSlots_[p]) {
+            for (uint32_t l = 0; l < lanes_; ++l) {
+                if (perLane[l].width() != nl_->input(p).width)
+                    fatal("importArch: input %s width mismatch",
+                          nl_->input(p).name.c_str());
+                states_[shard]->writeSlotLane(slot, perLane[l], l);
+            }
+        }
+    }
+
+    // Propagate owner register values into reader copies and rebuild
+    // every combinational slot from the imported architectural state;
+    // the next cycle's commit/latch then recompute deferred writes and
+    // next values exactly as the exporting engine would have.
+    exchangeRegisters(nullptr);
+    evalAll(nullptr);
+    pubValid_ = false;
+}
+
 } // namespace parendi::rtl

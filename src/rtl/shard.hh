@@ -65,6 +65,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/engine.hh"
 #include "obs/profiler.hh"
 #include "rtl/eval.hh"
 #include "rtl/netlist.hh"
@@ -227,6 +228,25 @@ class ShardSet
     void save(std::ostream &out) const;
     /** Restore a checkpoint from the same compiled configuration. */
     void restore(std::istream &in);
+
+    /**
+     * Read the canonical architectural state (netlist-id order, all
+     * lanes) out of the shards: owner cur slots for registers, any
+     * replica for memories (the exchange keeps them identical), the
+     * first replica slot for inputs. Values the partition never placed
+     * fall back to their netlist initial value.
+     */
+    void exportArch(core::ArchState &st) const;
+
+    /**
+     * Write an architectural state into the shards: owner register
+     * slots, every memory replica and every input replica slot, then
+     * one exchange + combinational re-evaluation so reader copies and
+     * comb slots match the exporter's at-rest state exactly. Runs
+     * sequentially (see the shared-pool contract). fatal() on a shape
+     * or width mismatch.
+     */
+    void importArch(const core::ArchState &st);
 
     // -- Exchange schedule, for cost accounting --------------------------
 

@@ -31,6 +31,26 @@
  *     --no-diff         disable differential array exchange
  *     --vcd FILE        trace registers/outputs to a VCD file
  *                       (on whichever engine is selected)
+ *     --wave FILE       trace the same signals to a compressed wave
+ *                       stream (src/ckpt/wave.hh); expand with
+ *                       `parendi wave2vcd FILE OUT.vcd`. Mutually
+ *                       exclusive with --vcd
+ *     --save FILE       write a checkpoint after the run (v2 compact
+ *                       snapshot; see DESIGN.md "Checkpoint & replay")
+ *     --save-every N    with --save: snapshot every N cycles into one
+ *                       delta-coded chain (record 0 is the pre-run
+ *                       state)
+ *     --restore FILE    restore a checkpoint (v0/v1/v2) before the run
+ *     --restore-at K    with --restore: restore snapshot record K of a
+ *                       v2 chain instead of the last
+ *     --journal FILE    record the run's stimulus (steps, snapshot
+ *                       markers) as a deterministic replay journal
+ *     --replay FILE     replay a journal instead of running --cycles;
+ *                       with --restore, resumes from the restored
+ *                       snapshot's marker
+ *     --checksum        print the FNV digest of the final
+ *                       architectural state (bit-identical across
+ *                       engines, thread counts, and save/restore)
  *     --report          print the compile/performance report only
  *                       (ipu engine)
  *     --peek NAME       print output port NAME after the run
@@ -57,6 +77,11 @@
  *                       the fair-share DRR grant in cycles. The
  *                       artifact store honors $PARENDI_ARTIFACT_DIR
  *                       and $PARENDI_ARTIFACT_BYTES.
+ *
+ * Subcommands:
+ *   parendi wave2vcd IN OUT   expand a compressed wave stream
+ *                       (--wave) to a VCD byte-identical to what
+ *                       --vcd would have produced on the same run
  */
 
 #include <algorithm>
@@ -67,8 +92,12 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/journal.hh"
+#include "ckpt/snapshot.hh"
+#include "ckpt/wave.hh"
 #include "core/compiler.hh"
 #include "core/engine.hh"
+#include "core/session.hh"
 #include "core/stats.hh"
 #include "designs/designs.hh"
 #include "fiber/fiber.hh"
@@ -100,6 +129,14 @@ struct Args
     bool optimize = true;
     bool diffExchange = true;
     std::string vcdPath;
+    std::string wavePath;
+    std::string savePath;
+    uint64_t saveEvery = 0;
+    std::string restorePath;
+    int64_t restoreAt = -1;
+    std::string journalPath;
+    std::string replayPath;
+    bool checksum = false;
     bool reportOnly = false;
     bool cgen = false;
     bool fused = true;
@@ -125,13 +162,18 @@ usage()
                  "[--strategy B|H]\n"
                  "               [--multi pre|post|none] [--no-opt] "
                  "[--no-diff]\n"
-                 "               [--vcd FILE] [--report] "
+                 "               [--vcd FILE] [--wave FILE] [--report] "
                  "[--peek NAME]...\n"
                  "               [--fused 0|1] [--batch N] "
                  "[--replicas N]\n"
+                 "               [--save FILE] [--save-every N] "
+                 "[--restore FILE] [--restore-at K]\n"
+                 "               [--journal FILE] [--replay FILE] "
+                 "[--checksum]\n"
                  "               [--profile] [--profile-every N] "
                  "[--profile-trace FILE]\n"
                  "               <design.v|design.pnl> | --design NAME\n"
+                 "       parendi wave2vcd IN OUT\n"
                  "       parendi --serve PORT [--threads N] "
                  "[--max-sessions N] [--quantum N]\n");
     std::exit(2);
@@ -168,6 +210,22 @@ parseArgs(int argc, char **argv)
             a.diffExchange = false;
         else if (arg == "--vcd")
             a.vcdPath = value();
+        else if (arg == "--wave")
+            a.wavePath = value();
+        else if (arg == "--save")
+            a.savePath = value();
+        else if (arg == "--save-every")
+            a.saveEvery = std::stoull(value());
+        else if (arg == "--restore")
+            a.restorePath = value();
+        else if (arg == "--restore-at")
+            a.restoreAt = std::stoll(value());
+        else if (arg == "--journal")
+            a.journalPath = value();
+        else if (arg == "--replay")
+            a.replayPath = value();
+        else if (arg == "--checksum")
+            a.checksum = true;
         else if (arg == "--report")
             a.reportOnly = true;
         else if (arg == "--cgen")
@@ -211,6 +269,19 @@ parseArgs(int argc, char **argv)
         usage();
     if (a.profileEvery == 0)
         a.profileEvery = 1;
+    if (!a.vcdPath.empty() && !a.wavePath.empty())
+        fatal("--vcd and --wave are mutually exclusive (wave2vcd "
+              "expands a wave stream to the identical VCD)");
+    if (a.saveEvery > 0 && a.savePath.empty())
+        fatal("--save-every requires --save FILE");
+    if (a.restoreAt >= 0 && a.restorePath.empty())
+        fatal("--restore-at requires --restore FILE");
+    if (!a.replayPath.empty() &&
+        !(a.journalPath.empty() && a.vcdPath.empty() &&
+          a.wavePath.empty() && a.saveEvery == 0))
+        fatal("--replay drives the engine from the journal; it cannot "
+              "be combined with --journal, --vcd, --wave, or "
+              "--save-every");
     return a;
 }
 
@@ -291,8 +362,22 @@ runServe(const Args &args)
 int
 main(int argc, char **argv)
 {
-    Args args = parseArgs(argc, argv);
     try {
+        if (argc >= 2 && std::strcmp(argv[1], "wave2vcd") == 0) {
+            if (argc != 4)
+                usage();
+            std::ifstream in(argv[2], std::ios::binary);
+            if (!in)
+                fatal("cannot read %s", argv[2]);
+            std::ofstream out(argv[3]);
+            if (!out)
+                fatal("cannot write %s", argv[3]);
+            uint64_t n = ckpt::waveToVcd(in, out);
+            std::printf("wave2vcd: %llu samples -> %s\n",
+                        static_cast<unsigned long long>(n), argv[3]);
+            return 0;
+        }
+        Args args = parseArgs(argc, argv);
         if (args.serve)
             return runServe(args);
         rtl::Netlist nl;
@@ -386,21 +471,150 @@ main(int argc, char **argv)
             engine = owned.get();
         }
 
-        if (!args.vcdPath.empty()) {
-            std::ofstream vcd(args.vcdPath);
-            if (!vcd)
-                fatal("cannot write %s", args.vcdPath.c_str());
-            rtl::EngineTracer tracer(*engine, vcd);
-            tracer.step(args.cycles);
-            std::printf("traced %llu cycles to %s (engine %s)\n",
-                        static_cast<unsigned long long>(args.cycles),
-                        args.vcdPath.c_str(), engine->engineName());
-        } else {
-            engine->step(args.cycles);
-            std::printf("simulated %llu cycles (engine %s)\n",
-                        static_cast<unsigned long long>(args.cycles),
-                        engine->engineName());
+        // Restore before the run (the run continues from the
+        // snapshot). --restore-at and --replay walk the v2 snapshot
+        // chain directly — replay needs to know which snapshot marker
+        // to resume from; the plain path accepts any format (v0/v1/v2)
+        // through the versioned envelope dispatch.
+        int64_t restoredSeq = -1;
+        if (!args.restorePath.empty()) {
+            std::ifstream in(args.restorePath, std::ios::binary);
+            if (!in)
+                fatal("cannot read %s", args.restorePath.c_str());
+            if (args.restoreAt >= 0 || !args.replayPath.empty()) {
+                uint64_t applied = ckpt::restoreSnapshotChain(
+                    in, *engine, args.restoreAt);
+                restoredSeq = static_cast<int64_t>(applied) - 1;
+            } else {
+                core::restoreCheckpoint(*engine, in);
+            }
+            std::printf("restored %s at cycle %llu\n",
+                        args.restorePath.c_str(),
+                        static_cast<unsigned long long>(
+                            engine->cycles()));
         }
+
+        if (!args.replayPath.empty()) {
+            // The journal drives the engine; --cycles is ignored.
+            std::ifstream in(args.replayPath, std::ios::binary);
+            if (!in)
+                fatal("cannot read %s", args.replayPath.c_str());
+            uint64_t applied =
+                ckpt::replayJournal(in, *engine, restoredSeq);
+            std::printf("replayed %llu journal records to cycle %llu "
+                        "(engine %s)\n",
+                        static_cast<unsigned long long>(applied),
+                        static_cast<unsigned long long>(
+                            engine->cycles()),
+                        engine->engineName());
+        } else {
+            std::ofstream journalOut;
+            std::unique_ptr<ckpt::JournalWriter> journal;
+            if (!args.journalPath.empty()) {
+                journalOut.open(args.journalPath, std::ios::binary);
+                if (!journalOut)
+                    fatal("cannot write %s", args.journalPath.c_str());
+                journal = std::make_unique<ckpt::JournalWriter>(
+                    journalOut, engine->netlist());
+            }
+
+            std::ofstream vcdOut;
+            std::ofstream waveOut;
+            std::unique_ptr<rtl::EngineTracer> vcd;
+            std::unique_ptr<ckpt::WaveTracer> wave;
+            if (!args.vcdPath.empty()) {
+                vcdOut.open(args.vcdPath);
+                if (!vcdOut)
+                    fatal("cannot write %s", args.vcdPath.c_str());
+                vcd = std::make_unique<rtl::EngineTracer>(*engine,
+                                                          vcdOut);
+            } else if (!args.wavePath.empty()) {
+                waveOut.open(args.wavePath, std::ios::binary);
+                if (!waveOut)
+                    fatal("cannot write %s", args.wavePath.c_str());
+                wave = std::make_unique<ckpt::WaveTracer>(*engine,
+                                                          waveOut);
+            }
+            auto stepSome = [&](uint64_t n) {
+                if (vcd)
+                    vcd->step(n);
+                else if (wave)
+                    wave->step(n);
+                else
+                    engine->step(n);
+                if (journal)
+                    journal->recordStep(n);
+            };
+
+            if (args.saveEvery > 0) {
+                // Periodic snapshots: one delta-coded chain, record 0
+                // taken before the first step so --restore-at 0
+                // --replay reruns the whole journal.
+                std::ofstream snapOut(args.savePath, std::ios::binary);
+                if (!snapOut)
+                    fatal("cannot write %s", args.savePath.c_str());
+                ckpt::SnapshotWriter writer(snapOut,
+                                            engine->netlist());
+                writer.write(*engine);
+                if (journal)
+                    journal->recordSnapshot(0, engine->cycles());
+                uint64_t done = 0;
+                while (done < args.cycles) {
+                    uint64_t chunk = std::min<uint64_t>(
+                        args.saveEvery, args.cycles - done);
+                    stepSome(chunk);
+                    writer.write(*engine);
+                    if (journal)
+                        journal->recordSnapshot(writer.records() - 1,
+                                                engine->cycles());
+                    done += chunk;
+                }
+                std::printf("saved %u snapshots to %s\n",
+                            writer.records(), args.savePath.c_str());
+            } else {
+                stepSome(args.cycles);
+                if (!args.savePath.empty()) {
+                    std::ofstream out(args.savePath, std::ios::binary);
+                    if (!out)
+                        fatal("cannot write %s",
+                              args.savePath.c_str());
+                    core::saveCheckpoint(*engine, out);
+                    std::printf("saved checkpoint to %s\n",
+                                args.savePath.c_str());
+                }
+            }
+
+            if (vcd)
+                std::printf("traced %llu cycles to %s (engine %s)\n",
+                            static_cast<unsigned long long>(
+                                args.cycles),
+                            args.vcdPath.c_str(),
+                            engine->engineName());
+            else if (wave)
+                std::printf("traced %llu cycles to %s (engine %s, "
+                            "compressed)\n",
+                            static_cast<unsigned long long>(
+                                args.cycles),
+                            args.wavePath.c_str(),
+                            engine->engineName());
+            else
+                std::printf("simulated %llu cycles (engine %s)\n",
+                            static_cast<unsigned long long>(
+                                args.cycles),
+                            engine->engineName());
+            if (journal)
+                std::printf("journaled %llu records to %s\n",
+                            static_cast<unsigned long long>(
+                                journal->records()),
+                            args.journalPath.c_str());
+        }
+
+        if (args.checksum)
+            std::printf("checksum = %016llx (cycle %llu)\n",
+                        static_cast<unsigned long long>(
+                            ckpt::archStateFnv(*engine)),
+                        static_cast<unsigned long long>(
+                            engine->cycles()));
         for (const std::string &p : args.peeks)
             std::printf("%s = 0x%s\n", p.c_str(),
                         engine->peek(p).toHex().c_str());

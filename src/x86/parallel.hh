@@ -164,6 +164,23 @@ class ParallelInterpreter : public core::SimEngine
         return true;
     }
 
+    /** Canonical architectural state (see SimEngine / src/ckpt).
+     *  Import runs sequentially (shared-pool contract). */
+    bool
+    exportArch(core::ArchState &out) const override
+    {
+        shards_.exportArch(out);
+        out.cycles = cycleCount_;
+        return true;
+    }
+    bool
+    importArch(const core::ArchState &st) override
+    {
+        shards_.importArch(st);
+        cycleCount_ = st.cycles;
+        return true;
+    }
+
     /** Shards actually built (<= requested threads). */
     size_t numShards() const { return shards_.size(); }
 
