@@ -57,6 +57,8 @@ makeDesign(const std::string &name)
     if (name.rfind("prng", 0) == 0)
         return makePrngBank(
             static_cast<uint32_t>(std::stoul(name.substr(4))));
+    if (name == "gated")
+        return makeGated(GatedConfig{});
     fatal("unknown design %s", name.c_str());
 }
 
@@ -165,6 +167,12 @@ struct PerfRecord
      *  readers keep working. */
     uint32_t replicas = 1;
 
+    /** Activity A/B rows (--activity-sweep): 1 = activity-guarded
+     *  evaluation, 0 = always-eval baseline. -1 (the default) marks
+     *  rows outside the sweep; the JSON field is emitted only when
+     *  >= 0, so older readers keep working. */
+    int activity = -1;
+
     /** Checkpoint columns (attached to the interp row of each
      *  design): v2 compressed snapshot bytes vs the raw v1 engine
      *  blob, plus save/restore wall latency. Emitted only when
@@ -199,6 +207,32 @@ extractJsonFlag(int &argc, char **argv)
     }
     argc = out;
     return path;
+}
+
+/**
+ * Pull a `--name N` (or `--name=N`) integer flag out of argv the same
+ * way extractJsonFlag does; returns @p dflt when absent.
+ */
+inline long
+extractIntFlag(int &argc, char **argv, const std::string &name,
+               long dflt)
+{
+    long v = dflt;
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == name && i + 1 < argc) {
+            v = std::atol(argv[++i]);
+            continue;
+        }
+        if (arg.rfind(name + "=", 0) == 0) {
+            v = std::atol(arg.c_str() + name.size() + 1);
+            continue;
+        }
+        argv[out++] = argv[i];
+    }
+    argc = out;
+    return v;
 }
 
 /**
@@ -288,6 +322,8 @@ writePerfJson(const std::string &path,
             out << ", \"replicas\": " << r.replicas
                 << ", \"agg_lane_cycles_per_sec\": "
                 << r.cyclesPerSec * r.replicas;
+        if (r.activity >= 0)
+            out << ", \"activity\": " << r.activity;
         if (r.snapshotBytes > 0)
             out << ", \"snapshot_bytes\": " << r.snapshotBytes
                 << ", \"raw_blob_bytes\": " << r.rawBlobBytes

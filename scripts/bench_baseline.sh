@@ -4,11 +4,13 @@
 # Usage: scripts/bench_baseline.sh [OUT.json]
 #   BUILD_DIR=dir          build directory (default build-bench, Release)
 #   PARENDI_BENCH_FAST=1   trim measured cycle counts (CI smoke)
+#   BENCH_REPEAT=N         min-of-N repetitions per measurement (default 3)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR=${BUILD_DIR:-build-bench}
-OUT=${1:-BENCH_PR9.json}
+OUT=${1:-BENCH_PR10.json}
+REPEAT=${BENCH_REPEAT:-3}
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
@@ -18,9 +20,13 @@ cmake --build "$BUILD_DIR" -j"$(nproc)" \
 # --json engine matrix (pico + bitcoin across every engine) runs.
 # --threads-sweep widens par/par-cgen to the 1/2/4/8 scaling curve;
 # --replicas-sweep appends the gang rows (cgen and par-cgen at
-# R=1/4/8/16 replica lanes).
+# R=1/4/8/16 replica lanes); --activity-sweep appends the activity
+# A/B rows (gated + bitcoin, guarded vs always-eval, cgen and
+# par-cgen@4). --repeat N keeps the min of N runs per cell, damping
+# scheduler noise on shared runners.
 "$BUILD_DIR"/bench/host_throughput --benchmark_filter=NONE \
-    --threads-sweep --replicas-sweep --json "$OUT"
+    --threads-sweep --replicas-sweep --activity-sweep \
+    --repeat "$REPEAT" --json "$OUT"
 
 # Serving-layer throughput: 8 closed-loop clients on one shared
 # BspPool, appended to the same trajectory file (engines "serve-c1"

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "core/compiler.hh"
+#include "obs/costprofile.hh"
 #include "rtl/cgen.hh"
 #include "rtl/event.hh"
 #include "rtl/interp.hh"
@@ -236,6 +237,15 @@ makeEngine(rtl::Netlist nl, const EngineOptions &opt)
         pcfg.batch = opt.batch;
         pcfg.pool = opt.pool;
         pcfg.replicas = replicas;
+        pcfg.rebalance = opt.rebalance;
+        obs::CostProfile measured;
+        if (!opt.costProfileIn.empty() &&
+            measured.load(opt.costProfileIn) && !measured.empty()) {
+            inform("par: partitioning on %zu measured fiber costs "
+                   "from %s", measured.size(),
+                   opt.costProfileIn.c_str());
+            pcfg.costIn = &measured;
+        }
         auto par = std::make_unique<rtl::ParallelInterpreter>(
             std::move(nl), opt.threads, opt.lower, pcfg);
         if (opt.cgen) {
@@ -260,9 +270,23 @@ makeEngine(rtl::Netlist nl, const EngineOptions &opt)
     }
     if (!engine)
         panic("unhandled engine kind");
-    if (opt.profile && !engine->enableProfiling(opt.profileOpt))
-        warn("engine %s has no runtime instrumentation; --profile "
-             "ignored", engine->engineName());
+    // Activity-guarded eval (default on; --activity 0 is the
+    // always-eval A/B baseline). Engines without a guarded path —
+    // event, ipu, or a program whose activity plan could not be
+    // built — return false and keep running always-eval.
+    if (opt.activity)
+        engine->setActivity(true);
+    // Telemetry-directed repartitioning reads the profiler's
+    // per-shard straggler stats, so --rebalance implies --profile.
+    const bool needProfile = opt.profile || opt.rebalance > 0;
+    if (needProfile && !engine->enableProfiling(opt.profileOpt)) {
+        if (opt.profile)
+            warn("engine %s has no runtime instrumentation; --profile "
+                 "ignored", engine->engineName());
+        else
+            warn("engine %s has no runtime instrumentation; "
+                 "--rebalance ignored", engine->engineName());
+    }
     return engine;
 }
 

@@ -37,6 +37,10 @@ namespace parendi::rtl {
 class ArtifactCache;
 }
 
+namespace parendi::obs {
+struct CostProfile;
+}
+
 namespace parendi::core {
 
 /**
@@ -195,6 +199,37 @@ class SimEngine
     }
 
     /**
+     * Activity-guarded evaluation: skip combinational groups whose
+     * input cone is unchanged since the previous cycle (see
+     * rtl::EvalState::enableActivity). Bit-identical to always-eval by
+     * construction. Returns false when the engine has no guarded path
+     * (the default; the event and ipu engines) — always-eval stays in
+     * effect.
+     */
+    virtual bool
+    setActivity(bool on)
+    {
+        (void)on;
+        return false;
+    }
+
+    virtual bool activityEnabled() const { return false; }
+
+    /**
+     * Export measured per-fiber evaluation costs (obs::CostProfile),
+     * attributing each shard's profiled eval ticks to the fibers
+     * packed on it. Requires an attached profiler that has sampled at
+     * least one cycle; returns false otherwise (and for engines
+     * without a fiber partition — the default).
+     */
+    virtual bool
+    collectCostProfile(obs::CostProfile &out) const
+    {
+        (void)out;
+        return false;
+    }
+
+    /**
      * Serialize all mutable simulation state (including the cycle
      * count) as a raw, headerless blob; restoreState() reads it back
      * on an engine built from the same design. Returns false when the
@@ -298,6 +333,22 @@ struct EngineOptions
      *  (lanes compose with par threads); event and ipu warn and run a
      *  single replica. 1 = scalar. */
     uint32_t replicas = 1;
+    /** Activity-guarded evaluation (`--activity`; default on): skip
+     *  combinational groups whose inputs are unchanged. `--activity 0`
+     *  is the always-eval A/B baseline. Engines without a guarded path
+     *  (event, ipu) silently run always-eval. */
+    bool activity = true;
+    /** Load measured per-fiber costs from this file (see
+     *  obs::CostProfile) and let the par engine's LPT partition use
+     *  them in place of the static x86 cost model (`--cost-profile`).
+     *  Missing or unreadable file: static costs with a warning. */
+    std::string costProfileIn;
+    /** Telemetry-directed repartitioning (`--rebalance R`, par engine
+     *  only): between stepped batches, when the profiled per-shard
+     *  eval-tick skew max/mean exceeds R, re-run LPT on the measured
+     *  costs and migrate state onto the new packing. 0 = off. Implies
+     *  profiling. */
+    double rebalance = 0.0;
 };
 
 /**

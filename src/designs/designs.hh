@@ -59,6 +59,19 @@ struct VtaConfig
 /** GEMM accelerator core (stand-in for VTA). */
 rtl::Netlist makeVta(const VtaConfig &cfg = VtaConfig{});
 
+struct GatedConfig
+{
+    uint32_t units = 64;    ///< independent gated compute pipelines
+    uint32_t rounds = 8;    ///< xorshift-multiply rounds per pipeline
+    uint32_t period = 16;   ///< cycles between enable pulses
+};
+
+/** Clock-gated compute bank: a tiny free-running control counter
+ *  enables the heavy per-unit combinational pipelines one cycle in
+ *  `period`, so activity-guarded engines skip the heavy cones on the
+ *  other period-1 cycles (the --activity A/B benchmark design). */
+rtl::Netlist makeGated(const GatedConfig &cfg = GatedConfig{});
+
 enum class MeshCore : uint8_t { Small, Large };
 
 struct MeshConfig

@@ -1,0 +1,74 @@
+#include "obs/costprofile.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace parendi::obs {
+
+double
+CostProfile::lookup(const std::string &key, double fallback) const
+{
+    auto it = cost.find(key);
+    return it == cost.end() ? fallback : it->second;
+}
+
+double
+CostProfile::total() const
+{
+    double sum = 0;
+    for (const auto &[key, value] : cost)
+        sum += value;
+    return sum;
+}
+
+bool
+CostProfile::load(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        warn("cost profile: cannot read %s", path.c_str());
+        return false;
+    }
+    std::string line;
+    size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        size_t start = line.find_first_not_of(" \t");
+        if (start == std::string::npos || line[start] == '#')
+            continue;
+        std::istringstream fields(line);
+        std::string key;
+        double value = 0;
+        if (!(fields >> key >> value)) {
+            warn("cost profile: %s:%zu: expected \"<key> <cost>\"",
+                 path.c_str(), lineno);
+            return false;
+        }
+        cost[key] = value;
+    }
+    return true;
+}
+
+bool
+CostProfile::save(const std::string &path) const
+{
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) {
+        warn("cost profile: cannot write %s", path.c_str());
+        return false;
+    }
+    out << "# parendi cost profile: <fiber key> <measured cost>\n";
+    out.precision(17);
+    for (const auto &[key, value] : cost)
+        out << key << ' ' << value << '\n';
+    out.flush();
+    if (!out) {
+        warn("cost profile: write to %s failed", path.c_str());
+        return false;
+    }
+    return true;
+}
+
+} // namespace parendi::obs

@@ -60,6 +60,8 @@ inline constexpr const char *kInstrsRetired = "instrs_retired";
 inline constexpr const char *kExchangeWordsMoved = "exchange_words_moved";
 inline constexpr const char *kNativeKernelInvocations =
     "native_kernel_invocations";
+inline constexpr const char *kEvalGroupsSkipped = "eval_groups_skipped";
+inline constexpr const char *kEvalGroupsTotal = "eval_groups_total";
 
 /**
  * A registry of named counters. get() is get-or-create and returns a

@@ -119,6 +119,24 @@ writeChromeTrace(const SuperstepProfiler &prof, std::ostream &out)
     for (const auto &events : perTid)
         for (const Event &e : events)
             writeEvent(out, e, base, first);
+
+    // Run counters (instrs_retired, eval_groups_skipped/total, ...)
+    // as Chrome counter tracks: one final cumulative value each, at
+    // the end of the sampled window.
+    uint64_t endTs = base;
+    for (const auto &events : perTid)
+        if (!events.empty())
+            endTs = std::max(endTs, events.back().ts);
+    for (const auto &[name, value] : prof.counters().snapshot()) {
+        if (!first)
+            out << ",\n";
+        first = false;
+        out << strprintf("    {\"name\": \"%s\", \"ph\": \"C\", "
+                         "\"pid\": 0, \"ts\": %.3f, \"args\": "
+                         "{\"value\": %llu}}",
+                         name.c_str(), ticksToMicros(endTs - base),
+                         static_cast<unsigned long long>(value));
+    }
     out << "\n],\n\"displayTimeUnit\": \"ms\"\n}\n";
 }
 

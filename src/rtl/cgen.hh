@@ -116,6 +116,15 @@ struct CgenEntry
     NativeEvalFn eval = nullptr;    ///< combinational evaluate
     NativeEvalFn commit = nullptr;  ///< deferred memory write ports
     NativeEvalFn latch = nullptr;   ///< two-phase register latch
+
+    /** Activity-guarded evaluate: runs only the groups whose dirty
+     *  byte is set (see EvalState::enableActivity). Emitted only when
+     *  the program carries a built ActivityPlan; null otherwise, and
+     *  the guarded path falls back to the interpreted sweep. */
+    NativeEvalActFn evalAct = nullptr;
+    /** Activity-aware latch: next -> cur with per-register change
+     *  detection seeding the dirty bytes. Emitted alongside evalAct. */
+    NativeLatchActFn latchAct = nullptr;
 };
 
 /**

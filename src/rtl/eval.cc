@@ -737,6 +737,7 @@ EvalState::reset()
                 mems_[m][w * L + l] = init[w];
     }
     refreshMemPtrs();
+    markAllDirty();
 }
 
 void
@@ -749,13 +750,56 @@ EvalState::refreshMemPtrs()
 
 void
 EvalState::setNativeEval(NativeEvalFn fn, std::shared_ptr<void> code,
-                         NativeEvalFn commit, NativeEvalFn latch)
+                         NativeEvalFn commit, NativeEvalFn latch,
+                         NativeEvalActFn act, NativeLatchActFn latchAct)
 {
     nativeFn_ = fn;
     nativeCommit_ = fn ? commit : nullptr;
     nativeLatch_ = fn ? latch : nullptr;
+    nativeAct_ = fn ? act : nullptr;
+    nativeLatchAct_ = fn ? latchAct : nullptr;
     nativeCode_ = std::move(code);
     refreshMemPtrs();
+}
+
+bool
+EvalState::enableActivity(bool on)
+{
+    if (on && !prog_.activity.built) {
+        activity_ = false;
+        return false;
+    }
+    activity_ = on;
+    if (on) {
+        dirty_.assign(prog_.activity.numGroups(), 1);
+        lastGroupsTotal_ = prog_.activity.numGroups();
+    }
+    return activity_;
+}
+
+void
+EvalState::markAllDirty()
+{
+    if (activity_)
+        std::memset(dirty_.data(), 1, dirty_.size());
+}
+
+void
+EvalState::markRegReadersDirty(uint32_t progRegIndex)
+{
+    if (!activity_)
+        return;
+    for (uint32_t g : prog_.activity.regReaders[progRegIndex])
+        dirty_[g] = 1;
+}
+
+void
+EvalState::markMemReadersDirty(uint32_t memIndex)
+{
+    if (!activity_)
+        return;
+    for (uint32_t g : prog_.activity.memReaders[memIndex])
+        dirty_[g] = 1;
 }
 
 BitVec
@@ -792,6 +836,9 @@ EvalState::writeSlot(uint32_t slot, const BitVec &v)
     for (uint32_t i = 0; i < v.numWords(); ++i)
         for (uint32_t l = 0; l < lanes_; ++l)
             p[i * lanes_ + l] = v.word(i);
+    // Host writes land on arbitrary slots (pokes, state import); the
+    // conservative seed is a full re-eval.
+    markAllDirty();
 }
 
 void
@@ -800,6 +847,7 @@ EvalState::writeSlotLane(uint32_t slot, const BitVec &v, uint32_t lane)
     uint64_t *p = &slots_[uint64_t(slot) * lanes_ + lane];
     for (uint32_t i = 0; i < v.numWords(); ++i)
         p[i * lanes_] = v.word(i);
+    markAllDirty();
 }
 
 BitVec
@@ -827,6 +875,7 @@ EvalState::writeMemEntry(uint32_t memIndex, uint64_t index,
     uint64_t *p = &mems_[memIndex][(index * pm.entryWords) * lanes_ + lane];
     for (uint32_t i = 0; i < pm.entryWords; ++i)
         p[i * lanes_] = i < v.numWords() ? v.word(i) : 0;
+    markMemReadersDirty(memIndex);
 }
 
 // Computed-goto dispatch removes the per-instruction bounds check and
@@ -842,6 +891,12 @@ EvalState::writeMemEntry(uint32_t memIndex, uint64_t index,
 void
 EvalState::evalComb()
 {
+    if (activity_) {
+        evalActive();
+        return;
+    }
+    lastInstrs_ = prog_.instrs.size();
+    lastGroupsRun_ = lastGroupsTotal_ = prog_.activity.numGroups();
     if (nativeFn_) {
         nativeFn_(slots_.data(), memPtrs_.data());
         return;
@@ -850,8 +905,13 @@ EvalState::evalComb()
         evalCombGang();
         return;
     }
-    const EvalInstr *ip = prog_.instrs.data();
-    const EvalInstr *const end = ip + prog_.instrs.size();
+    execRange(prog_.instrs.data(),
+              prog_.instrs.data() + prog_.instrs.size());
+}
+
+void
+EvalState::execRange(const EvalInstr *ip, const EvalInstr *const end)
+{
     if (ip == end)
         return;
 #if PARENDI_COMPUTED_GOTO
@@ -948,6 +1008,48 @@ EvalState::evalComb()
     for (; ip != end; ++ip)
         evalOne(*ip);
 #endif
+}
+
+void
+EvalState::evalActive()
+{
+    const ActivityPlan &ap = prog_.activity;
+    lastGroupsTotal_ = ap.numGroups();
+    if (nativeAct_) {
+        uint64_t packed = nativeAct_(slots_.data(), memPtrs_.data(),
+                                     dirty_.data());
+        lastGroupsRun_ = static_cast<uint32_t>(packed >> 32);
+        lastInstrs_ = static_cast<uint32_t>(packed);
+        return;
+    }
+    // Forward over-approximating sweep: every successor edge points to
+    // a later group (topological instruction order), so one pass in
+    // group order both executes all dirty groups and propagates
+    // dirtiness downstream. Skipped groups keep their previous outputs,
+    // which are still correct — pure combinational logic over inputs
+    // that did not change.
+    const EvalInstr *base = prog_.instrs.data();
+    uint64_t instrs = 0;
+    uint32_t run = 0;
+    const uint32_t ng = ap.numGroups();
+    for (uint32_t g = 0; g < ng; ++g) {
+        if (!dirty_[g])
+            continue;
+        dirty_[g] = 0;
+        const ActivityGroup &grp = ap.groups[g];
+        if (lanes_ > 1) {
+            for (uint32_t i = grp.beginInstr; i < grp.endInstr; ++i)
+                execGangInstr(base[i]);
+        } else {
+            execRange(base + grp.beginInstr, base + grp.endInstr);
+        }
+        for (uint32_t k = grp.succBegin; k < grp.succEnd; ++k)
+            dirty_[ap.succs[k]] = 1;
+        instrs += grp.endInstr - grp.beginInstr;
+        ++run;
+    }
+    lastInstrs_ = instrs;
+    lastGroupsRun_ = run;
 }
 
 void
@@ -1325,6 +1427,10 @@ EvalState::commitWritesGang()
 void
 EvalState::commitWrites()
 {
+    if (activity_) {
+        commitWritesActive();
+        return;
+    }
     if (nativeCommit_) {
         nativeCommit_(slots_.data(), memPtrs_.data());
         return;
@@ -1347,8 +1453,44 @@ EvalState::commitWrites()
 }
 
 void
+EvalState::commitWritesActive()
+{
+    // The interpreted commit, instrumented: any write that actually
+    // lands marks the groups reading that memory dirty. Runs in place
+    // of the native commit kernel when activity is on — write ports
+    // are few, so the seeding accuracy is worth the interpreted loop.
+    const uint32_t L = lanes_;
+    uint64_t *s = slots_.data();
+    for (const ProgWrite &w : prog_.writes) {
+        const ProgMem &pm = prog_.mems[w.memIndex];
+        uint64_t *img = mems_[w.memIndex].data();
+        uint32_t na = nw(w.addrWidth ? w.addrWidth : 1);
+        bool wrote = false;
+        for (uint32_t l = 0; l < L; ++l) {
+            if (!(s[uint64_t(w.en) * L + l] & 1))
+                continue;
+            uint64_t addr =
+                stridedSatRead(s + uint64_t(w.addr) * L + l, na, L);
+            if (addr >= pm.depth)
+                continue;
+            const uint64_t *dp = s + uint64_t(w.data) * L + l;
+            uint64_t *ep = img + (addr * pm.entryWords) * L + l;
+            for (uint32_t i = 0; i < pm.entryWords; ++i)
+                ep[i * L] = dp[i * L];
+            wrote = true;
+        }
+        if (wrote)
+            markMemReadersDirty(w.memIndex);
+    }
+}
+
+void
 EvalState::latchRegisters()
 {
+    if (activity_) {
+        latchRegistersActive();
+        return;
+    }
     if (nativeLatch_) {
         nativeLatch_(slots_.data(), memPtrs_.data());
         return;
@@ -1374,6 +1516,46 @@ EvalState::latchRegisters()
         uint64_t n = nw(r.width) * L;
         std::memcpy(s + uint64_t(r.cur) * L, scratch_.data() + at,
                     n * sizeof(uint64_t));
+        at += n;
+    }
+}
+
+void
+EvalState::latchRegistersActive()
+{
+    // The comb/seq split's sequential half: the latch itself stays
+    // unconditional (every owned register is staged and written every
+    // cycle), but each register's staged value is compared against its
+    // current one, and only a real change marks the register's reader
+    // groups dirty. The lane-major block covers all lanes at once, so
+    // a gang group is live if any lane's register changed.
+    if (nativeLatchAct_) {
+        nativeLatchAct_(slots_.data(), dirty_.data());
+        return;
+    }
+    uint64_t *s = slots_.data();
+    const uint64_t L = lanes_;
+    scratch_.clear();
+    for (const ProgReg &r : prog_.regs) {
+        if (!r.owned || r.next == kNoSlot)
+            continue;
+        const uint64_t *p = s + uint64_t(r.next) * L;
+        scratch_.insert(scratch_.end(), p, p + nw(r.width) * L);
+    }
+    size_t at = 0;
+    const uint32_t nregs = static_cast<uint32_t>(prog_.regs.size());
+    for (uint32_t ri = 0; ri < nregs; ++ri) {
+        const ProgReg &r = prog_.regs[ri];
+        if (!r.owned || r.next == kNoSlot)
+            continue;
+        uint64_t n = nw(r.width) * L;
+        uint64_t *cur = s + uint64_t(r.cur) * L;
+        if (std::memcmp(cur, scratch_.data() + at,
+                        n * sizeof(uint64_t)) != 0) {
+            std::memcpy(cur, scratch_.data() + at,
+                        n * sizeof(uint64_t));
+            markRegReadersDirty(ri);
+        }
         at += n;
     }
 }
@@ -1424,6 +1606,7 @@ EvalState::restore(std::istream &in)
     for (auto &m : mems_)
         read_vec(m.data(), m.size());
     refreshMemPtrs();
+    markAllDirty();
 }
 
 } // namespace parendi::rtl

@@ -223,6 +223,51 @@ struct ProgPort
 
 constexpr uint32_t kNoSlot = UINT32_MAX;
 
+/**
+ * One activity group: a contiguous range of lowered instructions that
+ * the activity-guarded eval path runs or skips as a unit. Groups
+ * partition the instruction stream in order, so intra-group data flow
+ * needs no edges; inter-group flow is recorded as forward successor
+ * edges (producer group -> consumer group, always increasing indices
+ * because the instruction stream is topologically ordered).
+ */
+struct ActivityGroup
+{
+    uint32_t beginInstr;    ///< first instruction of the group
+    uint32_t endInstr;      ///< one past the last instruction
+    uint32_t succBegin;     ///< range into ActivityPlan::succs
+    uint32_t succEnd;
+};
+
+/**
+ * The activity plan of a lowered program: the group partition, the
+ * forward dataflow edges between groups, and the seed maps that tell
+ * the sequential phases (latch / commit / exchange / poke) which
+ * groups consume each register, input port, and memory — the
+ * comb/seq split. Built by buildActivityPlan() (called from
+ * lowerProgram); consumed by EvalState::enableActivity().
+ */
+struct ActivityPlan
+{
+    std::vector<ActivityGroup> groups;
+    std::vector<uint32_t> succs;    ///< flattened successor group ids
+
+    /** Groups reading each register's cur slot (index: EvalProgram::regs). */
+    std::vector<std::vector<uint32_t>> regReaders;
+    /** Groups reading each input port slot (index: EvalProgram::inputs). */
+    std::vector<std::vector<uint32_t>> inputReaders;
+    /** Groups reading each memory image (index: EvalProgram::mems). */
+    std::vector<std::vector<uint32_t>> memReaders;
+
+    bool built = false;
+
+    uint32_t
+    numGroups() const
+    {
+        return static_cast<uint32_t>(groups.size());
+    }
+};
+
 /** Knobs of the post-build lowering stage (lowerProgram). */
 struct LowerOptions
 {
@@ -231,6 +276,14 @@ struct LowerOptions
     /** Run the peephole pass that fuses adjacent pairs into
      *  superinstructions (implies rewriting the pair into the W tier). */
     bool fuse = true;
+
+    /** Partition the instruction stream into activity groups and
+     *  record the dataflow edges/seed maps (buildActivityPlan). The
+     *  plan is passive until EvalState::enableActivity(true). */
+    bool activityPlan = true;
+    /** Target instructions per activity group. Smaller groups skip at
+     *  finer grain but pay more guard overhead. */
+    uint32_t activityGroupSize = 32;
 
     /** Fully generic program (the A side of A/B comparisons). */
     static LowerOptions
@@ -266,6 +319,9 @@ struct EvalProgram
     bool lowered = false;       ///< lowerProgram() has run
     LowerStats lowerStats;
 
+    /** Activity-group partition (see ActivityPlan). */
+    ActivityPlan activity;
+
     /** node id -> slot word offset, for cross-referencing by the host. */
     std::unordered_map<NodeId, uint32_t> slotOf;
 
@@ -290,6 +346,17 @@ struct EvalProgram
 void lowerProgram(EvalProgram &prog,
                   const LowerOptions &opt = LowerOptions{},
                   LowerStats *stats = nullptr);
+
+/**
+ * (Re)build @p prog's activity plan: partition the instruction stream
+ * into groups of roughly @p groupSize instructions, record forward
+ * inter-group dataflow edges, and index which groups consume each
+ * register, input, and memory. Must run after any pass that reorders
+ * or removes instructions (lowerProgram calls it last). If the
+ * instruction stream is not topologically ordered the plan is left
+ * unbuilt and activity-guarded execution stays disabled.
+ */
+void buildActivityPlan(EvalProgram &prog, uint32_t groupSize = 32);
 
 /**
  * Incrementally lowers a subset of a netlist into an EvalProgram.
@@ -328,6 +395,25 @@ class ProgramBuilder
  * memory-index order.
  */
 using NativeEvalFn = void (*)(uint64_t *slots, uint64_t *const *mems);
+
+/**
+ * Signature of a natively compiled activity-guarded eval kernel:
+ * executes only the groups whose dirty byte is set (clearing it and
+ * setting every successor's), in group order. Returns the work done,
+ * packed as (groupsRun << 32) | instructionsExecuted, feeding the
+ * telemetry counters.
+ */
+using NativeEvalActFn = uint64_t (*)(uint64_t *slots,
+                                     uint64_t *const *mems,
+                                     uint8_t *dirty);
+
+/**
+ * Signature of a natively compiled activity-aware latch kernel:
+ * next -> cur for every owned register, marking the reader groups of
+ * each register whose value actually changed (the seeding half of the
+ * comb/seq split, at native latch speed).
+ */
+using NativeLatchActFn = void (*)(uint64_t *slots, uint8_t *dirty);
 
 /**
  * Mutable run state for an EvalProgram: the slot array and memory
@@ -378,12 +464,53 @@ class EvalState
      */
     void setNativeEval(NativeEvalFn fn, std::shared_ptr<void> code,
                        NativeEvalFn commit = nullptr,
-                       NativeEvalFn latch = nullptr);
+                       NativeEvalFn latch = nullptr,
+                       NativeEvalActFn act = nullptr,
+                       NativeLatchActFn latchAct = nullptr);
     bool hasNativeEval() const { return nativeFn_ != nullptr; }
+
+    /**
+     * Activity-guarded execution: evalComb() runs only the groups of
+     * the program's ActivityPlan whose dirty bit is set, seeded by the
+     * sequential phases (latch compares each register's new value
+     * against the old one; commit marks memory readers; pokes and
+     * restores mark everything). Skipped groups are provably
+     * unchanged — pure combinational logic over unchanged inputs — so
+     * the guarded path is bit-identical to always-eval.
+     *
+     * Returns false (and stays disabled) if the program has no built
+     * plan. Enabling marks every group dirty, so the first eval is a
+     * full one.
+     */
+    bool enableActivity(bool on);
+    bool activityEnabled() const { return activity_; }
+
+    /** Mark every activity group dirty (full re-eval next evalComb). */
+    void markAllDirty();
+    /** Mark the reader groups of register @p progRegIndex dirty (the
+     *  shard exchange calls this when a received value changed). */
+    void markRegReadersDirty(uint32_t progRegIndex);
+    /** Mark the reader groups of memory @p memIndex dirty (the shard
+     *  commit calls this when a broadcast write landed). */
+    void markMemReadersDirty(uint32_t memIndex);
+
+    /** Work done by the most recent evalComb(): instructions actually
+     *  executed, and activity groups run / total. With activity off
+     *  (or no plan) every instruction counts and run == total. */
+    uint64_t lastEvalInstrs() const { return lastInstrs_; }
+    uint32_t lastGroupsRun() const { return lastGroupsRun_; }
+    uint32_t lastGroupsTotal() const { return lastGroupsTotal_; }
 
     /** Evaluate a single instruction (used by the event-driven
      *  interpreter for selective re-evaluation). */
     void evalOne(const EvalInstr &in);
+
+    /** Execute the scalar instruction range [ip, end) on the
+     *  computed-goto dispatch loop — the one hot path shared by the
+     *  full sweep (evalComb) and the activity-guarded per-group sweep
+     *  (evalActive), so skipping groups never trades away
+     *  per-instruction dispatch speed. */
+    void execRange(const EvalInstr *ip, const EvalInstr *end);
 
     /** Apply deferred memory writes in port order. */
     void commitWrites();
@@ -465,6 +592,14 @@ class EvalState
     /** Gang commit/latch fallbacks (per-lane strided). */
     void commitWritesGang();
 
+    /** Activity-guarded evalComb: forward sweep over dirty groups. */
+    void evalActive();
+    /** Latch with value comparison: copies next -> cur only when the
+     *  value changed, marking the register's reader groups dirty. */
+    void latchRegistersActive();
+    /** Commit that marks memory-reader groups on applied writes. */
+    void commitWritesActive();
+
     /** Re-derive memPtrs_ after mems_ may have reallocated. */
     void refreshMemPtrs();
 
@@ -477,8 +612,16 @@ class EvalState
     NativeEvalFn nativeFn_ = nullptr;     ///< cgen kernel (null -> interpret)
     NativeEvalFn nativeCommit_ = nullptr; ///< cgen commit phase
     NativeEvalFn nativeLatch_ = nullptr;  ///< cgen latch phase
+    NativeEvalActFn nativeAct_ = nullptr; ///< cgen activity-guarded eval
+    NativeLatchActFn nativeLatchAct_ = nullptr; ///< cgen compare-latch
     std::shared_ptr<void> nativeCode_;  ///< keeps the dlopened object alive
     std::vector<uint64_t *> memPtrs_;   ///< memory images, kernel ABI form
+
+    bool activity_ = false;           ///< activity-guarded eval enabled
+    std::vector<uint8_t> dirty_;      ///< per-group dirty byte
+    uint64_t lastInstrs_ = 0;         ///< instrs executed by last eval
+    uint32_t lastGroupsRun_ = 0;
+    uint32_t lastGroupsTotal_ = 0;
 };
 
 /**

@@ -40,7 +40,6 @@ void
 Interpreter::stepProfiled(size_t n)
 {
     obs::SuperstepProfiler &prof = *profiler_;
-    uint64_t instrs = prog.instrs.size();
     bool native = state->hasNativeEval();
     for (size_t i = 0; i < n; ++i) {
         prof.beginCycle();
@@ -65,7 +64,15 @@ Interpreter::stepProfiled(size_t n)
             state->latchRegisters();
             state->evalComb();
         }
-        ctrInstrs_->add(instrs);
+        // Attribute only the work the eval actually did: with activity
+        // guards on, skipped groups' instructions don't count.
+        ctrInstrs_->add(state->lastEvalInstrs());
+        if (uint32_t total = state->lastGroupsTotal()) {
+            ctrGroupsTotal_->add(total);
+            uint32_t run = state->lastGroupsRun();
+            if (total > run)
+                ctrGroupsSkipped_->add(total - run);
+        }
         if (native)
             ctrNative_->add(1);
         prof.endCycle();
@@ -82,6 +89,8 @@ Interpreter::enableProfiling(const obs::ProfileOptions &opt)
     obs::Counters &c = profiler_->counters();
     ctrInstrs_ = &c.get(obs::kInstrsRetired);
     ctrNative_ = &c.get(obs::kNativeKernelInvocations);
+    ctrGroupsSkipped_ = &c.get(obs::kEvalGroupsSkipped);
+    ctrGroupsTotal_ = &c.get(obs::kEvalGroupsTotal);
     return true;
 }
 

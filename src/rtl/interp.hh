@@ -46,6 +46,20 @@ class Interpreter : public core::SimEngine
     /** Simulate @p n full RTL cycles. */
     void step(size_t n = 1) override;
 
+    /** Enable/disable activity-guarded evaluation (see
+     *  EvalState::enableActivity). Returns false if the program has no
+     *  activity plan; the always-eval path then stays in effect. */
+    bool
+    setActivity(bool on) override
+    {
+        return state->enableActivity(on);
+    }
+    bool
+    activityEnabled() const override
+    {
+        return state->activityEnabled();
+    }
+
     /** Cycles simulated since construction/reset. */
     uint64_t cycles() const override { return cycleCount; }
 
@@ -147,6 +161,8 @@ class Interpreter : public core::SimEngine
     std::unique_ptr<obs::SuperstepProfiler> profiler_;
     obs::Counter *ctrInstrs_ = nullptr;
     obs::Counter *ctrNative_ = nullptr;
+    obs::Counter *ctrGroupsSkipped_ = nullptr;
+    obs::Counter *ctrGroupsTotal_ = nullptr;
 };
 
 } // namespace parendi::rtl

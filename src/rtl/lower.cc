@@ -19,6 +19,7 @@
  * generic one for checkpointing and host cross-referencing.
  */
 
+#include <algorithm>
 #include <unordered_map>
 #include <vector>
 
@@ -305,6 +306,97 @@ lowerProgram(EvalProgram &prog, const LowerOptions &opt,
     prog.lowerStats.removedInstrs += stats.removedInstrs;
     if (stats_out)
         *stats_out = stats;
+
+    // The activity plan must see the final instruction stream, so it
+    // is (re)built after compaction.
+    if (opt.activityPlan)
+        buildActivityPlan(prog, opt.activityGroupSize);
+}
+
+void
+buildActivityPlan(EvalProgram &prog, uint32_t groupSize)
+{
+    prog.activity = ActivityPlan{};
+    ActivityPlan ap;
+    const std::vector<EvalInstr> &instrs = prog.instrs;
+    const uint32_t n = static_cast<uint32_t>(instrs.size());
+    if (groupSize == 0)
+        groupSize = 32;
+    const uint32_t ngroups = (n + groupSize - 1) / groupSize;
+
+    ap.groups.resize(ngroups);
+    // Group of the instruction producing each slot. Each slot is
+    // written by at most one instruction, so a plain map suffices.
+    std::unordered_map<uint32_t, uint32_t> groupOfSlot;
+    groupOfSlot.reserve(n);
+    for (uint32_t g = 0; g < ngroups; ++g) {
+        ap.groups[g].beginInstr = g * groupSize;
+        ap.groups[g].endInstr = std::min(n, (g + 1) * groupSize);
+        for (uint32_t i = ap.groups[g].beginInstr;
+             i < ap.groups[g].endInstr; ++i)
+            groupOfSlot[instrs[i].dst] = g;
+    }
+
+    // Reader groups per slot, successor edges between groups, and
+    // memory readers. The instruction stream is topologically ordered
+    // (operands precede users), so every cross-group edge points
+    // forward; a backward edge means the invariant broke and the plan
+    // cannot drive a single-sweep guard, so leave it unbuilt.
+    std::unordered_map<uint32_t, std::vector<uint32_t>> readersOfSlot;
+    std::vector<std::vector<uint32_t>> succsOf(ngroups);
+    ap.memReaders.assign(prog.mems.size(), {});
+    for (uint32_t g = 0; g < ngroups; ++g) {
+        for (uint32_t i = ap.groups[g].beginInstr;
+             i < ap.groups[g].endInstr; ++i) {
+            const EvalInstr &in = instrs[i];
+            uint32_t ops[4];
+            int arity = evalInstrOperands(in, ops);
+            for (int k = 0; k < arity; ++k) {
+                std::vector<uint32_t> &rd = readersOfSlot[ops[k]];
+                if (rd.empty() || rd.back() != g)
+                    rd.push_back(g);
+                auto it = groupOfSlot.find(ops[k]);
+                if (it == groupOfSlot.end() || it->second == g)
+                    continue;
+                if (it->second > g)
+                    return; // not topological: no plan
+                std::vector<uint32_t> &sc = succsOf[it->second];
+                if (sc.empty() || sc.back() != g)
+                    sc.push_back(g);
+            }
+            if (evalReadsMemory(in.op)) {
+                std::vector<uint32_t> &mr = ap.memReaders[in.aux];
+                if (mr.empty() || mr.back() != g)
+                    mr.push_back(g);
+            }
+        }
+    }
+    for (uint32_t g = 0; g < ngroups; ++g) {
+        ap.groups[g].succBegin = static_cast<uint32_t>(ap.succs.size());
+        ap.succs.insert(ap.succs.end(), succsOf[g].begin(),
+                        succsOf[g].end());
+        ap.groups[g].succEnd = static_cast<uint32_t>(ap.succs.size());
+    }
+
+    // Seed maps: which groups consume each register's cur slot and
+    // each input port slot. A slot read by instructions in several
+    // groups appears once per group (readersOfSlot is deduplicated by
+    // construction: reads are visited in group order).
+    ap.regReaders.assign(prog.regs.size(), {});
+    for (size_t ri = 0; ri < prog.regs.size(); ++ri) {
+        auto it = readersOfSlot.find(prog.regs[ri].cur);
+        if (it != readersOfSlot.end())
+            ap.regReaders[ri] = it->second;
+    }
+    ap.inputReaders.assign(prog.inputs.size(), {});
+    for (size_t pi = 0; pi < prog.inputs.size(); ++pi) {
+        auto it = readersOfSlot.find(prog.inputs[pi].slot);
+        if (it != readersOfSlot.end())
+            ap.inputReaders[pi] = it->second;
+    }
+
+    ap.built = true;
+    prog.activity = std::move(ap);
 }
 
 } // namespace parendi::rtl

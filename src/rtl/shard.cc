@@ -70,7 +70,9 @@ ShardSet::buildExchange()
     for (uint32_t si = 0; si < nshards; ++si) {
         readerRanges_[si].first =
             static_cast<uint32_t>(regMessages_.size());
-        for (const ProgReg &r : programs_[si].regs) {
+        const std::vector<ProgReg> &regs = programs_[si].regs;
+        for (uint32_t ri = 0; ri < regs.size(); ++ri) {
+            const ProgReg &r = regs[ri];
             if (r.owned)
                 continue;
             auto [owner, owner_slot] = regHome_[r.reg];
@@ -82,6 +84,7 @@ ShardSet::buildExchange()
             m.ownerSlot = owner_slot;
             m.readerShard = si;
             m.readerSlot = r.cur;
+            m.readerReg = ri;
             m.words = static_cast<uint16_t>(wordsFor(r.width));
             m.bytes = ((r.width + 31) / 32) * 4;
             regMessages_.push_back(m);
@@ -216,16 +219,30 @@ ShardSet::setProfiler(obs::SuperstepProfiler *prof)
     prof_ = prof;
     if (!prof) {
         ctrInstrs_ = ctrExchWords_ = ctrNative_ = nullptr;
+        ctrGroupsSkipped_ = ctrGroupsTotal_ = nullptr;
         return;
     }
     obs::Counters &c = prof->counters();
     ctrInstrs_ = &c.get(obs::kInstrsRetired);
     ctrExchWords_ = &c.get(obs::kExchangeWordsMoved);
     ctrNative_ = &c.get(obs::kNativeKernelInvocations);
-    shardInstrs_.clear();
-    shardInstrs_.reserve(programs_.size());
-    for (const EvalProgram &p : programs_)
-        shardInstrs_.push_back(p.instrs.size());
+    ctrGroupsSkipped_ = &c.get(obs::kEvalGroupsSkipped);
+    ctrGroupsTotal_ = &c.get(obs::kEvalGroupsTotal);
+}
+
+bool
+ShardSet::setActivity(bool on)
+{
+    if (on) {
+        for (const EvalProgram &p : programs_) {
+            if (!p.activity.built)
+                return false;
+        }
+    }
+    for (auto &st : states_)
+        st->enableActivity(on);
+    activity_ = on;
+    return true;
 }
 
 void
@@ -258,6 +275,7 @@ ShardSet::commitRange(size_t begin, size_t end)
             const uint64_t *ap = owner.slotPtr(b.addrSlot);
             const uint64_t *dp = owner.slotPtr(b.dataSlot);
             uint64_t *img = mine.memImage(mi).data();
+            bool wrote = false;
             for (uint64_t l = 0; l < L; ++l) {
                 if (!(en[l] & 1))
                     continue;
@@ -269,7 +287,10 @@ ShardSet::commitRange(size_t begin, size_t end)
                     img[(addr * b.entryWords + w) * L + l] =
                         dp[w * L + l];
                 words += b.entryWords;
+                wrote = true;
             }
+            if (wrote)
+                mine.markMemReadersDirty(mi);
         }
     }
     if (ctrExchWords_ && words)
@@ -293,9 +314,22 @@ ShardSet::exchangeRange(size_t begin, size_t end)
             const RegMessage &m = regMessages_[i];
             // A value's words are one contiguous lane-major block, so
             // moving all lanes is the scalar memcpy scaled by lanes_.
-            std::memcpy(states_[m.readerShard]->slotPtr(m.readerSlot),
-                        states_[m.ownerShard]->slotPtr(m.ownerSlot),
-                        uint64_t(m.words) * lanes_ * sizeof(uint64_t));
+            EvalState &reader = *states_[m.readerShard];
+            uint64_t *dst = reader.slotPtr(m.readerSlot);
+            const uint64_t *src =
+                states_[m.ownerShard]->slotPtr(m.ownerSlot);
+            const uint64_t bytes =
+                uint64_t(m.words) * lanes_ * sizeof(uint64_t);
+            if (activity_) {
+                // Seed the reader's guards only on a real change (any
+                // lane), and skip the copy when nothing moved.
+                if (std::memcmp(dst, src, bytes) != 0) {
+                    std::memcpy(dst, src, bytes);
+                    reader.markRegReadersDirty(m.readerReg);
+                }
+            } else {
+                std::memcpy(dst, src, bytes);
+            }
             words += uint64_t(m.words) * lanes_;
         }
     }
@@ -319,9 +353,13 @@ ShardSet::evalRangeImpl(size_t begin, size_t end, bool sampled)
     }
     // Profiled: bump the work counters every cycle; on sampled cycles
     // additionally time each shard individually — that per-shard
-    // distribution is the measured straggler histogram.
+    // distribution is the measured straggler histogram. Work is what
+    // the eval actually executed (lastEvalInstrs), so activity-skipped
+    // groups never inflate t_comp or leave a phantom residual.
     uint64_t instrs = 0;
     uint64_t native = 0;
+    uint64_t groupsRun = 0;
+    uint64_t groupsTotal = 0;
     for (size_t si = begin; si < end; ++si) {
         EvalState &st = *states_[si];
         if (sampled) {
@@ -331,7 +369,9 @@ ShardSet::evalRangeImpl(size_t begin, size_t end, bool sampled)
         } else {
             st.evalComb();
         }
-        instrs += shardInstrs_[si];
+        instrs += st.lastEvalInstrs();
+        groupsRun += st.lastGroupsRun();
+        groupsTotal += st.lastGroupsTotal();
         if (st.hasNativeEval())
             ++native;
     }
@@ -339,6 +379,11 @@ ShardSet::evalRangeImpl(size_t begin, size_t end, bool sampled)
         ctrInstrs_->add(instrs);
     if (native)
         ctrNative_->add(native);
+    if (ctrGroupsTotal_ && groupsTotal) {
+        ctrGroupsTotal_->add(groupsTotal);
+        if (groupsTotal > groupsRun)
+            ctrGroupsSkipped_->add(groupsTotal - groupsRun);
+    }
 }
 
 // -- Fused single-barrier superstep --------------------------------------
@@ -355,6 +400,7 @@ ShardSet::commitRangeFrom(size_t begin, size_t end, const uint64_t *rd)
             const uint64_t *rec = rd + b.pubOffset;
             const uint64_t *data = rec + L;
             uint64_t *img = mine.memImage(mi).data();
+            bool wrote = false;
             for (uint64_t l = 0; l < L; ++l) {
                 uint64_t addr = rec[l];
                 if (addr == kPubSkip)
@@ -365,7 +411,10 @@ ShardSet::commitRangeFrom(size_t begin, size_t end, const uint64_t *rd)
                     img[(addr * b.entryWords + w) * L + l] =
                         data[w * L + l];
                 words += b.entryWords;
+                wrote = true;
             }
+            if (wrote)
+                mine.markMemReadersDirty(mi);
         }
     }
     if (ctrExchWords_ && words)
@@ -381,9 +430,19 @@ ShardSet::exchangeRangeFrom(size_t begin, size_t end,
         auto [mb, me] = readerRanges_[si];
         for (uint32_t i = mb; i < me; ++i) {
             const RegMessage &m = regMessages_[i];
-            std::memcpy(states_[m.readerShard]->slotPtr(m.readerSlot),
-                        rd + m.pubOffset,
-                        uint64_t(m.words) * lanes_ * sizeof(uint64_t));
+            EvalState &reader = *states_[m.readerShard];
+            uint64_t *dst = reader.slotPtr(m.readerSlot);
+            const uint64_t *src = rd + m.pubOffset;
+            const uint64_t bytes =
+                uint64_t(m.words) * lanes_ * sizeof(uint64_t);
+            if (activity_) {
+                if (std::memcmp(dst, src, bytes) != 0) {
+                    std::memcpy(dst, src, bytes);
+                    reader.markRegReadersDirty(m.readerReg);
+                }
+            } else {
+                std::memcpy(dst, src, bytes);
+            }
             words += uint64_t(m.words) * lanes_;
         }
     }

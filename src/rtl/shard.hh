@@ -86,6 +86,7 @@ class ShardSet
         uint32_t ownerSlot;     ///< cur slot in owner (post-latch value)
         uint32_t readerShard;
         uint32_t readerSlot;
+        uint32_t readerReg;     ///< reader program's ProgReg index
         uint16_t words;
         uint32_t bytes;         ///< exchange payload (4B granules)
         uint32_t pubOffset;     ///< value's offset in the publish buffer
@@ -170,6 +171,18 @@ class ShardSet
      *  stepCycles. */
     void setFused(bool on);
     bool fused() const { return fused_; }
+
+    /**
+     * Enable activity-guarded evaluation on every shard state: eval
+     * skips groups whose input cone is unchanged, seeded locally by
+     * each shard's latch/commit and across shards by the exchange
+     * (received register values are compared before being copied) and
+     * commit broadcasts. Returns false — and leaves the always-eval
+     * path in place — if any shard program lacks an activity plan.
+     * Bit-identical to always-eval in both phased and fused modes.
+     */
+    bool setActivity(bool on);
+    bool activityEnabled() const { return activity_; }
 
     /** The individual phases, for hosts with bespoke compute phases. */
     void commitBroadcasts(util::BspPool *pool);
@@ -305,10 +318,12 @@ class ShardSet
     obs::Counter *ctrInstrs_ = nullptr;
     obs::Counter *ctrExchWords_ = nullptr;
     obs::Counter *ctrNative_ = nullptr;
-    std::vector<uint64_t> shardInstrs_;     ///< instrs per shard program
+    obs::Counter *ctrGroupsSkipped_ = nullptr;
+    obs::Counter *ctrGroupsTotal_ = nullptr;
 
     const Netlist *nl_ = nullptr;
     uint32_t lanes_ = 1;
+    bool activity_ = false;     ///< activity-guarded eval on all shards
     std::vector<EvalProgram> programs_;
     std::vector<std::unique_ptr<EvalState>> states_;
 

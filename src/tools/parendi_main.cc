@@ -23,6 +23,22 @@
  *                       of the design in lock-step (SoA lanes; interp,
  *                       cgen and par engines). Scalar pokes drive all
  *                       lanes, scalar peeks read lane 0.
+ *     --activity 0|1    activity-guarded evaluation (default 1): skip
+ *                       combinational groups whose inputs are
+ *                       unchanged since the previous cycle.
+ *                       Bit-identical to always-eval; 0 is the A/B
+ *                       baseline. interp, cgen and par engines.
+ *     --cost-profile FILE  measured per-fiber cost profile: consumed
+ *                       before the run (if FILE exists, the par
+ *                       engine's LPT partition packs on the measured
+ *                       costs) and emitted after it (the run's
+ *                       per-shard eval ticks attributed back to
+ *                       fibers). Implies --profile.
+ *     --rebalance R     telemetry-directed repartitioning (par
+ *                       engine, with --batch): when the measured
+ *                       per-shard eval skew max/mean exceeds R
+ *                       between batches, re-run LPT on measured costs
+ *                       and migrate state. Implies --profile. 0 = off.
  *     --tiles N         tiles per chip (default 1472, ipu engine)
  *     --chips N         IPU chips, 1-4 (default 1, ipu engine)
  *     --strategy B|H    single-chip partitioning (default B)
@@ -103,6 +119,7 @@
 #include "fiber/fiber.hh"
 #include "frontend/pnl.hh"
 #include "frontend/verilog.hh"
+#include "obs/costprofile.hh"
 #include "obs/report.hh"
 #include "obs/trace.hh"
 #include "rtl/vcd.hh"
@@ -142,6 +159,9 @@ struct Args
     bool fused = true;
     uint64_t batch = 0;
     uint32_t replicas = 1;
+    bool activity = true;
+    std::string costProfile;
+    double rebalance = 0.0;
     bool profile = false;
     uint64_t profileEvery = 16;
     std::string profileTrace;
@@ -165,7 +185,8 @@ usage()
                  "               [--vcd FILE] [--wave FILE] [--report] "
                  "[--peek NAME]...\n"
                  "               [--fused 0|1] [--batch N] "
-                 "[--replicas N]\n"
+                 "[--replicas N] [--activity 0|1]\n"
+                 "               [--cost-profile FILE] [--rebalance R]\n"
                  "               [--save FILE] [--save-every N] "
                  "[--restore FILE] [--restore-at K]\n"
                  "               [--journal FILE] [--replay FILE] "
@@ -238,7 +259,15 @@ parseArgs(int argc, char **argv)
             a.replicas = static_cast<uint32_t>(std::stoul(value()));
         else if (arg == "--design")
             a.design = value();
-        else if (arg == "--profile")
+        else if (arg == "--activity")
+            a.activity = std::stoul(value()) != 0;
+        else if (arg == "--cost-profile") {
+            a.costProfile = value();
+            a.profile = true;   // emitting needs measured eval ticks
+        } else if (arg == "--rebalance") {
+            a.rebalance = std::stod(value());
+            a.profile = true;   // the skew check reads the profiler
+        } else if (arg == "--profile")
             a.profile = true;
         else if (arg == "--profile-every") {
             a.profileEvery = std::stoull(value());
@@ -308,8 +337,15 @@ makeNamedDesign(const std::string &name)
     if (name.rfind("prng", 0) == 0)
         return makePrngBank(
             static_cast<uint32_t>(std::stoul(name.substr(4))));
+    if (name == "gated")
+        return makeGated(GatedConfig{});
+    if (name.rfind("gated", 0) == 0) {
+        GatedConfig gc;
+        gc.units = static_cast<uint32_t>(std::stoul(name.substr(5)));
+        return makeGated(gc);
+    }
     fatal("unknown design %s (expected pico|rocket|bitcoin|mc|vta|"
-          "srN|lrN|prngN)", name.c_str());
+          "srN|lrN|prngN|gated[N])", name.c_str());
 }
 
 bool
@@ -465,6 +501,14 @@ main(int argc, char **argv)
             eopt.replicas = args.replicas;
             eopt.profile = args.profile;
             eopt.profileOpt.sampleEvery = args.profileEvery;
+            eopt.activity = args.activity;
+            eopt.rebalance = args.rebalance;
+            // --cost-profile is consumed when the file already exists
+            // (a previous run wrote it) and emitted after this run
+            // either way — the two runs close the telemetry loop.
+            if (!args.costProfile.empty() &&
+                std::ifstream(args.costProfile).good())
+                eopt.costProfileIn = args.costProfile;
             if (args.optimize)
                 nl = rtl::optimize(std::move(nl));
             owned = core::makeEngine(std::move(nl), eopt);
@@ -664,6 +708,20 @@ main(int argc, char **argv)
         } else if (args.profile) {
             warn("--profile had no effect (engine %s)",
                  engine->engineName());
+        }
+
+        // Close the telemetry loop: attribute this run's measured eval
+        // ticks back to fibers and persist them, so the next run's LPT
+        // packs on measured instead of modeled costs.
+        if (!args.costProfile.empty()) {
+            obs::CostProfile measured;
+            if (engine->collectCostProfile(measured) &&
+                measured.save(args.costProfile))
+                std::printf("wrote cost profile (%zu fibers) to %s\n",
+                            measured.size(), args.costProfile.c_str());
+            else
+                warn("--cost-profile: engine %s produced no measured "
+                     "fiber costs", engine->engineName());
         }
         return 0;
     } catch (const FatalError &) {

@@ -68,6 +68,23 @@ struct ParConfig
     /** Gang simulation: replica lanes per shard state, stepped in
      *  lock-step (threads × lanes total instances). 1 = scalar. */
     uint32_t replicas = 1;
+    /**
+     * Measured per-fiber costs (see obs::CostProfile) driving the
+     * initial LPT packing in place of the static x86 model. Keys
+     * missing from the profile fall back to their static cost, scaled
+     * into the profile's unit by the fibers both sides know. Null or
+     * empty = static costs. Only read during construction.
+     */
+    const obs::CostProfile *costIn = nullptr;
+    /**
+     * Telemetry-directed repartitioning threshold: after each stepped
+     * batch, when the profiled per-shard eval-tick skew (max/mean over
+     * the window since the last check) exceeds this ratio, re-run LPT
+     * on the measured costs and migrate the architectural state onto
+     * the new packing. Needs an attached profiler and batched fused
+     * stepping to fire. 0 = off.
+     */
+    double rebalance = 0.0;
 };
 
 class ParallelInterpreter : public core::SimEngine
@@ -129,6 +146,36 @@ class ParallelInterpreter : public core::SimEngine
 
     /** True once enableNativeKernels() has succeeded. */
     bool native() const { return native_; }
+
+    /** Activity-guarded evaluation on every shard (see
+     *  ShardSet::setActivity). */
+    bool setActivity(bool on) override;
+    bool
+    activityEnabled() const override
+    {
+        return shards_.activityEnabled();
+    }
+
+    /**
+     * Attribute each shard's profiled eval ticks to the fibers packed
+     * on it (proportional to their static cost within the shard) and
+     * export the result keyed by stable fiber names. Requires an
+     * attached profiler that has sampled at least one cycle.
+     */
+    bool collectCostProfile(obs::CostProfile &out) const override;
+
+    /**
+     * Repartition now from the measured per-shard eval ticks
+     * accumulated since the last rebalance window: re-run LPT on the
+     * measured fiber costs, and if the packing changes, migrate the
+     * architectural state onto it (same shard count; native kernels,
+     * profiler and activity guards are re-attached). Returns true iff
+     * the packing changed. Needs profiled samples; false otherwise.
+     */
+    bool rebalanceNow();
+
+    /** Repartitions performed so far (rebalanceNow + automatic). */
+    uint64_t rebalances() const { return rebalances_; }
 
     /** Attach an obs::SuperstepProfiler sized for this engine's pool
      *  (one slot per shard worker, or one when sequential) and register
@@ -195,6 +242,37 @@ class ParallelInterpreter : public core::SimEngine
     bool fused() const { return shards_.fused(); }
 
   private:
+    /** One fiber's partitioning summary, kept after construction so
+     *  measured-cost repartitioning can re-pack without re-running
+     *  fiber extraction. */
+    struct FiberCost
+    {
+        std::vector<NodeId> cone;   ///< cone nodes, ascending
+        double staticCost;          ///< x86 cost-model weight
+        std::string key;            ///< stable CostProfile key
+    };
+
+    /** LPT: heaviest fiber first onto the least-loaded of
+     *  @p nshards shards; ties break on ascending fiber index. */
+    static std::vector<std::vector<uint32_t>>
+    lptAssign(const std::vector<double> &weights, size_t nshards);
+
+    /** Tear down the shard set and rebuild it for @p assign (same
+     *  shard count), migrating the architectural state and
+     *  re-attaching native kernels, profiler and activity guards. */
+    void rebuildShards(const std::vector<std::vector<uint32_t>> &assign);
+
+    /** Per-fiber measured weights from per-shard eval-tick deltas. */
+    std::vector<double>
+    fiberWeightsFrom(const std::vector<uint64_t> &shardTicks) const;
+
+    /** Eval ticks per shard accumulated since the last rebalance
+     *  window reset; false when nothing was sampled. */
+    bool ticksSinceBase(std::vector<uint64_t> &delta) const;
+
+    /** The automatic between-batch check (ParConfig::rebalance). */
+    void maybeRebalance();
+
     /** The pool step() dispatches on (null = sequential). */
     util::BspPool *stepPool() const { return pool_.get(); }
     /** The pool for non-step re-evaluations: null when the pool is
@@ -208,6 +286,19 @@ class ParallelInterpreter : public core::SimEngine
     Netlist nl_;
     ShardSet shards_;
     size_t batch_ = 0;
+
+    // Repartitioning state (see rebuildShards).
+    std::vector<FiberCost> fibers_;
+    std::vector<std::vector<uint32_t>> assignment_;  ///< fibers per shard
+    LowerOptions lower_;
+    double rebalance_ = 0.0;
+    bool fusedWanted_ = true;
+    bool activityWanted_ = false;
+    bool wantNative_ = false;       ///< re-attach kernels on rebuild
+    CgenOptions cgenOpt_;
+    std::vector<uint64_t> ticksBase_;   ///< shard ticks at window start
+    uint64_t rebalances_ = 0;
+
     // Declared before pool_: the pool holds a raw observer pointer to
     // the profiler, so the pool (destroyed first, in reverse member
     // order) must never outlive it.
